@@ -1,0 +1,78 @@
+//! Criterion companion to Figure 14: per-handover cost of each
+//! run-token strategy on a two-thread ping-pong (all-core
+//! configuration; the single-core column needs process pinning — use
+//! the `figure14` binary for that).
+
+use c11tester_runtime::{HandoverKind, Notifier};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct PingPong {
+    a: Arc<Notifier>,
+    b: Arc<Notifier>,
+    stop: Arc<AtomicBool>,
+    child: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PingPong {
+    fn new(kind: HandoverKind) -> Self {
+        let a = Arc::new(Notifier::new(kind));
+        let b = Arc::new(Notifier::new(kind));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (a2, b2, s2) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+        let child = std::thread::spawn(move || {
+            b2.bind_current();
+            loop {
+                b2.wait();
+                if s2.load(Ordering::Acquire) {
+                    return;
+                }
+                a2.notify();
+            }
+        });
+        a.bind_current();
+        PingPong {
+            a,
+            b,
+            stop,
+            child: Some(child),
+        }
+    }
+
+    fn round_trip(&self) {
+        self.b.notify();
+        self.a.wait();
+    }
+}
+
+impl Drop for PingPong {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.b.notify();
+        if let Some(c) = self.child.take() {
+            let _ = c.join();
+        }
+    }
+}
+
+fn bench_handover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure14");
+    // Skip pure spinning here: without core pinning its cost is
+    // scheduling-dependent noise; the figure14 binary covers it.
+    for kind in [
+        HandoverKind::Condvar,
+        HandoverKind::Park,
+        HandoverKind::SpinYield,
+        HandoverKind::Channel,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            let pp = PingPong::new(kind);
+            b.iter(|| pp.round_trip());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handover);
+criterion_main!(benches);

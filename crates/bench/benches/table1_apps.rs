@@ -1,0 +1,28 @@
+//! Criterion companion to Table 1: one benchmark per (application ×
+//! tool), timing a full model execution of the application simulation.
+
+use c11tester::Policy;
+use c11tester_bench::paper_model;
+use c11tester_workloads::AppBench;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for app in AppBench::all() {
+        for policy in [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11] {
+            let id = format!("{}/{}", app.name(), policy.name());
+            group.bench_function(&id, |b| {
+                let mut model = paper_model(policy, 0xBE7C);
+                b.iter(|| {
+                    let report = model.run(move || app.run_default());
+                    criterion::black_box(report.stats.atomic_ops())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

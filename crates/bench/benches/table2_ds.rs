@@ -1,0 +1,28 @@
+//! Criterion companion to Table 2 / Figure 16: execution time of each
+//! data-structure benchmark under each tool.
+
+use c11tester::Policy;
+use c11tester_bench::paper_model;
+use c11tester_workloads::DsBench;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    for bench in DsBench::all() {
+        for policy in [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11] {
+            let id = format!("{}/{}", bench.name(), policy.name());
+            group.bench_function(&id, |b| {
+                let mut model = paper_model(policy, 0xBE7D);
+                b.iter(|| {
+                    let report = model.run(move || bench.run());
+                    criterion::black_box(report.found_race())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ds);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 14: context-switch (run-token handover) costs for the
+//! scheduling strategies of §7.3, in the all-core and single-core
+//! configurations.
+//!
+//! The paper measures pthread condvars, futexes, spinning, spinning
+//! with yield, and ucontext/setjmp fibers (± TLS migration) on a
+//! 2-thread ping-pong. Rust has no stable fiber equivalent (and needs
+//! no TLS migration — see `c11tester-runtime`); the measured spectrum
+//! is the [`HandoverKind`] set the runtime actually offers.
+//!
+//! Expected shape (paper Fig. 14): spinning is fastest with a core per
+//! thread but collapses by orders of magnitude on one core; condition
+//! variables are the slowest blocking strategy; futex-style wakeups sit
+//! in between.
+//!
+//! ```text
+//! cargo run --release -p c11tester-bench --bin figure14
+//! ```
+
+use c11tester_bench::{pin_to_single_core, rule, runs_from_env, unpin_all_cores};
+use c11tester_runtime::{HandoverKind, Notifier};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One ping-pong benchmark: `iters` round trips through a pair of
+/// notifiers; returns nanoseconds per one-way handover.
+fn ping_pong(kind: HandoverKind, iters: u32) -> f64 {
+    let a = Arc::new(Notifier::new(kind));
+    let b = Arc::new(Notifier::new(kind));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let child = std::thread::spawn(move || {
+        b2.bind_current();
+        for _ in 0..iters {
+            b2.wait();
+            a2.notify();
+        }
+    });
+    a.bind_current();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        b.notify();
+        a.wait();
+    }
+    let elapsed = t0.elapsed();
+    child.join().expect("ping-pong child");
+    elapsed.as_nanos() as f64 / f64::from(iters) / 2.0
+}
+
+fn main() {
+    let iters = runs_from_env(20_000);
+    println!("Figure 14: context-switch costs (ns per handover, {iters} round trips)");
+    rule(60);
+    println!(
+        "{:<24} {:>15} {:>15}",
+        "Scheduling approach", "all cores", "1 core"
+    );
+    rule(60);
+    for kind in HandoverKind::all() {
+        // Pure spinning on one core is pathological (the paper reports
+        // 15,976µs per switch); cap its iteration count so the row
+        // completes in reasonable time.
+        let (all_iters, one_iters) = if kind == HandoverKind::Spin {
+            (iters, (iters / 100).max(10))
+        } else {
+            (iters, iters)
+        };
+        unpin_all_cores();
+        let all = ping_pong(kind, all_iters);
+        let pinned = pin_to_single_core();
+        let one = ping_pong(kind, one_iters);
+        unpin_all_cores();
+        println!(
+            "{:<24} {:>12.0} ns {:>12.0} ns{}",
+            kind.name(),
+            all,
+            one,
+            if pinned { "" } else { "  (unpinned!)" }
+        );
+    }
+    rule(60);
+    println!("(paper: condvar 1.95/1.61µs; futex 1.85/1.32µs; spin 0.07µs/16ms;");
+    println!(" spin+yield 0.21/0.54µs; swapcontext fibers 0.34µs)");
+}

@@ -1,0 +1,94 @@
+//! Table 2: data-structure benchmarks — time per execution and race
+//! detection rate for each tool — plus Figure 16 (the bar-chart view of
+//! the same data).
+//!
+//! ```text
+//! cargo run --release -p c11tester-bench --bin table2 [-- --figure16]
+//! ```
+//! Set `C11_BENCH_RUNS` to change the run count (paper: 500).
+
+use c11tester::Policy;
+use c11tester_bench::{paper_model, rule, runs_from_env, summarize};
+use c11tester_workloads::DsBench;
+use std::time::Instant;
+
+struct Cell {
+    time_ms: f64,
+    rate: f64,
+}
+
+fn measure(bench: DsBench, policy: Policy, runs: u64) -> Cell {
+    let mut model = paper_model(policy, 0x7AB1E2);
+    let mut samples = Vec::with_capacity(runs as usize);
+    let mut detected = 0u64;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let report = model.run(|| bench.run());
+        samples.push(t0.elapsed());
+        if report.found_race() {
+            detected += 1;
+        }
+    }
+    Cell {
+        time_ms: summarize(&samples).mean_ms(),
+        rate: detected as f64 / runs as f64,
+    }
+}
+
+fn main() {
+    let figure16 = std::env::args().any(|a| a == "--figure16");
+    let runs = u64::from(runs_from_env(500));
+    let policies = [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11];
+
+    println!("Table 2: data-structure benchmarks ({runs} runs per cell)");
+    rule(88);
+    println!(
+        "{:<18} {:>10} {:>7} {:>10} {:>7} {:>10} {:>7}",
+        "Test", "C11T ms", "rate", "t11rec ms", "rate", "t11 ms", "rate"
+    );
+    rule(88);
+
+    let mut rates = [Vec::new(), Vec::new(), Vec::new()];
+    let mut rows = Vec::new();
+    for bench in DsBench::all() {
+        let cells: Vec<Cell> = policies
+            .iter()
+            .map(|&p| measure(bench, p, runs))
+            .collect();
+        print!("{:<18}", bench.name());
+        for (i, c) in cells.iter().enumerate() {
+            print!(" {:>10.2} {:>6.1}%", c.time_ms, 100.0 * c.rate);
+            rates[i].push(c.rate);
+        }
+        println!();
+        rows.push((bench, cells));
+    }
+    rule(88);
+    print!("{:<18}", "Average rate");
+    for r in &rates {
+        let avg = r.iter().sum::<f64>() / r.len().max(1) as f64;
+        print!(" {:>10} {:>6.1}%", "", 100.0 * avg);
+    }
+    println!();
+    println!("(paper averages: C11Tester 75.4%, tsan11rec 51.5%, tsan11 22.3%)");
+
+    if figure16 {
+        println!();
+        println!("Figure 16: per-benchmark execution time (bar = time relative to C11Tester)");
+        rule(72);
+        for (bench, cells) in &rows {
+            let base = cells[0].time_ms.max(1e-9);
+            for (i, c) in cells.iter().enumerate() {
+                let rel = c.time_ms / base;
+                let bar = "#".repeat((rel * 8.0).round().min(60.0) as usize);
+                println!(
+                    "{:<18} {:<10} {:>8.2}ms |{}",
+                    bench.name(),
+                    policies[i].name(),
+                    c.time_ms,
+                    bar
+                );
+            }
+        }
+    }
+}

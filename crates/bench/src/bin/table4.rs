@@ -1,0 +1,46 @@
+//! Table 4: per-variant results for the 25 JSBench benchmarks — wall
+//! time under each tool plus the number of normal and atomic operations
+//! executed under C11Tester.
+//!
+//! ```text
+//! cargo run --release -p c11tester-bench --bin table4
+//! ```
+//! Set `C11_BENCH_RUNS` to change the timing repetitions (default 3).
+
+use c11tester::Policy;
+use c11tester_bench::{paper_model, rule, runs_from_env, time_policy_runs};
+use c11tester_workloads::apps::jsbench;
+
+fn main() {
+    let runs = runs_from_env(3);
+    println!("Table 4: individual JSBench benchmarks ({runs} timing runs per cell)");
+    rule(96);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "Benchmark", "C11T ms", "t11rec ms", "t11 ms", "# normal", "# atomic"
+    );
+    rule(96);
+    for v in jsbench::variants() {
+        let times: Vec<f64> = [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11]
+            .into_iter()
+            .map(|p| time_policy_runs(p, 0x7AB1E4, runs, move || {
+                jsbench::run(v);
+            })
+            .mean_ms())
+            .collect();
+        let mut model = paper_model(Policy::C11Tester, 0x7AB1E4);
+        let report = model.run(move || {
+            jsbench::run(v);
+        });
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>14} {:>14}",
+            jsbench::name(&v),
+            times[0],
+            times[1],
+            times[2],
+            report.stats.normal_accesses,
+            report.stats.atomic_ops()
+        );
+    }
+    rule(96);
+}

@@ -1,0 +1,155 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Each table/figure has a binary (`cargo run --release -p
+//! c11tester-bench --bin table1`, …) that prints the same rows/series
+//! the paper reports, and a Criterion bench target for statistically
+//! robust timing. Absolute numbers differ from the paper's testbed (our
+//! substrate is this workspace's model, not instrumented native code);
+//! the *shape* — who wins, by roughly what factor — is the reproduction
+//! target (see EXPERIMENTS.md).
+
+use c11tester::{Config, Model, Policy};
+use std::time::{Duration, Instant};
+
+/// Measurement of repeated model executions.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Mean wall-clock time per execution.
+    pub mean: Duration,
+    /// Relative standard deviation (σ/mean).
+    pub rsd: f64,
+    /// Executions measured.
+    pub runs: u32,
+}
+
+impl Timing {
+    /// Mean time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+}
+
+/// Times `runs` executions of `body` under the paper-faithful
+/// configuration for `policy`.
+pub fn time_policy_runs<F>(policy: Policy, seed: u64, runs: u32, body: F) -> Timing
+where
+    F: Fn() + Send + Sync,
+{
+    let mut model = Model::new(Config::for_policy(policy).with_seed(seed));
+    let mut samples = Vec::with_capacity(runs as usize);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let _ = model.run(&body);
+        samples.push(t0.elapsed());
+    }
+    summarize(&samples)
+}
+
+/// Summarizes a set of duration samples.
+pub fn summarize(samples: &[Duration]) -> Timing {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|d| {
+            let x = d.as_secs_f64() - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / n;
+    let rsd = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    Timing {
+        mean: Duration::from_secs_f64(mean),
+        rsd,
+        runs: samples.len() as u32,
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Pins the calling thread (and, by inheritance, the model threads it
+/// spawns) to CPU 0, emulating the paper's `taskset` single-core
+/// configuration. Returns `false` if unsupported on this platform.
+pub fn pin_to_single_core() -> bool {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(0, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Restores the calling thread's affinity to all online CPUs.
+pub fn unpin_all_cores() -> bool {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let n = libc::sysconf(libc::_SC_NPROCESSORS_ONLN).max(1) as usize;
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        for cpu in 0..n.min(libc::CPU_SETSIZE as usize) {
+            libc::CPU_SET(cpu, &mut set);
+        }
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Number of benchmark repetitions, overridable with `C11_BENCH_RUNS`.
+pub fn runs_from_env(default: u32) -> u32 {
+    std::env::var("C11_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Builds the paper-faithful model for a policy with a given seed.
+pub fn paper_model(policy: Policy, seed: u64) -> Model {
+    Model::new(Config::for_policy(policy).with_seed(seed))
+}
+
+/// Prints a horizontal rule sized for our tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_computes_mean_and_rsd() {
+        let t = summarize(&[Duration::from_millis(10), Duration::from_millis(20)]);
+        assert!((t.mean_ms() - 15.0).abs() < 1e-6);
+        assert!(t.rsd > 0.3 && t.rsd < 0.4);
+        assert_eq!(t.runs, 2);
+    }
+
+    #[test]
+    fn pinning_roundtrip_does_not_fail() {
+        // On Linux this pins and unpins; elsewhere both return false.
+        let pinned = pin_to_single_core();
+        let unpinned = unpin_all_cores();
+        assert_eq!(pinned, unpinned);
+    }
+}

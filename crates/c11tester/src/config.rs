@@ -1,0 +1,185 @@
+//! Model configuration.
+
+use c11tester_core::{MemOrder, Policy, PruneConfig};
+use c11tester_runtime::HandoverKind;
+
+/// Which testing strategy drives scheduling and read choices (§3).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Uniform random choices — the paper's default plugin.
+    Random,
+    /// OS-scheduler emulation: the current thread runs for a
+    /// geometrically distributed burst of visible operations (used for
+    /// the tsan11 baseline, which does not control scheduling).
+    Burst {
+        /// Mean burst length in visible operations.
+        mean: u32,
+    },
+    /// PCT (probabilistic concurrency testing): random thread
+    /// priorities with `depth − 1` priority-drop change points.
+    Pct {
+        /// Bug depth the schedule targets (`d ≥ 1`).
+        depth: u32,
+        /// Expected visible operations per execution (change-point
+        /// placement).
+        expected_ops: u64,
+    },
+}
+
+/// Configuration for a [`crate::Model`].
+///
+/// The defaults reproduce the C11Tester tool; [`Config::for_policy`]
+/// gives each baseline the combination the paper evaluates.
+///
+/// # Examples
+///
+/// ```
+/// use c11tester::{Config, Policy};
+///
+/// let config = Config::new()
+///     .with_seed(42)
+///     .with_policy(Policy::C11Tester);
+/// assert_eq!(config.seed, 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Memory-model fragment (C11Tester vs. tsan11-family baselines).
+    pub policy: Policy,
+    /// Base seed; execution `i` derives its own stream from it.
+    pub seed: u64,
+    /// Run-token handover strategy (Figure 14 spectrum).
+    pub handover: HandoverKind,
+    /// Testing strategy plugin.
+    pub strategy: Strategy,
+    /// Execution-graph pruning (§7.1).
+    pub prune: PruneConfig,
+    /// Memory order applied to legacy volatile loads (§7.2; the paper's
+    /// default treats volatiles as relaxed atomics).
+    pub volatile_load_order: MemOrder,
+    /// Memory order applied to legacy volatile stores.
+    pub volatile_store_order: MemOrder,
+    /// Abort an execution after this many model events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Config {
+    /// C11Tester defaults: full memory-model fragment, random strategy,
+    /// fast handover, pruning off.
+    pub fn new() -> Self {
+        Config {
+            policy: Policy::C11Tester,
+            seed: 0xC11,
+            handover: HandoverKind::Park,
+            strategy: Strategy::Random,
+            prune: PruneConfig::disabled(),
+            volatile_load_order: MemOrder::Relaxed,
+            volatile_store_order: MemOrder::Relaxed,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// The paper's per-tool configurations:
+    ///
+    /// * `C11Tester` — full fragment, controlled random scheduling,
+    ///   fast (park) handover;
+    /// * `Tsan11Rec` — restricted fragment, controlled random
+    ///   scheduling, slow (condvar) handover as in its kernel-thread
+    ///   scheduler;
+    /// * `Tsan11` — restricted fragment, uncontrolled scheduling
+    ///   emulated by long bursts.
+    pub fn for_policy(policy: Policy) -> Self {
+        let base = Config::new();
+        match policy {
+            Policy::C11Tester => Config { policy, ..base },
+            Policy::Tsan11Rec => Config {
+                policy,
+                handover: HandoverKind::Condvar,
+                ..base
+            },
+            Policy::Tsan11 => Config {
+                policy,
+                strategy: Strategy::Burst { mean: 400 },
+                ..base
+            },
+        }
+    }
+
+    /// Sets the memory-model policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the base random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the handover strategy.
+    pub fn with_handover(mut self, handover: HandoverKind) -> Self {
+        self.handover = handover;
+        self
+    }
+
+    /// Sets the testing strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the pruning configuration.
+    pub fn with_prune(mut self, prune: PruneConfig) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Sets both volatile access orders (the Silo experiment toggles
+    /// this between `Relaxed` and acquire/release, §8.2).
+    pub fn with_volatile_orders(mut self, load: MemOrder, store: MemOrder) -> Self {
+        self.volatile_load_order = load;
+        self.volatile_store_order = store;
+        self
+    }
+
+    /// Sets the per-execution event budget.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_policy_configs_match_paper_shape() {
+        let c = Config::for_policy(Policy::C11Tester);
+        assert_eq!(c.handover, HandoverKind::Park);
+        assert_eq!(c.strategy, Strategy::Random);
+        let r = Config::for_policy(Policy::Tsan11Rec);
+        assert_eq!(r.handover, HandoverKind::Condvar);
+        assert_eq!(r.strategy, Strategy::Random);
+        let t = Config::for_policy(Policy::Tsan11);
+        assert!(matches!(t.strategy, Strategy::Burst { .. }));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Config::new()
+            .with_seed(7)
+            .with_max_events(123)
+            .with_volatile_orders(MemOrder::Acquire, MemOrder::Release);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_events, 123);
+        assert_eq!(c.volatile_load_order, MemOrder::Acquire);
+        assert_eq!(c.volatile_store_order, MemOrder::Release);
+    }
+}

@@ -1,0 +1,427 @@
+//! The execution context: thread-local plumbing that routes every model
+//! operation of the program under test to the engine, and the
+//! scheduling protocol (decision points, blocking, abort).
+//!
+//! Protocol (paper §3): every *visible operation* — atomic access,
+//! fence, thread or synchronization operation — is a scheduling
+//! decision point. The announcing thread asks the strategy which thread
+//! runs next; if it is not itself, it hands over the run token and
+//! parks. When it is next picked, it performs its pending operation and
+//! continues. The *write-run* rule skips the decision while a thread
+//! performs consecutive relaxed/release plain stores (Fig. 4).
+
+use crate::engine::{Engine, WaitReason};
+use crate::report::Failure;
+use c11tester_core::{MemOrder, ObjId, StoreKind, ThreadId};
+use c11tester_race::AccessKind;
+use c11tester_runtime::{Aborted, Runtime};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Shared state of one running execution.
+pub(crate) struct ModelCtx {
+    pub engine: Mutex<Engine>,
+    pub runtime: Arc<Runtime>,
+}
+
+impl std::fmt::Debug for ModelCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelCtx").finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<ModelCtx>, ThreadId)>> = const { RefCell::new(None) };
+}
+
+/// Binds the calling OS thread to a model thread for the duration of
+/// the execution.
+pub(crate) fn set_current(ctx: Arc<ModelCtx>, tid: ThreadId) {
+    install_quiet_panic_hook();
+    CURRENT.with(|c| *c.borrow_mut() = Some((ctx, tid)));
+}
+
+/// Clears the binding (driver teardown).
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Panics inside model threads are *signals* (assertion violations are
+/// recorded in the execution report; aborts are control flow), so the
+/// default print-a-backtrace hook is suppressed for them. Non-model
+/// threads keep the previous hook's behavior.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CURRENT
+                .try_with(|c| c.borrow().is_some())
+                .unwrap_or(false);
+            if !in_model {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with the current model context.
+///
+/// # Panics
+///
+/// Panics when called outside a model execution — model types
+/// (`c11tester::sync::atomic::*`, `c11tester::thread`, …) only work
+/// inside [`crate::Model::run`].
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<ModelCtx>, ThreadId) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (ctx, tid) = borrow
+            .as_ref()
+            .expect("c11tester model operation used outside Model::run");
+        f(ctx, *tid)
+    })
+}
+
+/// Raises the abort payload, unwinding the model thread.
+fn abort() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+/// Checks for a poisoned execution; unwinds unless already panicking
+/// (so `Drop` code running during an abort stays quiet).
+pub(crate) fn poison_check(ctx: &ModelCtx) -> bool {
+    if ctx.runtime.is_poisoned() {
+        if std::thread::panicking() {
+            return false;
+        }
+        abort();
+    }
+    true
+}
+
+/// Classification of the announced operation, for the write-run rule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum OpClass {
+    /// A plain atomic store with the given order.
+    Store(MemOrder),
+    /// Any other visible operation.
+    Other,
+}
+
+/// A scheduling decision point before a visible operation.
+pub(crate) fn schedule_point(ctx: &Arc<ModelCtx>, tid: ThreadId, class: OpClass) {
+    if !poison_check(ctx) {
+        return;
+    }
+    let next = {
+        let mut eng = ctx.engine.lock();
+        // Write-run rule: consecutive relaxed/release plain stores by
+        // the same thread run without interruption.
+        if let OpClass::Store(order) = class {
+            if matches!(order, MemOrder::Relaxed | MemOrder::Release)
+                && eng.exec.in_store_run(tid)
+            {
+                return;
+            }
+        }
+        let enabled = eng.enabled();
+        debug_assert!(
+            enabled.contains(&tid),
+            "scheduling thread {tid:?} must be runnable"
+        );
+        eng.scheduler.next_thread(&enabled, tid)
+    };
+    if next != tid {
+        ctx.runtime.wake(next.index());
+        park(ctx, tid);
+    }
+}
+
+/// Parks the current model thread until it is scheduled again.
+pub(crate) fn park(ctx: &ModelCtx, tid: ThreadId) {
+    if ctx.runtime.park(tid.index()).is_err() {
+        if std::thread::panicking() {
+            return;
+        }
+        abort();
+    }
+}
+
+/// Blocks the current thread for `reason`, hands the token onward, and
+/// returns once rescheduled. Detects deadlock.
+pub(crate) fn block_and_yield(ctx: &Arc<ModelCtx>, tid: ThreadId, reason: WaitReason) {
+    if !poison_check(ctx) {
+        return;
+    }
+    let next = {
+        let mut eng = ctx.engine.lock();
+        eng.block(tid, reason);
+        let enabled = eng.enabled();
+        if enabled.is_empty() {
+            eng.fail(Failure::Deadlock);
+            None
+        } else {
+            Some(eng.scheduler.next_thread(&enabled, tid))
+        }
+    };
+    match next {
+        None => {
+            ctx.runtime.poison();
+            abort();
+        }
+        Some(next) => {
+            debug_assert_ne!(next, tid, "a blocked thread cannot be chosen");
+            ctx.runtime.wake(next.index());
+            park(ctx, tid);
+            // Rescheduled: our status was set Runnable by the unblocker.
+        }
+    }
+}
+
+/// Marks the current (non-main) thread finished and passes control on.
+pub(crate) fn thread_finished(ctx: &Arc<ModelCtx>, tid: ThreadId) {
+    if ctx.runtime.is_poisoned() {
+        return;
+    }
+    enum Next {
+        WakeDriver,
+        Switch(ThreadId),
+        Poison,
+        Nothing,
+    }
+    let action = {
+        let mut eng = ctx.engine.lock();
+        eng.exec.sync_event(tid);
+        if eng.finish_thread(tid) {
+            Next::WakeDriver
+        } else {
+            let enabled = eng.enabled();
+            if enabled.is_empty() {
+                eng.fail(Failure::Deadlock);
+                Next::Poison
+            } else {
+                let next = eng.scheduler.next_thread(&enabled, tid);
+                if next == tid {
+                    Next::Nothing // unreachable: tid is Finished
+                } else {
+                    Next::Switch(next)
+                }
+            }
+        }
+    };
+    match action {
+        Next::WakeDriver => ctx.runtime.wake(ThreadId::MAIN.index()),
+        Next::Switch(n) => ctx.runtime.wake(n.index()),
+        Next::Poison => ctx.runtime.poison(),
+        Next::Nothing => {}
+    }
+}
+
+/// Records a fatal failure and aborts the whole execution.
+pub(crate) fn fail_execution(ctx: &Arc<ModelCtx>, failure: Failure) {
+    {
+        let mut eng = ctx.engine.lock();
+        eng.fail(failure);
+    }
+    ctx.runtime.poison();
+}
+
+// ----------------------------------------------------------------------
+// Model operations used by the public atomic / cell / sync types.
+// ----------------------------------------------------------------------
+
+/// Allocates a model object and registers it with the race detector.
+pub(crate) fn new_object(label: Option<String>, volatile: bool) -> ObjId {
+    with_ctx(|ctx, _tid| {
+        poison_check(ctx);
+        let mut eng = ctx.engine.lock();
+        let obj = eng.exec.new_object();
+        let label = label.unwrap_or_else(|| {
+            eng.anon_objects += 1;
+            format!("object#{}", eng.anon_objects)
+        });
+        eng.race.register(obj, label, volatile);
+        obj
+    })
+}
+
+/// `atomic_init`: a non-atomic initializing store (paper §7.2 — it is
+/// implemented as a non-atomic store and may race with concurrent
+/// atomic accesses). Not a scheduling point.
+pub(crate) fn atomic_init(obj: ObjId, value: u64) {
+    with_ctx(|ctx, tid| {
+        poison_check(ctx);
+        let mut eng = ctx.engine.lock();
+        eng.exec
+            .atomic_store(tid, obj, MemOrder::Relaxed, value, StoreKind::NonAtomic);
+        let cv = eng.exec.thread_cv(tid).clone();
+        eng.race.on_write(obj, 0, tid, &cv, AccessKind::NonAtomic);
+    });
+}
+
+fn race_kind(kind: StoreKind) -> AccessKind {
+    match kind {
+        StoreKind::Atomic => AccessKind::Atomic,
+        StoreKind::NonAtomic => AccessKind::NonAtomic,
+        StoreKind::Volatile => AccessKind::Volatile,
+    }
+}
+
+fn check_budget(ctx: &Arc<ModelCtx>, eng: &mut Engine) {
+    if !eng.within_budget() {
+        // The failure is recorded; poisoning makes every thread abort at
+        // its next operation.
+        ctx.runtime.poison();
+    }
+}
+
+/// An atomic (or volatile, or mixed-mode non-atomic) store.
+pub(crate) fn atomic_store(obj: ObjId, order: MemOrder, value: u64, kind: StoreKind) {
+    with_ctx(|ctx, tid| {
+        schedule_point(ctx, tid, OpClass::Store(order));
+        let mut eng = ctx.engine.lock();
+        eng.exec.atomic_store(tid, obj, order, value, kind);
+        let cv = eng.exec.thread_cv(tid).clone();
+        eng.race.on_write(obj, 0, tid, &cv, race_kind(kind));
+        check_budget(ctx, &mut eng);
+    });
+}
+
+/// An atomic (or volatile) load; returns the value read.
+pub(crate) fn atomic_load(obj: ObjId, order: MemOrder, kind: StoreKind) -> u64 {
+    with_ctx(|ctx, tid| {
+        schedule_point(ctx, tid, OpClass::Other);
+        let mut eng = ctx.engine.lock();
+        let cands = eng.exec.feasible_read_candidates(tid, obj, order, false);
+        assert!(
+            !cands.is_empty(),
+            "atomic load from an object with no feasible store — was the atomic initialized?"
+        );
+        let choice = eng.scheduler.choose_read(cands.len());
+        let value = eng.exec.commit_load(tid, obj, order, cands[choice]);
+        let cv = eng.exec.thread_cv(tid).clone();
+        eng.race.on_read(obj, 0, tid, &cv, race_kind(kind));
+        check_budget(ctx, &mut eng);
+        value
+    })
+}
+
+/// Outcome of an RMW decision closure.
+pub(crate) enum RmwDecision {
+    /// Commit a write of the value.
+    Write(u64),
+    /// Do not write (failed compare_exchange); perform a load with the
+    /// given order instead.
+    NoWrite(MemOrder),
+}
+
+/// A read-modify-write: reads from an RMW-eligible store, lets `f`
+/// decide the written value (or decline, for failed CAS), and returns
+/// the value read.
+pub(crate) fn atomic_rmw(
+    obj: ObjId,
+    order: MemOrder,
+    f: impl FnOnce(u64) -> RmwDecision,
+) -> u64 {
+    with_ctx(|ctx, tid| {
+        schedule_point(ctx, tid, OpClass::Other);
+        let mut eng = ctx.engine.lock();
+        // tsan11-family baselines strengthen RMWs to acq_rel (see
+        // `Policy::strengthens_rmw`).
+        let order = eng.exec.policy().effective_rmw_order(order);
+        let cands = eng.exec.feasible_read_candidates(tid, obj, order, true);
+        assert!(
+            !cands.is_empty(),
+            "RMW on an object with no feasible store — was the atomic initialized?"
+        );
+        let choice = eng.scheduler.choose_read(cands.len());
+        let cand = cands[choice];
+        let old = eng.exec.store_value(cand);
+        let value = match f(old) {
+            RmwDecision::Write(new) => {
+                let (read, _) = eng.exec.commit_rmw(tid, obj, order, cand, new);
+                let cv = eng.exec.thread_cv(tid).clone();
+                eng.race.on_write(obj, 0, tid, &cv, AccessKind::Atomic);
+                read
+            }
+            RmwDecision::NoWrite(fail_order) => {
+                // A failed CAS is just a load with the failure ordering.
+                let cand = if eng.exec.check_read_feasible(tid, obj, fail_order, cand) {
+                    cand
+                } else {
+                    // Rare: the failure ordering adds constraints that
+                    // exclude the candidate; fall back to a legal one.
+                    let lc = eng.exec.feasible_read_candidates(tid, obj, fail_order, false);
+                    let ix = eng.scheduler.choose_read(lc.len());
+                    lc[ix]
+                };
+                let v = eng.exec.commit_load(tid, obj, fail_order, cand);
+                let cv = eng.exec.thread_cv(tid).clone();
+                eng.race.on_read(obj, 0, tid, &cv, AccessKind::Atomic);
+                v
+            }
+        };
+        check_budget(ctx, &mut eng);
+        value
+    })
+}
+
+/// An atomic thread fence.
+pub(crate) fn fence(order: MemOrder) {
+    with_ctx(|ctx, tid| {
+        schedule_point(ctx, tid, OpClass::Other);
+        let mut eng = ctx.engine.lock();
+        eng.exec.fence(tid, order);
+        check_budget(ctx, &mut eng);
+    });
+}
+
+/// A non-atomic read of cell `(obj, offset)` for the race detector.
+pub(crate) fn nonatomic_read(obj: ObjId, offset: u32) {
+    with_ctx(|ctx, tid| {
+        poison_check(ctx);
+        let mut eng = ctx.engine.lock();
+        eng.exec.count_normal_access();
+        let cv = eng.exec.thread_cv(tid).clone();
+        eng.race.on_read(obj, offset, tid, &cv, AccessKind::NonAtomic);
+    });
+}
+
+/// A non-atomic write of cell `(obj, offset)` for the race detector.
+pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
+    with_ctx(|ctx, tid| {
+        poison_check(ctx);
+        let mut eng = ctx.engine.lock();
+        eng.exec.count_normal_access();
+        let cv = eng.exec.thread_cv(tid).clone();
+        eng.race.on_write(obj, offset, tid, &cv, AccessKind::NonAtomic);
+    });
+}
+
+/// Explicit scheduling yield.
+pub(crate) fn yield_now() {
+    with_ctx(|ctx, tid| {
+        schedule_point(ctx, tid, OpClass::Other);
+    });
+}
+
+/// Schedule-perturbation hint (the `sleep` the tsan11 benchmarks use,
+/// §8.3): ends the current burst and yields.
+pub(crate) fn perturb() {
+    with_ctx(|ctx, tid| {
+        {
+            let mut eng = ctx.engine.lock();
+            eng.scheduler.perturb();
+        }
+        schedule_point(ctx, tid, OpClass::Other);
+    });
+}
+
+/// Volatile access orders from the active configuration.
+pub(crate) fn volatile_orders() -> (MemOrder, MemOrder) {
+    with_ctx(|ctx, _| {
+        let eng = ctx.engine.lock();
+        (eng.volatile_load_order, eng.volatile_store_order)
+    })
+}

@@ -1,0 +1,177 @@
+//! The per-execution engine: memory model + race detector + strategy +
+//! thread-status bookkeeping, protected by one mutex (only one model
+//! thread runs at a time, so the lock is uncontended by construction).
+
+use crate::config::{Config, Strategy};
+use crate::report::Failure;
+use c11tester_core::{Execution, MemOrder, ObjId, ThreadId};
+use c11tester_race::RaceDetector;
+use c11tester_runtime::{BurstScheduler, PctScheduler, RandomScheduler, Scheduler};
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum WaitReason {
+    /// Waiting for a thread to finish.
+    Join(ThreadId),
+    /// Waiting for a mutex to be released.
+    Mutex(ObjId),
+    /// Waiting on a condition variable.
+    Condvar(ObjId),
+}
+
+/// Lifecycle state of a model thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(WaitReason),
+    Finished,
+}
+
+pub(crate) struct Engine {
+    pub exec: Execution,
+    pub race: RaceDetector,
+    pub scheduler: Box<dyn Scheduler>,
+    pub status: Vec<Status>,
+    pub live: usize,
+    pub completed: bool,
+    pub failure: Option<Failure>,
+    pub volatile_load_order: MemOrder,
+    pub volatile_store_order: MemOrder,
+    pub max_events: u64,
+    /// Labels count for auto-generated atomic names.
+    pub anon_objects: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("live", &self.live)
+            .field("completed", &self.completed)
+            .field("failure", &self.failure)
+            .field("events", &self.exec.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    pub(crate) fn new(
+        config: &Config,
+        execution_index: u64,
+        race: RaceDetector,
+        scheduler: Option<Box<dyn Scheduler>>,
+    ) -> Self {
+        let mut scheduler: Box<dyn Scheduler> =
+            scheduler.unwrap_or_else(|| match config.strategy {
+                Strategy::Random => Box::new(RandomScheduler::new(config.seed)),
+                Strategy::Burst { mean } => Box::new(BurstScheduler::new(config.seed, mean)),
+                Strategy::Pct { depth, expected_ops } => {
+                    Box::new(PctScheduler::new(config.seed, depth, expected_ops))
+                }
+            });
+        scheduler.begin_execution(execution_index);
+        let mut race = race;
+        race.begin_execution();
+        Engine {
+            exec: Execution::with_pruning(config.policy, config.prune),
+            race,
+            scheduler,
+            status: vec![Status::Runnable],
+            live: 1,
+            completed: false,
+            failure: None,
+            volatile_load_order: config.volatile_load_order,
+            volatile_store_order: config.volatile_store_order,
+            max_events: config.max_events,
+            anon_objects: 0,
+        }
+    }
+
+    /// Threads currently runnable (candidates for the next step).
+    pub(crate) fn enabled(&self) -> Vec<ThreadId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(ix, _)| ThreadId::from_index(ix))
+            .collect()
+    }
+
+    /// Registers a freshly forked thread as runnable.
+    pub(crate) fn register_thread(&mut self, t: ThreadId) {
+        debug_assert_eq!(t.index(), self.status.len());
+        self.status.push(Status::Runnable);
+        self.live += 1;
+    }
+
+    /// Marks a thread blocked.
+    pub(crate) fn block(&mut self, t: ThreadId, reason: WaitReason) {
+        self.status[t.index()] = Status::Blocked(reason);
+    }
+
+    /// Re-enables a specific blocked thread.
+    pub(crate) fn unblock_one(&mut self, t: ThreadId) {
+        debug_assert!(matches!(self.status[t.index()], Status::Blocked(_)));
+        self.status[t.index()] = Status::Runnable;
+    }
+
+    /// Re-enables every thread blocked for a reason matching `pred`.
+    pub(crate) fn unblock_where(&mut self, mut pred: impl FnMut(&WaitReason) -> bool) {
+        for s in &mut self.status {
+            if let Status::Blocked(r) = s {
+                if pred(r) {
+                    *s = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Threads blocked on a condition variable, in thread order.
+    pub(crate) fn condvar_waiters(&self, obj: ObjId) -> Vec<ThreadId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Blocked(WaitReason::Condvar(o)) if *o == obj))
+            .map(|(ix, _)| ThreadId::from_index(ix))
+            .collect()
+    }
+
+    /// Marks a thread finished; wakes joiners. Returns `true` if this
+    /// completed the execution (no live threads remain).
+    pub(crate) fn finish_thread(&mut self, t: ThreadId) -> bool {
+        self.exec.finish_thread(t);
+        self.status[t.index()] = Status::Finished;
+        self.live -= 1;
+        self.unblock_where(|r| matches!(r, WaitReason::Join(c) if *c == t));
+        if self.live == 0 {
+            self.completed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the thread finished?
+    pub(crate) fn is_finished(&self, t: ThreadId) -> bool {
+        matches!(self.status[t.index()], Status::Finished)
+    }
+
+    /// Records a fatal condition and marks the execution complete.
+    pub(crate) fn fail(&mut self, failure: Failure) {
+        if self.failure.is_none() {
+            self.failure = Some(failure);
+        }
+        self.completed = true;
+    }
+
+    /// Checks the event budget; returns `false` when exhausted (caller
+    /// must abort).
+    pub(crate) fn within_budget(&mut self) -> bool {
+        let n = self.exec.now().0;
+        if n > self.max_events {
+            self.fail(Failure::TooManyEvents(n));
+            false
+        } else {
+            true
+        }
+    }
+}

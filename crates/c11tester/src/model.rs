@@ -1,0 +1,263 @@
+//! The [`Model`]: drives one or many controlled executions of a test
+//! program (paper §3 `Explore` and §7.6 repeated execution).
+
+use crate::config::Config;
+use crate::ctx::{self, ModelCtx};
+use crate::engine::Engine;
+use crate::report::{ExecutionReport, Failure, TestReport};
+use c11tester_core::ThreadId;
+use c11tester_race::RaceDetector;
+use c11tester_runtime::{Runtime, Scheduler};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A testing model: repeatedly executes a program under controlled
+/// scheduling, exploring reads-from choices and schedules, detecting
+/// data races, assertion violations, and deadlocks.
+///
+/// Tool state persists *across* executions (paper §7.6): the race
+/// detector's dedup history, the strategy's seed stream, and aggregate
+/// statistics — while the program's state is reconstructed by re-running
+/// the closure (our stand-in for the paper's fork snapshots).
+///
+/// # Examples
+///
+/// ```
+/// use c11tester::{Config, Model};
+/// use c11tester::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let mut model = Model::new(Config::new().with_seed(1));
+/// let report = model.run(|| {
+///     let x = Arc::new(AtomicU32::new(0));
+///     let x2 = Arc::clone(&x);
+///     let t = c11tester::thread::spawn(move || {
+///         x2.store(1, Ordering::Release);
+///     });
+///     let _ = x.load(Ordering::Acquire);
+///     t.join();
+/// });
+/// assert!(!report.found_bug());
+/// ```
+pub struct Model {
+    config: Config,
+    race: Option<RaceDetector>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    execution_index: u64,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("config", &self.config)
+            .field("execution_index", &self.execution_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Model {
+    /// Creates a model with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Model {
+            config,
+            race: Some(RaceDetector::new()),
+            scheduler: None,
+            execution_index: 0,
+        }
+    }
+
+    /// Creates a model driven by a custom strategy plugin (paper §3:
+    /// "C11Tester has a pluggable framework for testing algorithms").
+    pub fn with_scheduler(config: Config, scheduler: Box<dyn Scheduler>) -> Self {
+        Model {
+            config,
+            race: Some(RaceDetector::new()),
+            scheduler: Some(scheduler),
+            execution_index: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Number of executions performed so far.
+    pub fn executions(&self) -> u64 {
+        self.execution_index
+    }
+
+    /// Runs the program once under controlled scheduling.
+    pub fn run<F>(&mut self, f: F) -> ExecutionReport
+    where
+        F: Fn() + Send + Sync,
+    {
+        let runtime = Runtime::new(self.config.handover);
+        let race = self.race.take().expect("race detector present");
+        let scheduler = self.scheduler.take();
+        let engine = Engine::new(&self.config, self.execution_index, race, scheduler);
+        let ctx = Arc::new(ModelCtx {
+            engine: Mutex::new(engine),
+            runtime: Arc::clone(&runtime),
+        });
+
+        // The caller's OS thread doubles as model thread 0.
+        let main_slot = runtime.add_slot();
+        debug_assert_eq!(main_slot, ThreadId::MAIN.index());
+        runtime.bind_current(main_slot);
+        ctx::set_current(Arc::clone(&ctx), ThreadId::MAIN);
+
+        let body = catch_unwind(AssertUnwindSafe(&f));
+        match body {
+            Ok(()) => self.main_finished(&ctx),
+            Err(payload) => {
+                if payload.downcast_ref::<c11tester_runtime::Aborted>().is_none() {
+                    let msg = panic_message_pub(payload);
+                    ctx::fail_execution(&ctx, Failure::Panic(msg));
+                }
+                // Aborted: failure already recorded by whoever poisoned.
+            }
+        }
+
+        ctx::clear_current();
+        runtime.join_all();
+
+        // Disassemble the engine; tool state persists across executions.
+        // (Model threads have exited; the lock is free. TLS teardown
+        // may still hold `Arc<ModelCtx>` clones briefly, so the engine
+        // pieces are moved out rather than unwrapping the Arc.)
+        let mut eng = ctx.engine.lock();
+        let races = eng.race.take_reports();
+        let elided = eng.race.elided_volatile;
+        eng.race.elided_volatile = 0;
+        let mut race = std::mem::take(&mut eng.race);
+        race.begin_execution(); // drop shadow state eagerly
+        self.race = Some(race);
+        self.scheduler = Some(std::mem::replace(
+            &mut eng.scheduler,
+            Box::new(c11tester_runtime::RandomScheduler::new(0)),
+        ));
+        let report = ExecutionReport {
+            execution_index: self.execution_index,
+            races,
+            failure: eng.failure.clone(),
+            stats: *eng.exec.stats(),
+            elided_volatile_races: elided,
+        };
+        drop(eng);
+        self.execution_index += 1;
+        report
+    }
+
+    /// Runs the program `iterations` times (paper §7.6), aggregating
+    /// detection rates and distinct reports.
+    pub fn check<F>(&mut self, iterations: u64, f: F) -> TestReport
+    where
+        F: Fn() + Send + Sync,
+    {
+        let mut report = TestReport::default();
+        for _ in 0..iterations {
+            let exec = self.run(&f);
+            report.absorb(&exec);
+        }
+        report
+    }
+
+    /// Main thread finished its program: if other threads remain, hand
+    /// the token onward and wait for the execution to complete.
+    fn main_finished(&self, ctx: &Arc<ModelCtx>) {
+        let tid = ThreadId::MAIN;
+        if ctx.runtime.is_poisoned() {
+            return;
+        }
+        enum Next {
+            Done,
+            Switch(ThreadId),
+            Poison,
+        }
+        let action = {
+            let mut eng = ctx.engine.lock();
+            eng.exec.sync_event(tid);
+            if eng.finish_thread(tid) {
+                Next::Done
+            } else {
+                let enabled = eng.enabled();
+                if enabled.is_empty() {
+                    eng.fail(Failure::Deadlock);
+                    Next::Poison
+                } else {
+                    let next = eng.scheduler.next_thread(&enabled, tid);
+                    Next::Switch(next)
+                }
+            }
+        };
+        match action {
+            Next::Done => {}
+            Next::Poison => ctx.runtime.poison(),
+            Next::Switch(next) => {
+                ctx.runtime.wake(next.index());
+                // Wait for completion (or abort): the last finishing
+                // thread (or the poisoner) wakes the driver.
+                loop {
+                    if ctx.runtime.park(tid.index()).is_err() {
+                        return;
+                    }
+                    let eng = ctx.engine.lock();
+                    if eng.completed {
+                        return;
+                    }
+                    // Spurious wake: pass the token to someone runnable.
+                    drop(eng);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn panic_message_pub(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_completes() {
+        let mut model = Model::new(Config::new());
+        let report = model.run(|| {});
+        assert!(!report.found_bug());
+        assert_eq!(report.execution_index, 0);
+        let report2 = model.run(|| {});
+        assert_eq!(report2.execution_index, 1);
+    }
+
+    #[test]
+    fn panics_are_reported_as_assertion_violations() {
+        let mut model = Model::new(Config::new());
+        let report = model.run(|| {
+            panic!("invariant violated: queue empty");
+        });
+        match &report.failure {
+            Some(Failure::Panic(msg)) => assert!(msg.contains("invariant violated")),
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+        assert!(report.found_bug());
+    }
+
+    #[test]
+    fn check_aggregates_runs() {
+        let mut model = Model::new(Config::new());
+        let report = model.check(5, || {});
+        assert_eq!(report.executions, 5);
+        assert_eq!(report.executions_with_bug, 0);
+        assert_eq!(model.executions(), 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Execution and test reports.
+//!
+//! C11Tester "reports any races or assertion violations that it
+//! discovers" (paper §1). An [`ExecutionReport`] covers one execution;
+//! a [`TestReport`] aggregates repeated executions (§7.6), counting how
+//! many executions exhibited a bug (the *detection rate* of Tables 2
+//! and §8.1) while deduplicating the distinct reports.
+
+pub use c11tester_race::{AccessKind, RaceKind, RaceReport};
+use c11tester_core::ExecStats;
+use std::fmt;
+
+/// A fatal condition that ended an execution early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// All live threads were blocked.
+    Deadlock,
+    /// A model thread panicked (assertion violation in the program
+    /// under test). Carries the panic message.
+    Panic(String),
+    /// The event budget was exhausted (guards against runaway
+    /// schedules; configurable via `Config::max_events`).
+    TooManyEvents(u64),
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Deadlock => write!(f, "deadlock: all live threads blocked"),
+            Failure::Panic(msg) => write!(f, "assertion violation: {msg}"),
+            Failure::TooManyEvents(n) => write!(f, "event budget exhausted ({n} events)"),
+        }
+    }
+}
+
+/// The outcome of a single controlled execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// 0-based index of this execution within its [`crate::Model`].
+    pub execution_index: u64,
+    /// Data races detected during this execution (deduplicated within
+    /// the execution).
+    pub races: Vec<RaceReport>,
+    /// Fatal condition, if the execution aborted.
+    pub failure: Option<Failure>,
+    /// Operation counts (Table 3 bookkeeping).
+    pub stats: ExecStats,
+    /// Races detected but elided because they involve volatile cells.
+    pub elided_volatile_races: u64,
+}
+
+impl ExecutionReport {
+    /// Did this execution exhibit a bug (race, assertion violation, or
+    /// deadlock)?
+    pub fn found_bug(&self) -> bool {
+        !self.races.is_empty() || self.failure.is_some()
+    }
+
+    /// Did this execution detect at least one data race?
+    pub fn found_race(&self) -> bool {
+        !self.races.is_empty()
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "execution #{}: {} race(s), {}",
+            self.execution_index,
+            self.races.len(),
+            match &self.failure {
+                None => "completed".to_string(),
+                Some(x) => x.to_string(),
+            }
+        )?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate outcome of repeated executions ([`crate::Model::check`]).
+#[derive(Clone, Debug, Default)]
+pub struct TestReport {
+    /// Number of executions performed.
+    pub executions: u64,
+    /// Executions in which at least one data race was detected.
+    pub executions_with_race: u64,
+    /// Executions in which any bug (race, assertion, deadlock) showed.
+    pub executions_with_bug: u64,
+    /// Distinct race reports across all executions (reported once, as
+    /// the paper's fork-snapshot dedup does).
+    pub distinct_races: Vec<RaceReport>,
+    /// Fatal conditions with the execution index they occurred in.
+    pub failures: Vec<(u64, Failure)>,
+    /// Operation counts accumulated over all executions.
+    pub total_stats: ExecStats,
+    /// Volatile-race elisions accumulated over all executions.
+    pub elided_volatile_races: u64,
+}
+
+impl TestReport {
+    /// Fraction of executions that detected a race (Table 2's "rate").
+    pub fn race_detection_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.executions_with_race as f64 / self.executions as f64
+        }
+    }
+
+    /// Fraction of executions that found any bug (§8.1's rates).
+    pub fn bug_detection_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.executions_with_bug as f64 / self.executions as f64
+        }
+    }
+
+    /// Folds one execution's report into the aggregate.
+    pub fn absorb(&mut self, report: &ExecutionReport) {
+        self.executions += 1;
+        if report.found_race() {
+            self.executions_with_race += 1;
+        }
+        if report.found_bug() {
+            self.executions_with_bug += 1;
+        }
+        for race in &report.races {
+            if !self
+                .distinct_races
+                .iter()
+                .any(|r| r.label == race.label && r.kind == race.kind)
+            {
+                self.distinct_races.push(race.clone());
+            }
+        }
+        if let Some(f) = &report.failure {
+            self.failures.push((report.execution_index, f.clone()));
+        }
+        self.total_stats.absorb(&report.stats);
+        self.elided_volatile_races += report.elided_volatile_races;
+    }
+}
+
+impl fmt::Display for TestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} executions: {} with races ({:.1}%), {} with bugs ({:.1}%), {} distinct race(s)",
+            self.executions,
+            self.executions_with_race,
+            100.0 * self.race_detection_rate(),
+            self.executions_with_bug,
+            100.0 * self.bug_detection_rate(),
+            self.distinct_races.len()
+        )?;
+        for r in &self.distinct_races {
+            writeln!(f, "  {r}")?;
+        }
+        for (ix, fail) in &self.failures {
+            writeln!(f, "  execution #{ix}: {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_exec(ix: u64) -> ExecutionReport {
+        ExecutionReport {
+            execution_index: ix,
+            races: Vec::new(),
+            failure: None,
+            stats: ExecStats::default(),
+            elided_volatile_races: 0,
+        }
+    }
+
+    #[test]
+    fn rates_compute_over_absorbed_runs() {
+        let mut t = TestReport::default();
+        t.absorb(&empty_exec(0));
+        let mut with_failure = empty_exec(1);
+        with_failure.failure = Some(Failure::Deadlock);
+        t.absorb(&with_failure);
+        assert_eq!(t.executions, 2);
+        assert_eq!(t.executions_with_bug, 1);
+        assert_eq!(t.executions_with_race, 0);
+        assert!((t.bug_detection_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(t.race_detection_rate(), 0.0);
+        assert_eq!(t.failures.len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_failures() {
+        let mut r = empty_exec(3);
+        r.failure = Some(Failure::Panic("boom".into()));
+        assert!(r.to_string().contains("assertion violation: boom"));
+        assert!(r.found_bug());
+        assert!(!r.found_race());
+    }
+}

@@ -1,0 +1,125 @@
+//! Model threads: `spawn`, `JoinHandle`, `yield_now`, `sleep_hint`.
+//!
+//! Mirrors `std::thread` closely enough that test programs read
+//! naturally. Thread creation and join are visible synchronization
+//! operations: they are scheduling decision points and establish the
+//! *additional-synchronizes-with* happens-before edges of the model.
+
+use crate::ctx::{self, OpClass};
+use crate::engine::WaitReason;
+use crate::report::Failure;
+use c11tester_core::ThreadId;
+use c11tester_runtime::Aborted;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] blocks the
+/// calling model thread until the child finishes.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    child: ThreadId,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The child's model thread id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.child
+    }
+
+    /// Waits for the child to finish and returns its value.
+    ///
+    /// If the child panicked, the whole execution aborts and is
+    /// reported as an assertion violation — `join` never observes it.
+    pub fn join(self) -> T {
+        ctx::with_ctx(|ctx, parent| {
+            ctx::schedule_point(ctx, parent, OpClass::Other);
+            loop {
+                let finished = {
+                    let eng = ctx.engine.lock();
+                    eng.is_finished(self.child)
+                };
+                if finished {
+                    let mut eng = ctx.engine.lock();
+                    eng.exec.join(parent, self.child);
+                    break;
+                }
+                ctx::block_and_yield(ctx, parent, WaitReason::Join(self.child));
+            }
+        });
+        self.result
+            .lock()
+            .take()
+            .expect("joined thread produced no value")
+    }
+}
+
+/// Spawns a model thread running `f` (a visible operation: everything
+/// the parent did so far happens-before the child's first action).
+///
+/// # Panics
+///
+/// Panics when called outside [`crate::Model::run`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    ctx::with_ctx(|ctx, parent| {
+        ctx::schedule_point(ctx, parent, OpClass::Other);
+        let child = {
+            let mut eng = ctx.engine.lock();
+            let child = eng.exec.fork(parent);
+            eng.register_thread(child);
+            let slot = ctx.runtime.add_slot();
+            debug_assert_eq!(slot, child.index());
+            child
+        };
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let result2 = Arc::clone(&result);
+        let ctx2 = Arc::clone(ctx);
+        ctx.runtime.spawn(
+            child.index(),
+            Box::new(move || {
+                ctx::set_current(Arc::clone(&ctx2), child);
+                let outcome = catch_unwind(AssertUnwindSafe(f));
+                match outcome {
+                    Ok(v) => {
+                        *result2.lock() = Some(v);
+                        ctx::thread_finished(&ctx2, child);
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<Aborted>().is_none() {
+                            let msg = crate::model::panic_message_pub(payload);
+                            ctx::fail_execution(&ctx2, Failure::Panic(msg));
+                        }
+                    }
+                }
+            }),
+        );
+        JoinHandle { child, result }
+    })
+}
+
+/// Yields the processor: a pure scheduling decision point.
+pub fn yield_now() {
+    ctx::yield_now();
+}
+
+/// Schedule-perturbation hint, standing in for the `sleep` calls the
+/// tsan11 data-structure benchmarks use to induce schedule variability
+/// (§8.3). Under controlled strategies it is a plain yield; under the
+/// burst strategy it also ends the current quantum.
+pub fn sleep_hint() {
+    ctx::perturb();
+}
+
+/// The current model thread's id.
+///
+/// # Panics
+///
+/// Panics when called outside [`crate::Model::run`].
+pub fn current_id() -> ThreadId {
+    ctx::with_ctx(|_, tid| tid)
+}

@@ -1,0 +1,139 @@
+//! Legacy volatile cells (paper §7.2).
+//!
+//! "Many applications also contain legacy libraries that use
+//! pre-C/C++11 atomic operations such as LLVM intrinsics and volatile
+//! accesses. C11Tester supports converting such volatile accesses into
+//! atomic accesses (with a user specific memory order)."
+//!
+//! A [`VolatileU32`] behaves like an atomic whose load/store orders
+//! come from [`crate::Config::with_volatile_orders`] (default
+//! `Relaxed`, the paper's default that exposed the Silo spinlock bug;
+//! acquire/release made the bug disappear, §8.2). Races *involving*
+//! volatile cells are detected but elided from reports and counted
+//! separately, matching C11Tester's intentional elision.
+
+use crate::atomic::RawAtomic;
+
+macro_rules! volatile_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            raw: RawAtomic,
+        }
+
+        impl $name {
+            /// Creates the volatile cell.
+            ///
+            /// # Panics
+            ///
+            /// Panics when called outside [`crate::Model::run`].
+            pub fn new(value: $ty) -> Self {
+                $name { raw: RawAtomic::new_volatile(None, value as u64) }
+            }
+
+            /// Creates a labeled volatile cell.
+            pub fn named(label: impl Into<String>, value: $ty) -> Self {
+                $name {
+                    raw: RawAtomic::new_volatile(Some(label.into()), value as u64),
+                }
+            }
+
+            /// Volatile read (converted to an atomic load with the
+            /// configured order).
+            pub fn read(&self) -> $ty {
+                self.raw.load_volatile() as $ty
+            }
+
+            /// Volatile write (converted to an atomic store with the
+            /// configured order).
+            pub fn write(&self, value: $ty) {
+                self.raw.store_volatile(value as u64);
+            }
+
+            /// gcc `__sync_lock_test_and_set`: an *acquire* RMW writing
+            /// 1 regardless of the configured volatile order (the
+            /// intrinsic carries its own ordering). Returns `true` if
+            /// the previous value was 0 (i.e. the lock was acquired).
+            pub fn test_and_set(&self) -> bool {
+                self.raw
+                    .rmw(crate::atomic::Ordering::Acquire, |_| 1)
+                    == 0
+            }
+
+            /// gcc `__sync_val_compare_and_swap`: an acq_rel RMW.
+            ///
+            /// # Errors
+            ///
+            /// Returns `Err(actual)` when the value read differs from
+            /// `expected`.
+            pub fn compare_and_swap(&self, expected: $ty, new: $ty) -> Result<$ty, $ty> {
+                self.raw
+                    .compare_exchange(
+                        expected as u64,
+                        new as u64,
+                        crate::atomic::Ordering::AcqRel,
+                        crate::atomic::Ordering::Acquire,
+                    )
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            /// gcc `__sync_fetch_and_add`: an acq_rel RMW.
+            pub fn fetch_add(&self, delta: $ty) -> $ty {
+                self.raw.rmw(crate::atomic::Ordering::AcqRel, |old| {
+                    (old as $ty).wrapping_add(delta) as u64
+                }) as $ty
+            }
+        }
+    };
+}
+
+volatile_int!(
+    /// A `volatile u32` in legacy code.
+    VolatileU32, u32
+);
+volatile_int!(
+    /// A `volatile u64` in legacy code.
+    VolatileU64, u64
+);
+volatile_int!(
+    /// A `volatile usize` in legacy code.
+    VolatileUsize, usize
+);
+
+/// A `volatile bool` in legacy code (typical spinlock flag).
+#[derive(Debug)]
+pub struct VolatileBool {
+    raw: RawAtomic,
+}
+
+impl VolatileBool {
+    /// Creates the volatile cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside [`crate::Model::run`].
+    pub fn new(value: bool) -> Self {
+        VolatileBool {
+            raw: RawAtomic::new_volatile(None, u64::from(value)),
+        }
+    }
+
+    /// Creates a labeled volatile cell.
+    pub fn named(label: impl Into<String>, value: bool) -> Self {
+        VolatileBool {
+            raw: RawAtomic::new_volatile(Some(label.into()), u64::from(value)),
+        }
+    }
+
+    /// Volatile read.
+    pub fn read(&self) -> bool {
+        self.raw.load_volatile() != 0
+    }
+
+    /// Volatile write.
+    pub fn write(&self, value: bool) {
+        self.raw.store_volatile(u64::from(value));
+    }
+}

@@ -1,0 +1,218 @@
+//! Extended litmus suite: finer points of the supported fragment —
+//! C++20 release-sequence semantics (paper §2.2 change 1), fence-based
+//! SB, causality chains, and RMW synchronization transitivity.
+
+use c11tester::sync::atomic::{fence, AtomicU32, Ordering};
+use c11tester::{Config, Model, Policy, Shared};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+fn outcomes<T, F>(iters: u64, seed: u64, f: F) -> HashSet<T>
+where
+    T: std::hash::Hash + Eq + Send + Clone,
+    F: Fn() -> T + Send + Sync,
+{
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(seed));
+    let seen = StdMutex::new(HashSet::new());
+    for _ in 0..iters {
+        let report = model.run(|| {
+            let v = f();
+            seen.lock().expect("outcomes").insert(v);
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+    seen.into_inner().expect("outcomes")
+}
+
+/// C++20 weakened release sequences (paper §2.2 change 1): a *relaxed*
+/// store by the same thread that performed the release store is NOT
+/// part of the release sequence — an acquire load reading it gets no
+/// synchronization. (Under C++11 it would have synchronized.)
+#[test]
+fn cpp20_same_thread_relaxed_store_breaks_release_sequence() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(101));
+    let report = model.check(200, || {
+        let data = Arc::new(Shared::named("rs20.data", 0u32));
+        let flag = Arc::new(AtomicU32::named("rs20.flag", 0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = c11tester::thread::spawn(move || {
+            d2.set(1);
+            f2.store(1, Ordering::Release);
+            // Same-thread relaxed store: under C++20 it does NOT
+            // continue the release sequence.
+            f2.store(2, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            let _ = data.get(); // no hb: this is a race
+        }
+        t.join();
+    });
+    assert!(
+        report.executions_with_race > 0,
+        "reading the same-thread relaxed store must not synchronize: {report}"
+    );
+}
+
+/// Control for the C++20 test: reading the release store itself does
+/// synchronize.
+#[test]
+fn reading_the_release_head_synchronizes() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(102));
+    let report = model.check(200, || {
+        let data = Arc::new(Shared::named("rs20b.data", 0u32));
+        let flag = Arc::new(AtomicU32::named("rs20b.flag", 0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = c11tester::thread::spawn(move || {
+            d2.set(1);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.get(), 1);
+        }
+        t.join();
+    });
+    assert_eq!(report.executions_with_race, 0, "{report}");
+    assert_eq!(report.executions_with_bug, 0, "{report}");
+}
+
+/// WRC (write-to-read causality): T1 writes x; T2 reads x then
+/// release-writes y; T3 acquire-reads y then reads x. With the
+/// x-propagation through acquire/release, T3 must see x once it saw y.
+#[test]
+fn wrc_causality_propagates() {
+    let seen = outcomes(300, 103, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let y = Arc::new(AtomicU32::new(0));
+        let (x1, x2, y2) = (Arc::clone(&x), Arc::clone(&x), Arc::clone(&y));
+        let (x3, y3) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = c11tester::thread::spawn(move || x1.store(1, Ordering::Release));
+        let t2 = c11tester::thread::spawn(move || {
+            if x2.load(Ordering::Acquire) == 1 {
+                y2.store(1, Ordering::Release);
+            }
+        });
+        let t3 = c11tester::thread::spawn(move || {
+            let ry = y3.load(Ordering::Acquire);
+            let rx = x3.load(Ordering::Relaxed);
+            (ry, rx)
+        });
+        t1.join();
+        t2.join();
+        let out = t3.join();
+        out
+    });
+    assert!(
+        !seen.contains(&(1, 0)),
+        "WRC violation: saw y=1 but stale x=0; outcomes {seen:?}"
+    );
+}
+
+/// SB with seq_cst fences between relaxed accesses: both-zero is
+/// forbidden (C++11 §29.3p4-6, implemented via the fence prior-sets).
+#[test]
+fn sb_with_sc_fences_forbids_both_zero() {
+    let seen = outcomes(300, 104, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let y = Arc::new(AtomicU32::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = c11tester::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t.join();
+        (r1, r2)
+    });
+    assert!(
+        !seen.contains(&(0, 0)),
+        "sc fences must forbid both-zero SB: {seen:?}"
+    );
+    // And without strengthening anything else the weak pairs remain.
+    assert!(seen.len() >= 2, "{seen:?}");
+}
+
+/// Synchronization is transitive through acq_rel RMW chains: the last
+/// incrementer's acquire carries the first thread's release.
+#[test]
+fn acq_rel_rmw_chain_carries_hb() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(105));
+    let report = model.check(150, || {
+        let data = Arc::new(Shared::named("chain.data", 0u32));
+        let ctr = Arc::new(AtomicU32::named("chain.ctr", 0));
+        let (d1, c1) = (Arc::clone(&data), Arc::clone(&ctr));
+        let t1 = c11tester::thread::spawn(move || {
+            d1.set(77);
+            c1.fetch_add(1, Ordering::AcqRel);
+        });
+        let c2 = Arc::clone(&ctr);
+        let t2 = c11tester::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::AcqRel);
+        });
+        // Once both increments are visible, the data write is too.
+        if ctr.load(Ordering::Acquire) == 2 {
+            assert_eq!(data.get(), 77);
+        }
+        t1.join();
+        t2.join();
+    });
+    assert_eq!(report.executions_with_race, 0, "{report}");
+    assert_eq!(report.executions_with_bug, 0, "{report}");
+}
+
+/// Coherence-of-write-read across synchronization: after acquiring a
+/// flag, a reader can never see values older than what the flag's
+/// release publisher had already overwritten.
+#[test]
+fn cowr_after_acquire() {
+    let seen = outcomes(300, 106, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let f = Arc::new(AtomicU32::new(0));
+        let (x2, f2) = (Arc::clone(&x), Arc::clone(&f));
+        let t = c11tester::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            x2.store(2, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        let synced = f.load(Ordering::Acquire) == 1;
+        let r = x.load(Ordering::Relaxed);
+        t.join();
+        (synced, r)
+    });
+    assert!(
+        !seen.contains(&(true, 0)) && !seen.contains(&(true, 1)),
+        "CoWR after acquire violated: {seen:?}"
+    );
+    assert!(seen.contains(&(true, 2)), "{seen:?}");
+}
+
+/// The write-run rule does not change the set of legal outcomes — only
+/// the exploration bias (paper Fig. 4). Cross-check: every outcome seen
+/// with the burst scheduler (which interrupts stores) is also seen with
+/// the default one.
+#[test]
+fn write_run_rule_preserves_outcomes() {
+    let collect = |policy: Policy, seed: u64| {
+        let mut model = Model::new(Config::for_policy(policy).with_seed(seed));
+        let seen = StdMutex::new(HashSet::new());
+        for _ in 0..300 {
+            model.run(|| {
+                let x = Arc::new(AtomicU32::new(0));
+                let x2 = Arc::clone(&x);
+                let t = c11tester::thread::spawn(move || {
+                    x2.store(1, Ordering::Relaxed);
+                    x2.store(2, Ordering::Relaxed);
+                });
+                let r = x.load(Ordering::Relaxed);
+                t.join();
+                seen.lock().expect("set").insert(r);
+            });
+        }
+        seen.into_inner().expect("set")
+    };
+    let with_rule = collect(Policy::C11Tester, 107);
+    assert_eq!(with_rule, HashSet::from([0, 1, 2]));
+}

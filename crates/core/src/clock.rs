@@ -1,0 +1,245 @@
+//! Clock vectors (paper §4.2 and §6.1).
+//!
+//! The same data structure serves two distinct purposes in C11Tester,
+//! and the paper is explicit that these must not be conflated:
+//!
+//! * **Happens-before clock vectors** (`C_t`, `F^rel_t`, `F^acq_t`,
+//!   `RF_s` of Fig. 9) track the happens-before relation.
+//! * **Mo-graph clock vectors** (§4.2) encode *reachability between
+//!   nodes of the modification-order graph* — a completely different
+//!   partial order. Theorem 1 proves `CV_A ≤ CV_B ⇔ B reachable from A`
+//!   for same-location nodes.
+//!
+//! A slot holds the sequence number of an event; slot `t` of a thread
+//! clock is always that thread's most recent event. Missing slots read
+//! as 0, so vectors of different lengths compare correctly.
+
+use crate::event::{SeqNum, ThreadId};
+use std::fmt;
+
+/// A vector of per-thread event sequence numbers.
+///
+/// Supports the three operators the paper defines: union (`∪`, pointwise
+/// max), comparison (`≤`, pointwise), and — for the conservative pruning
+/// mode of §7.1 — intersection (`∩`, pointwise min).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct ClockVector {
+    slots: Vec<u64>,
+}
+
+impl ClockVector {
+    /// Creates an empty (all-zero) clock vector.
+    pub fn new() -> Self {
+        ClockVector { slots: Vec::new() }
+    }
+
+    /// Creates the initial mo-graph clock vector `⊥CV_A` for a store by
+    /// `tid` with sequence number `seq`: all slots zero except the
+    /// storer's own, which holds `seq` (paper §4.2).
+    pub fn bottom_for(tid: ThreadId, seq: SeqNum) -> Self {
+        let mut cv = ClockVector::new();
+        cv.set(tid, seq.0);
+        cv
+    }
+
+    /// Reads slot `t` (0 if the vector is shorter than `t`).
+    pub fn get(&self, t: ThreadId) -> u64 {
+        self.slots.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets slot `t`, growing the vector as needed.
+    pub fn set(&mut self, t: ThreadId, v: u64) {
+        let ix = t.index();
+        if self.slots.len() <= ix {
+            self.slots.resize(ix + 1, 0);
+        }
+        self.slots[ix] = v;
+    }
+
+    /// Pointwise-max merge (`∪`). Returns `true` iff `self` changed —
+    /// the `Merge` procedure of Fig. 6 needs exactly this signal to
+    /// drive its propagation worklist.
+    pub fn union_with(&mut self, other: &ClockVector) -> bool {
+        let mut changed = false;
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (ix, &o) in other.slots.iter().enumerate() {
+            if o > self.slots[ix] {
+                self.slots[ix] = o;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Pointwise `≤` comparison. Slots missing on either side read as 0.
+    pub fn leq(&self, other: &ClockVector) -> bool {
+        for (ix, &s) in self.slots.iter().enumerate() {
+            if s > other.slots.get(ix).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pointwise-min intersection (`∩`), used to compute `CV_min` for
+    /// the conservative pruning mode (§7.1). Slots missing on either
+    /// side read as 0, so the result only keeps entries known to both.
+    pub fn intersect(&self, other: &ClockVector) -> ClockVector {
+        let n = self.slots.len().min(other.slots.len());
+        let slots = (0..n)
+            .map(|ix| self.slots[ix].min(other.slots[ix]))
+            .collect();
+        ClockVector { slots }
+    }
+
+    /// True if every slot is zero.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&s| s == 0)
+    }
+
+    /// Number of slots physically present.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Releases the backing storage (used when pruning tombstones a
+    /// record but keeps the arena slot).
+    pub fn clear(&mut self) {
+        self.slots = Vec::new();
+    }
+
+    /// Iterates over `(thread, seq)` pairs with non-zero entries.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (ThreadId, u64)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(ix, &v)| (ThreadId::from_index(ix), v))
+    }
+}
+
+impl fmt::Debug for ClockVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CV{{")?;
+        let mut first = true;
+        for (t, v) in self.iter_nonzero() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}:{v}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ix: usize) -> ThreadId {
+        ThreadId::from_index(ix)
+    }
+
+    #[test]
+    fn empty_is_bottom() {
+        let cv = ClockVector::new();
+        assert!(cv.is_empty());
+        assert_eq!(cv.get(t(5)), 0);
+        assert!(cv.leq(&ClockVector::new()));
+    }
+
+    #[test]
+    fn bottom_for_sets_own_slot() {
+        let cv = ClockVector::bottom_for(t(2), SeqNum(9));
+        assert_eq!(cv.get(t(2)), 9);
+        assert_eq!(cv.get(t(0)), 0);
+        assert_eq!(cv.get(t(3)), 0);
+        assert!(!cv.is_empty());
+    }
+
+    #[test]
+    fn union_is_pointwise_max_and_reports_change() {
+        let mut a = ClockVector::new();
+        a.set(t(0), 3);
+        a.set(t(1), 7);
+        let mut b = ClockVector::new();
+        b.set(t(0), 5);
+        b.set(t(2), 1);
+        assert!(a.union_with(&b));
+        assert_eq!(a.get(t(0)), 5);
+        assert_eq!(a.get(t(1)), 7);
+        assert_eq!(a.get(t(2)), 1);
+        // Merging something already dominated reports no change.
+        assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn leq_handles_length_mismatch() {
+        let mut short = ClockVector::new();
+        short.set(t(0), 2);
+        let mut long = ClockVector::new();
+        long.set(t(0), 2);
+        long.set(t(3), 4);
+        assert!(short.leq(&long));
+        assert!(!long.leq(&short));
+        // A trailing zero slot doesn't break comparison.
+        let mut long_zero = ClockVector::new();
+        long_zero.set(t(0), 2);
+        long_zero.set(t(3), 0);
+        assert!(long_zero.leq(&short));
+    }
+
+    #[test]
+    fn intersect_is_pointwise_min() {
+        let mut a = ClockVector::new();
+        a.set(t(0), 3);
+        a.set(t(1), 7);
+        let mut b = ClockVector::new();
+        b.set(t(0), 5);
+        b.set(t(1), 2);
+        b.set(t(2), 9);
+        let m = a.intersect(&b);
+        assert_eq!(m.get(t(0)), 3);
+        assert_eq!(m.get(t(1)), 2);
+        // t(2) only known to one side -> 0.
+        assert_eq!(m.get(t(2)), 0);
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent() {
+        let mut a = ClockVector::new();
+        a.set(t(0), 1);
+        a.set(t(4), 8);
+        let mut b = ClockVector::new();
+        b.set(t(1), 3);
+        b.set(t(4), 2);
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        assert!(!abb.union_with(&b));
+        assert_eq!(abb, ab);
+    }
+
+    #[test]
+    fn clear_releases_storage() {
+        let mut a = ClockVector::new();
+        a.set(t(9), 5);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_nonzero_slots() {
+        let mut a = ClockVector::new();
+        a.set(t(1), 4);
+        assert_eq!(format!("{a:?}"), "CV{T1:4}");
+        assert_eq!(format!("{:?}", ClockVector::new()), "CV{}");
+    }
+}

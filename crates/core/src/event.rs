@@ -1,0 +1,278 @@
+//! Identifiers, memory orders, and event records (paper §6.2, Figure 10).
+//!
+//! Every *visible operation* in an execution — atomic load, store, RMW,
+//! fence, or synchronization operation — is assigned a globally unique,
+//! monotonically increasing [`SeqNum`]. Sequence numbers double as the
+//! epochs stored in clock vectors, exactly as in the paper.
+
+use std::fmt;
+
+/// Identifier of a model thread. Thread 0 is the main thread.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main (initial) thread of every execution.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from a raw index.
+    pub fn from_index(ix: usize) -> Self {
+        ThreadId(ix as u32)
+    }
+
+    /// Index of this thread into per-thread tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw numeric id.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Global sequence number of an event. `SeqNum(0)` is reserved for
+/// "no event"; real events start at 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The "no event" sentinel.
+    pub const NONE: SeqNum = SeqNum(0);
+
+    /// Whether this is a real event.
+    pub fn is_real(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier of an atomic object (a memory location in the paper's
+/// terminology). Allocated by [`crate::Execution::new_object`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// C/C++11 memory orders, minus `consume` which — like the paper, all
+/// compilers, and all prior tools — we strengthen to `acquire`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemOrder {
+    /// `memory_order_relaxed`.
+    Relaxed,
+    /// `memory_order_acquire`.
+    Acquire,
+    /// `memory_order_release`.
+    Release,
+    /// `memory_order_acq_rel`.
+    AcqRel,
+    /// `memory_order_seq_cst`.
+    SeqCst,
+}
+
+impl MemOrder {
+    /// True for acquire, acq_rel, and seq_cst (paper §2 "acquire" category).
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// True for release, acq_rel, and seq_cst (paper §2 "release" category).
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// True only for seq_cst.
+    pub fn is_seq_cst(self) -> bool {
+        matches!(self, MemOrder::SeqCst)
+    }
+}
+
+/// How a store entered the execution (paper §7.2, mixed access modes).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StoreKind {
+    /// A C/C++11 atomic store (or the store half of an RMW).
+    Atomic,
+    /// A non-atomic store to a location that atomics also access, e.g.
+    /// `atomic_init` or memory reuse. Participates in modification order
+    /// but never synchronizes.
+    NonAtomic,
+    /// A legacy `volatile` access converted to an atomic access with a
+    /// user-configured memory order. Races on these are elided from
+    /// reports (paper §8.2, Silo).
+    Volatile,
+}
+
+/// Index of a store record in [`crate::Execution`]'s store arena.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StoreIdx(pub u32);
+
+impl StoreIdx {
+    /// Index into the store arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a load record in [`crate::Execution`]'s load arena.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LoadIdx(pub u32);
+
+impl LoadIdx {
+    /// Index into the load arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a fence record in [`crate::Execution`]'s fence arena.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FenceIdx(pub u32);
+
+impl FenceIdx {
+    /// Index into the fence arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to an access in a per-location history list
+/// (`loads_stores(t, a)` in the paper's helper functions).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AccessRef {
+    /// A store or RMW.
+    Store(StoreIdx),
+    /// An atomic load.
+    Load(LoadIdx),
+}
+
+use crate::clock::ClockVector;
+use crate::mograph::NodeId;
+
+/// A store or the store half of an RMW (`StoreElem` / `RMWElem`, Fig. 10).
+#[derive(Clone, Debug)]
+pub struct StoreRecord {
+    /// Thread that performed the store.
+    pub tid: ThreadId,
+    /// Global sequence number of the store event.
+    pub seq: SeqNum,
+    /// Location written.
+    pub obj: ObjId,
+    /// Memory order of the store.
+    pub order: MemOrder,
+    /// Value written (all model atomics are at most 64 bits wide).
+    pub value: u64,
+    /// The reads-from clock vector `RF_s` (Fig. 9): the happens-before
+    /// knowledge transferred to any acquire operation that reads from a
+    /// release sequence this store belongs to.
+    pub rf_cv: ClockVector,
+    /// The storing thread's full happens-before clock at the time of the
+    /// store (used for historical `hb` queries such as the seq_cst filter
+    /// in `BuildMayReadFrom` and for pruning).
+    pub hb_cv: ClockVector,
+    /// Lazily created mo-graph node.
+    pub node: Option<NodeId>,
+    /// Whether this store is the write half of an RMW.
+    pub is_rmw: bool,
+    /// Sequence number of the RMW that read from this store, if any.
+    /// At most one RMW may read from any given store (RMW atomicity).
+    pub rmw_read_by: Option<SeqNum>,
+    /// Provenance of the store (atomic / non-atomic / volatile).
+    pub kind: StoreKind,
+    /// Whether the store has been pruned from the execution graph (§7.1).
+    pub pruned: bool,
+}
+
+impl StoreRecord {
+    /// True if the store has seq_cst ordering.
+    pub fn is_seq_cst(&self) -> bool {
+        self.order.is_seq_cst()
+    }
+}
+
+/// An atomic load (`LoadElem`, Fig. 10).
+#[derive(Clone, Debug)]
+pub struct LoadRecord {
+    /// Thread that performed the load.
+    pub tid: ThreadId,
+    /// Global sequence number of the load event.
+    pub seq: SeqNum,
+    /// Location read.
+    pub obj: ObjId,
+    /// Memory order of the load.
+    pub order: MemOrder,
+    /// The store this load read from.
+    pub rf: StoreIdx,
+    /// Whether the load has been pruned (§7.1).
+    pub pruned: bool,
+}
+
+/// A fence (`FenceElem`, Fig. 10). Only seq_cst fences need to be
+/// remembered in history lists; acquire/release fences act instantly on
+/// the per-thread fence clock vectors.
+#[derive(Clone, Debug)]
+pub struct FenceRecord {
+    /// Thread that performed the fence.
+    pub tid: ThreadId,
+    /// Global sequence number of the fence event.
+    pub seq: SeqNum,
+    /// Memory order of the fence.
+    pub order: MemOrder,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memorder_categories() {
+        assert!(MemOrder::SeqCst.is_acquire());
+        assert!(MemOrder::SeqCst.is_release());
+        assert!(MemOrder::SeqCst.is_seq_cst());
+        assert!(MemOrder::AcqRel.is_acquire());
+        assert!(MemOrder::AcqRel.is_release());
+        assert!(!MemOrder::AcqRel.is_seq_cst());
+        assert!(MemOrder::Acquire.is_acquire());
+        assert!(!MemOrder::Acquire.is_release());
+        assert!(!MemOrder::Release.is_acquire());
+        assert!(MemOrder::Release.is_release());
+        assert!(!MemOrder::Relaxed.is_acquire());
+        assert!(!MemOrder::Relaxed.is_release());
+    }
+
+    #[test]
+    fn thread_id_roundtrip() {
+        let t = ThreadId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.as_u32(), 7);
+        assert_eq!(format!("{t}"), "T7");
+        assert_eq!(ThreadId::MAIN.index(), 0);
+    }
+
+    #[test]
+    fn seqnum_sentinel() {
+        assert!(!SeqNum::NONE.is_real());
+        assert!(SeqNum(1).is_real());
+        assert!(SeqNum(1) < SeqNum(2));
+    }
+}

@@ -1,0 +1,714 @@
+//! The operational-semantics driver (paper §6, Figures 9–11).
+//!
+//! [`Execution`] is a pure state machine: the runtime layer feeds it one
+//! visible operation at a time (the tool sequentializes visible
+//! operations, so there is no internal locking here), and read-from
+//! choices are delegated to the caller so that pluggable testing
+//! strategies (paper §3) can pick among the legal behaviors.
+//!
+//! A load proceeds in three steps, mirroring Fig. 11's `[ATOMIC LOAD]`:
+//!
+//! 1. [`Execution::read_candidates`] builds the may-read-from set
+//!    (Fig. 12) — an over-approximation considering only `hb`;
+//! 2. [`Execution::check_read_feasible`] runs the rollback-free §4.3
+//!    check (`ReadPriorSet` + Theorem 1 clock-vector reachability);
+//! 3. [`Execution::commit_load`] establishes the `rf` edge, adds the
+//!    implied mo-graph edges, and applies the Fig. 9 clock rules.
+
+use crate::clock::ClockVector;
+use crate::event::{
+    AccessRef, FenceIdx, FenceRecord, LoadIdx, LoadRecord, MemOrder, ObjId, SeqNum, StoreIdx,
+    StoreKind, StoreRecord, ThreadId,
+};
+use crate::location::LocationState;
+use crate::mograph::{MoGraph, NodeId};
+use crate::policy::Policy;
+use crate::prune::PruneConfig;
+use crate::stats::ExecStats;
+use std::collections::HashMap;
+
+/// Per-thread model state (`ThrState` of Fig. 10).
+#[derive(Clone, Debug)]
+pub struct ThreadState {
+    /// `C_t`: the thread's happens-before clock vector.
+    pub cv: ClockVector,
+    /// `F^rel_t`: release-fence clock vector (Fig. 9).
+    pub fence_rel: ClockVector,
+    /// `F^acq_t`: acquire-fence clock vector (Fig. 9).
+    pub fence_acq: ClockVector,
+    /// seq_cst fences performed by this thread (`sc_fences(t)`).
+    pub sc_fences: Vec<FenceIdx>,
+    /// False once the thread's program has finished.
+    pub alive: bool,
+    /// True while the thread's most recent visible operation was a plain
+    /// relaxed/release atomic store — the state the scheduler's
+    /// *write-run* rule (paper §3, Fig. 4) keys on.
+    pub in_store_run: bool,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            cv: ClockVector::new(),
+            fence_rel: ClockVector::new(),
+            fence_acq: ClockVector::new(),
+            sc_fences: Vec::new(),
+            alive: true,
+            in_store_run: false,
+        }
+    }
+}
+
+/// One program execution under the model: event arenas, per-location
+/// histories, per-thread clocks, and the mo-graph.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    policy: Policy,
+    pub(crate) seq: u64,
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) stores: Vec<StoreRecord>,
+    pub(crate) loads: Vec<LoadRecord>,
+    pub(crate) fences: Vec<FenceRecord>,
+    pub(crate) locations: HashMap<ObjId, LocationState>,
+    pub(crate) graph: MoGraph,
+    pub(crate) free_stores: Vec<StoreIdx>,
+    pub(crate) free_loads: Vec<LoadIdx>,
+    next_obj: u64,
+    pub(crate) stats: ExecStats,
+    pub(crate) prune_cfg: PruneConfig,
+}
+
+impl Execution {
+    /// Creates a fresh execution with a single live main thread.
+    pub fn new(policy: Policy) -> Self {
+        Execution::with_pruning(policy, PruneConfig::disabled())
+    }
+
+    /// Creates a fresh execution with the given pruning configuration
+    /// (§7.1).
+    pub fn with_pruning(policy: Policy, prune_cfg: PruneConfig) -> Self {
+        // The main thread gets a *thread-begin* event (sequence 1) so
+        // that its clock slot is non-zero from the start — the race
+        // detector's epochs reserve clock 0 for "no access".
+        let mut main = ThreadState::new();
+        main.cv.set(ThreadId::MAIN, 1);
+        Execution {
+            policy,
+            seq: 1,
+            threads: vec![main],
+            stores: Vec::new(),
+            loads: Vec::new(),
+            fences: Vec::new(),
+            locations: HashMap::new(),
+            graph: MoGraph::new(),
+            free_stores: Vec::new(),
+            free_loads: Vec::new(),
+            next_obj: 0,
+            stats: ExecStats::default(),
+            prune_cfg,
+        }
+    }
+
+    /// The memory-model policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Allocates a fresh atomic-object identifier.
+    pub fn new_object(&mut self) -> ObjId {
+        let id = ObjId(self.next_obj);
+        self.next_obj += 1;
+        id
+    }
+
+    /// Current global sequence number (the number of events so far).
+    pub fn now(&self) -> SeqNum {
+        SeqNum(self.seq)
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Number of threads ever created.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The thread's happens-before clock vector `C_t`.
+    pub fn thread_cv(&self, t: ThreadId) -> &ClockVector {
+        &self.threads[t.index()].cv
+    }
+
+    /// Whether the thread's last visible operation was a relaxed/release
+    /// plain store (write-run rule input for the scheduler).
+    pub fn in_store_run(&self, t: ThreadId) -> bool {
+        self.threads[t.index()].in_store_run
+    }
+
+    /// Whether the thread is still live.
+    pub fn is_alive(&self, t: ThreadId) -> bool {
+        self.threads[t.index()].alive
+    }
+
+    /// Value written by a store record.
+    pub fn store_value(&self, s: StoreIdx) -> u64 {
+        self.stores[s.index()].value
+    }
+
+    /// Shared access to a store record.
+    pub fn store(&self, s: StoreIdx) -> &StoreRecord {
+        &self.stores[s.index()]
+    }
+
+    /// Shared access to a load record.
+    pub fn load(&self, l: LoadIdx) -> &LoadRecord {
+        &self.loads[l.index()]
+    }
+
+    /// The modification-order constraint graph.
+    pub fn mograph(&self) -> &MoGraph {
+        &self.graph
+    }
+
+    /// Approximate heap footprint of the execution graph in bytes
+    /// (stores/loads arenas, histories, and the mo-graph). Drives the
+    /// §7.1 memory-limiting experiments.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = self.stores.capacity() * std::mem::size_of::<StoreRecord>()
+            + self.loads.capacity() * std::mem::size_of::<LoadRecord>()
+            + self.fences.capacity() * std::mem::size_of::<FenceRecord>();
+        for s in &self.stores {
+            total += (s.rf_cv.len() + s.hb_cv.len()) * 8;
+        }
+        for loc in self.locations.values() {
+            for h in &loc.per_thread {
+                total += h.stores.capacity() * 4
+                    + h.accesses.capacity() * 8
+                    + h.sc_stores.capacity() * 4;
+            }
+        }
+        total + self.graph.approx_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Event bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn trace_enabled() -> bool {
+        std::env::var_os("C11TESTER_TRACE").is_some()
+    }
+
+    /// Assigns the next global sequence number to an event of thread `t`
+    /// and advances the thread's own clock slot.
+    fn next_event(&mut self, t: ThreadId) -> SeqNum {
+        self.seq += 1;
+        self.threads[t.index()].cv.set(t, self.seq);
+        SeqNum(self.seq)
+    }
+
+    /// Grows the thread table to cover `t`.
+    fn ensure_thread(&mut self, t: ThreadId) {
+        while self.threads.len() <= t.index() {
+            self.threads.push(ThreadState::new());
+        }
+    }
+
+    /// Epoch bump after a *release-style* publication (release store or
+    /// fence, fork): the thread's own clock slot moves past the value
+    /// just published, so that non-atomic accesses performed *after*
+    /// the publication carry a later epoch than what an acquirer
+    /// learns. Without this, the race detector would treat post-release
+    /// accesses as ordered before the matching acquire.
+    ///
+    /// The bumped value sits strictly between two real event sequence
+    /// numbers of this thread, so happens-before queries over real
+    /// events are unaffected.
+    fn release_bump(&mut self, t: ThreadId) {
+        let cur = self.threads[t.index()].cv.get(t);
+        self.threads[t.index()].cv.set(t, cur + 1);
+    }
+
+    /// Mo-graph node of a store, created on demand (`GetNode`, Fig. 7).
+    /// Public for tests and tools that want to inspect modification-
+    /// order constraints.
+    pub fn node_of(&mut self, s: StoreIdx) -> NodeId {
+        if let Some(n) = self.stores[s.index()].node {
+            return n;
+        }
+        let (tid, seq, obj) = {
+            let r = &self.stores[s.index()];
+            (r.tid, r.seq, r.obj)
+        };
+        let n = self.graph.add_node(tid, seq, obj);
+        self.stores[s.index()].node = Some(n);
+        n
+    }
+
+    /// `AddEdges` (Fig. 7): adds an mo edge from every member of `set`
+    /// to `s`.
+    pub(crate) fn add_edges(&mut self, set: &[StoreIdx], s: StoreIdx) {
+        if set.is_empty() {
+            return;
+        }
+        let ns = self.node_of(s);
+        for &e in set {
+            if e == s {
+                continue;
+            }
+            let ne = self.node_of(e);
+            self.graph.add_edge(ne, ns);
+        }
+        self.stats.mograph = self.graph.stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Threads (fork / join: the asw edges of the model)
+    // ------------------------------------------------------------------
+
+    /// Forks a new thread from `parent`, returning its id. Everything
+    /// the parent did so far happens-before everything the child does
+    /// (the *additional-synchronizes-with* edge).
+    pub fn fork(&mut self, parent: ThreadId) -> ThreadId {
+        self.next_event(parent);
+        self.stats.sync_ops += 1;
+        let child = ThreadId::from_index(self.threads.len());
+        let parent_cv = self.threads[parent.index()].cv.clone();
+        self.ensure_thread(child);
+        // Thread-begin event: the child's own clock slot must be
+        // non-zero before its first visible operation (see `new`).
+        self.seq += 1;
+        let mut child_cv = parent_cv;
+        child_cv.set(child, self.seq);
+        self.threads[child.index()].cv = child_cv;
+        self.threads[parent.index()].in_store_run = false;
+        // Fork publishes the parent's clock to the child.
+        self.release_bump(parent);
+        child
+    }
+
+    /// Marks a thread's program as finished.
+    pub fn finish_thread(&mut self, t: ThreadId) {
+        self.threads[t.index()].alive = false;
+        self.threads[t.index()].in_store_run = false;
+    }
+
+    /// Joins `child` into `parent`: the child's entire execution
+    /// happens-before everything the parent does afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child has not finished; the runtime must block the
+    /// parent until then.
+    pub fn join(&mut self, parent: ThreadId, child: ThreadId) {
+        assert!(
+            !self.threads[child.index()].alive,
+            "join({child:?}) before the thread finished; runtime must block first"
+        );
+        self.next_event(parent);
+        self.stats.sync_ops += 1;
+        let child_cv = self.threads[child.index()].cv.clone();
+        self.threads[parent.index()].cv.union_with(&child_cv);
+        self.threads[parent.index()].in_store_run = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic store ([ATOMIC STORE], Fig. 11; [RELEASE/RELAXED STORE], Fig. 9)
+    // ------------------------------------------------------------------
+
+    /// Commits an atomic store of `value` to `obj`.
+    pub fn atomic_store(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        value: u64,
+        kind: StoreKind,
+    ) -> StoreIdx {
+        let idx = self.store_inner(t, obj, order, value, kind, false, None);
+        if Self::trace_enabled() {
+            eprintln!(
+                "TRACE {t:?} store #{:?} {obj:?} {order:?} val={value} kind={kind:?} rf_cv={:?} cv={:?}",
+                self.stores[idx.index()].seq,
+                self.stores[idx.index()].rf_cv,
+                self.threads[t.index()].cv
+            );
+        }
+        match kind {
+            StoreKind::Atomic => self.stats.atomic_stores += 1,
+            StoreKind::NonAtomic => self.stats.atomic_stores += 1,
+            StoreKind::Volatile => self.stats.volatile_accesses += 1,
+        }
+        let run = kind != StoreKind::NonAtomic
+            && matches!(order, MemOrder::Relaxed | MemOrder::Release);
+        self.threads[t.index()].in_store_run = run;
+        self.maybe_prune();
+        idx
+    }
+
+    /// Shared store path for plain stores and RMW store halves.
+    /// `rmw_src` carries the store an RMW read from so the reads-from
+    /// clock `RF_s` can absorb the release sequence (Fig. 9 RMW rules),
+    /// and — following Fig. 11's ordering — `AddRMWEdge` runs right
+    /// after the node exists, *before* the write-prior-set edges, so
+    /// that edge migration and clock-vector propagation interleave
+    /// correctly.
+    fn store_inner(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        value: u64,
+        kind: StoreKind,
+        is_rmw: bool,
+        rmw_src: Option<StoreIdx>,
+    ) -> StoreIdx {
+        let seq = self.next_event(t);
+        // Prior set computed before the store enters any history list.
+        let pset = self.write_prior_set(t, obj, order);
+
+        let thread = &self.threads[t.index()];
+        let mut rf_cv = if kind == StoreKind::NonAtomic {
+            // Non-atomic stores never synchronize: empty release clock.
+            ClockVector::new()
+        } else if order.is_release() {
+            thread.cv.clone()
+        } else {
+            thread.fence_rel.clone()
+        };
+        if let Some(src) = rmw_src {
+            // RMWs continue every release sequence of the store they read
+            // from (C++20 rule): RF_rmw ∪= RF_src.
+            let src_rf = self.stores[src.index()].rf_cv.clone();
+            rf_cv.union_with(&src_rf);
+        }
+        let hb_cv = self.threads[t.index()].cv.clone();
+
+        let record = StoreRecord {
+            tid: t,
+            seq,
+            obj,
+            order,
+            value,
+            rf_cv,
+            hb_cv,
+            node: None,
+            is_rmw,
+            rmw_read_by: None,
+            kind,
+            pruned: false,
+        };
+        let idx = self.alloc_store(record);
+
+        // RMW atomicity first (Fig. 11 [ATOMIC RMW]): order the RMW
+        // immediately after the store it read from.
+        if let Some(src) = rmw_src {
+            self.stores[src.index()].rmw_read_by = Some(seq);
+            let nfrom = self.node_of(src);
+            let nrmw = self.node_of(idx);
+            self.graph.add_rmw_edge(nfrom, nrmw);
+            self.stats.mograph = self.graph.stats();
+        }
+
+        // Restricted policies (tsan11 family): mo embeds in execution
+        // order, realized as a chain edge from the previous store.
+        if self.policy.restricts_mo() {
+            let prev = self
+                .locations
+                .get(&obj)
+                .and_then(|loc| loc.last_store_exec);
+            if let Some(prev) = prev {
+                let np = self.node_of(prev);
+                let nn = self.node_of(idx);
+                self.graph.add_edge(np, nn);
+                self.stats.mograph = self.graph.stats();
+            }
+        }
+
+        self.add_edges(&pset, idx);
+
+        let is_sc = order.is_seq_cst() && kind != StoreKind::NonAtomic;
+        let loc = self.locations.entry(obj).or_default();
+        let h = loc.thread_mut(t.index());
+        h.stores.push(idx);
+        h.accesses.push(AccessRef::Store(idx));
+        if is_sc {
+            h.sc_stores.push(idx);
+            loc.last_sc_store = Some(idx);
+        }
+        loc.last_store_exec = Some(idx);
+        loc.last_write_nonatomic = kind == StoreKind::NonAtomic;
+        if order.is_release() && kind != StoreKind::NonAtomic {
+            // The store published this thread's clock (directly or via
+            // a release sequence); later non-atomic accesses must carry
+            // a later epoch.
+            self.release_bump(t);
+        }
+        idx
+    }
+
+    /// Allocates a store record, reusing a pruned arena slot if any.
+    fn alloc_store(&mut self, record: StoreRecord) -> StoreIdx {
+        if let Some(idx) = self.free_stores.pop() {
+            self.stores[idx.index()] = record;
+            idx
+        } else {
+            let idx = StoreIdx(self.stores.len() as u32);
+            self.stores.push(record);
+            idx
+        }
+    }
+
+    /// Allocates a load record, reusing a pruned arena slot if any.
+    fn alloc_load(&mut self, record: LoadRecord) -> LoadIdx {
+        if let Some(idx) = self.free_loads.pop() {
+            self.loads[idx.index()] = record;
+            idx
+        } else {
+            let idx = LoadIdx(self.loads.len() as u32);
+            self.loads.push(record);
+            idx
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic load ([ATOMIC LOAD], Fig. 11; [ACQUIRE/RELAXED LOAD], Fig. 9)
+    // ------------------------------------------------------------------
+
+    /// Step 2 of a load: is reading from `cand` feasible, i.e. does the
+    /// implied set of mo edges keep the mo-graph acyclic (§4.3)?
+    pub fn check_read_feasible(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        cand: StoreIdx,
+    ) -> bool {
+        let (_, ok) = self.read_prior_set(t, obj, order, cand);
+        if !ok {
+            self.stats.candidates_rejected += 1;
+        }
+        ok
+    }
+
+    /// Step 2 for RMWs: read feasibility plus the store-half check
+    /// (§4.3 — the RMW's own write adds edges that must not cycle
+    /// through the migrated successors of `cand`).
+    pub fn check_rmw_feasible(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        cand: StoreIdx,
+    ) -> bool {
+        let (_, ok) = self.read_prior_set(t, obj, order, cand);
+        if !ok || !self.check_rmw_store_feasible(t, obj, order, cand) {
+            self.stats.candidates_rejected += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Convenience: may-read-from filtered through the feasibility
+    /// check. The scheduler can pick uniformly from the result — this
+    /// yields the same distribution as the paper's retry loop.
+    pub fn feasible_read_candidates(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        for_rmw: bool,
+    ) -> Vec<StoreIdx> {
+        let cands = self.read_candidates(t, obj, order, for_rmw);
+        cands
+            .into_iter()
+            .filter(|&c| {
+                if for_rmw {
+                    self.check_rmw_feasible(t, obj, order, c)
+                } else {
+                    self.check_read_feasible(t, obj, order, c)
+                }
+            })
+            .collect()
+    }
+
+    /// Step 3 of a load: commits the `rf` edge to `cand` and returns the
+    /// value read.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `cand` is infeasible — callers must check
+    /// first (the engine never rolls back, §4.3).
+    pub fn commit_load(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        cand: StoreIdx,
+    ) -> u64 {
+        let seq = self.next_event(t);
+        let (pset, ok) = self.read_prior_set(t, obj, order, cand);
+        debug_assert!(ok, "commit_load of an infeasible candidate");
+        self.add_edges(&pset, cand);
+        self.apply_load_clocks(t, order, cand);
+
+        let record = LoadRecord {
+            tid: t,
+            seq,
+            obj,
+            order,
+            rf: cand,
+            pruned: false,
+        };
+        let lidx = self.alloc_load(record);
+        if Self::trace_enabled() {
+            eprintln!(
+                "TRACE {t:?} load  #{:?} {obj:?} {order:?} rf=#{:?} val={} cv={:?}",
+                self.loads[lidx.index()].seq,
+                self.stores[cand.index()].seq,
+                self.stores[cand.index()].value,
+                self.threads[t.index()].cv
+            );
+        }
+        let loc = self.locations.entry(obj).or_default();
+        loc.thread_mut(t.index()).accesses.push(AccessRef::Load(lidx));
+        self.stats.atomic_loads += 1;
+        self.threads[t.index()].in_store_run = false;
+        self.maybe_prune();
+        self.stores[cand.index()].value
+    }
+
+    /// Fig. 9 `[ACQUIRE LOAD]` / `[RELAXED LOAD]`.
+    fn apply_load_clocks(&mut self, t: ThreadId, order: MemOrder, src: StoreIdx) {
+        let src_rf = self.stores[src.index()].rf_cv.clone();
+        let thread = &mut self.threads[t.index()];
+        if order.is_acquire() {
+            thread.cv.union_with(&src_rf);
+        } else {
+            thread.fence_acq.union_with(&src_rf);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic RMW ([ATOMIC RMW], Fig. 11)
+    // ------------------------------------------------------------------
+
+    /// Commits an RMW that read `cand` (previously validated with
+    /// [`Execution::check_read_feasible`] over the RMW candidate set)
+    /// and wrote `new_value`. Returns the value read and the new store.
+    ///
+    /// The RMW is a single event: its load half applies the Fig. 9 load
+    /// rules, `AddRMWEdge` orders it immediately after `cand` in the
+    /// mo-graph, and its store half applies the store rules with the
+    /// release sequence continuation.
+    pub fn commit_rmw(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        cand: StoreIdx,
+        new_value: u64,
+    ) -> (u64, StoreIdx) {
+        debug_assert!(
+            self.stores[cand.index()].rmw_read_by.is_none(),
+            "RMW atomicity violated: candidate already consumed"
+        );
+        // Load half: prior-set edges into the store read from + clocks.
+        {
+            debug_assert!(
+                self.check_rmw_store_feasible(t, obj, order, cand),
+                "commit_rmw: store half would close a cycle"
+            );
+            let (pset, ok) = self.read_prior_set(t, obj, order, cand);
+            debug_assert!(ok, "commit_rmw of an infeasible candidate");
+            self.add_edges(&pset, cand);
+        }
+        self.apply_load_clocks(t, order, cand);
+        let old = self.stores[cand.index()].value;
+
+        // Store half (assigns the event's sequence number; installs the
+        // rmw edge before the write-prior-set edges, per Fig. 11).
+        let idx = self.store_inner(t, obj, order, new_value, StoreKind::Atomic, true, Some(cand));
+        if Self::trace_enabled() {
+            eprintln!(
+                "TRACE {t:?} rmw   #{:?} {obj:?} {order:?} read=#{:?}(val={old}) wrote={new_value} rf_cv={:?} cv={:?}",
+                self.stores[idx.index()].seq,
+                self.stores[cand.index()].seq,
+                self.stores[idx.index()].rf_cv,
+                self.threads[t.index()].cv
+            );
+        }
+
+        self.stats.rmws += 1;
+        self.threads[t.index()].in_store_run = false;
+        self.maybe_prune();
+        (old, idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Fences ([ATOMIC FENCE], Fig. 11; fence rules, Fig. 9)
+    // ------------------------------------------------------------------
+
+    /// Executes a fence with the given order. Relaxed fences are no-ops.
+    pub fn fence(&mut self, t: ThreadId, order: MemOrder) {
+        if matches!(order, MemOrder::Relaxed) {
+            return;
+        }
+        let seq = self.next_event(t);
+        if order.is_acquire() {
+            let acq = self.threads[t.index()].fence_acq.clone();
+            self.threads[t.index()].cv.union_with(&acq);
+        }
+        if order.is_release() {
+            let cv = self.threads[t.index()].cv.clone();
+            self.threads[t.index()].fence_rel = cv;
+        }
+        if order.is_seq_cst() {
+            let fidx = FenceIdx(self.fences.len() as u32);
+            self.fences.push(FenceRecord { tid: t, seq, order });
+            self.threads[t.index()].sc_fences.push(fidx);
+        }
+        if order.is_release() {
+            self.release_bump(t);
+        }
+        self.stats.fences += 1;
+        self.threads[t.index()].in_store_run = false;
+        self.maybe_prune();
+    }
+
+    /// Records a synchronization-only event (used by the facade for
+    /// operations like condvar notify that are scheduling-visible but
+    /// have no memory-model effect of their own).
+    pub fn sync_event(&mut self, t: ThreadId) {
+        self.next_event(t);
+        self.stats.sync_ops += 1;
+        self.threads[t.index()].in_store_run = false;
+    }
+
+    /// Counts a non-atomic shared-memory access (Table 3 bookkeeping;
+    /// the race detector handles the semantics).
+    pub fn count_normal_access(&mut self) {
+        self.stats.normal_accesses += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Queries used by tests and the race layer
+    // ------------------------------------------------------------------
+
+    /// Does event `(t1, s1)` happen-before the *current* point of `t2`?
+    pub fn hb_before_now(&self, t1: ThreadId, s1: SeqNum, t2: ThreadId) -> bool {
+        s1.0 <= self.threads[t2.index()].cv.get(t1)
+    }
+
+    /// Live (non-pruned) stores at a location, in no particular order.
+    pub fn stores_at(&self, obj: ObjId) -> Vec<StoreIdx> {
+        match self.locations.get(&obj) {
+            None => Vec::new(),
+            Some(loc) => loc
+                .threads()
+                .flat_map(|(_, h)| h.stores.iter().copied())
+                .collect(),
+        }
+    }
+}

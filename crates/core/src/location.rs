@@ -1,0 +1,102 @@
+//! Per-location access histories (`ALocs` / `ALocInfo` of Fig. 10).
+//!
+//! C11Tester keeps, for each atomic location, a *per-thread* list of the
+//! atomic accesses performed there (paper §4.1: "C11Tester maintains a
+//! per-thread list of atomic memory accesses to each memory location").
+//! All lists are sorted by sequence number because events are appended
+//! as they execute, which lets the `last(...)` helper functions of
+//! Fig. 12/13 run as binary searches.
+
+use crate::event::{AccessRef, StoreIdx};
+
+/// History of one thread's accesses to one location.
+#[derive(Clone, Debug, Default)]
+pub struct PerThreadLoc {
+    /// `stores(t, a)`: stores and RMWs by this thread, in seq order.
+    pub stores: Vec<StoreIdx>,
+    /// `loads_stores(t, a)`: loads, stores, and RMWs, in seq order.
+    pub accesses: Vec<AccessRef>,
+    /// `sc_stores(t, a)`: the seq_cst subset of `stores`, in seq order.
+    pub sc_stores: Vec<StoreIdx>,
+}
+
+impl PerThreadLoc {
+    /// True if the thread never touched the location.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// History of all accesses to one atomic location.
+#[derive(Clone, Debug, Default)]
+pub struct LocationState {
+    /// Per-thread histories, indexed by `ThreadId::index()`.
+    pub per_thread: Vec<PerThreadLoc>,
+    /// `last_sc_store(a, ·)`: the most recent seq_cst store at this
+    /// location (the SC order coincides with execution order because
+    /// visible operations are sequentialized).
+    pub last_sc_store: Option<StoreIdx>,
+    /// The most recent store in *execution* order regardless of thread —
+    /// used by the restricted tsan11/tsan11rec policies (which require
+    /// `mo` to embed in execution order) and by mixed-mode handling.
+    pub last_store_exec: Option<StoreIdx>,
+    /// Whether the last write to this location was a non-atomic store
+    /// (paper §7.2 — the shadow-word bit that triggers special handling
+    /// when a subsequent atomic access arrives).
+    pub last_write_nonatomic: bool,
+    /// Count of pruned store records formerly at this location.
+    pub pruned_stores: u64,
+}
+
+impl LocationState {
+    /// Mutable access to thread `ix`'s history, growing the table.
+    pub fn thread_mut(&mut self, ix: usize) -> &mut PerThreadLoc {
+        if self.per_thread.len() <= ix {
+            self.per_thread.resize_with(ix + 1, PerThreadLoc::default);
+        }
+        &mut self.per_thread[ix]
+    }
+
+    /// Shared access to thread `ix`'s history, if it exists.
+    pub fn thread(&self, ix: usize) -> Option<&PerThreadLoc> {
+        self.per_thread.get(ix)
+    }
+
+    /// Iterates over `(thread index, history)` pairs that have activity.
+    pub fn threads(&self) -> impl Iterator<Item = (usize, &PerThreadLoc)> {
+        self.per_thread
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.is_empty())
+    }
+
+    /// Total number of live store records across all threads.
+    pub fn store_count(&self) -> usize {
+        self.per_thread.iter().map(|h| h.stores.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LoadIdx;
+
+    #[test]
+    fn thread_table_grows_on_demand() {
+        let mut loc = LocationState::default();
+        loc.thread_mut(3).stores.push(StoreIdx(0));
+        assert_eq!(loc.per_thread.len(), 4);
+        assert!(loc.thread(0).is_some());
+        assert!(loc.thread(0).expect("slot 0 exists").is_empty());
+        assert!(loc.thread(9).is_none());
+        assert_eq!(loc.store_count(), 1);
+    }
+
+    #[test]
+    fn threads_iter_skips_idle_threads() {
+        let mut loc = LocationState::default();
+        loc.thread_mut(2).accesses.push(AccessRef::Load(LoadIdx(0)));
+        let active: Vec<usize> = loc.threads().map(|(ix, _)| ix).collect();
+        assert_eq!(active, vec![2]);
+    }
+}

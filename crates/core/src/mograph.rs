@@ -1,0 +1,590 @@
+//! The modification-order graph (paper §4, Figures 5–7).
+//!
+//! Nodes represent stores (or the store halves of RMWs). Two edge kinds
+//! exist:
+//!
+//! * an **mo edge** `A → B` encodes the constraint `A mo→ B`;
+//! * an **rmw edge** `A ⇒ R` encodes that RMW `R` read from `A` and must
+//!   be *immediately* modification-ordered after `A`.
+//!
+//! The set of constraints is satisfiable iff the graph is acyclic, and
+//! C11Tester's central performance trick (§4.2) is to answer
+//! reachability queries — the only queries the rollback-free feasibility
+//! check of §4.3 needs — with per-node clock vectors instead of graph
+//! traversals. Theorem 1: for two same-location nodes in an acyclic
+//! graph, `CV_A ≤ CV_B ⇔ B is reachable from A`.
+
+use crate::clock::ClockVector;
+use crate::event::{ObjId, SeqNum, ThreadId};
+use std::collections::VecDeque;
+
+/// Index of a node in the [`MoGraph`] arena.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single store node in the mo-graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Mo-graph clock vector of this node (not a happens-before clock!).
+    pub cv: ClockVector,
+    /// Outgoing mo edges.
+    pub edges: Vec<NodeId>,
+    /// Outgoing rmw edge, if an RMW read from this store.
+    pub rmw: Option<NodeId>,
+    /// Thread that performed the store.
+    pub tid: ThreadId,
+    /// Sequence number of the store.
+    pub seq: SeqNum,
+    /// Location the store wrote.
+    pub obj: ObjId,
+    /// Tombstone flag set by pruning (§7.1): edges and clock storage are
+    /// released but the arena slot survives so indices stay valid.
+    pub pruned: bool,
+}
+
+/// Statistics about graph maintenance, surfaced in
+/// [`crate::stats::ExecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoGraphStats {
+    /// Edges actually inserted (after the redundancy check of `AddEdge`).
+    pub edges_added: u64,
+    /// Edges skipped because the clock-vector test proved them redundant.
+    pub edges_redundant: u64,
+    /// Clock-vector merges performed during propagation.
+    pub merges: u64,
+    /// rmw edges installed.
+    pub rmw_edges: u64,
+}
+
+/// The modification-order constraint graph.
+#[derive(Clone, Debug, Default)]
+pub struct MoGraph {
+    nodes: Vec<Node>,
+    stats: MoGraphStats,
+}
+
+impl MoGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        MoGraph::default()
+    }
+
+    /// Adds a node for a store by `tid` with sequence number `seq` at
+    /// location `obj`; its clock vector starts at `⊥CV` (own slot only).
+    pub fn add_node(&mut self, tid: ThreadId, seq: SeqNum, obj: ObjId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            cv: ClockVector::bottom_for(tid, seq),
+            edges: Vec::new(),
+            rmw: None,
+            tid,
+            seq,
+            obj,
+            pruned: false,
+        });
+        id
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes ever created (including pruned tombstones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Graph-maintenance statistics.
+    pub fn stats(&self) -> MoGraphStats {
+        self.stats
+    }
+
+    /// `Merge` (Fig. 6): folds `src`'s clock vector into `dst`'s,
+    /// reporting whether `dst` changed.
+    fn merge(&mut self, dst: NodeId, src: NodeId) -> bool {
+        if dst == src {
+            return false;
+        }
+        let (d, s) = (dst.index(), src.index());
+        // Split the borrow: indices are distinct.
+        let (lo, hi) = if d < s { (d, s) } else { (s, d) };
+        let (head, tail) = self.nodes.split_at_mut(hi);
+        let (dst_node, src_node) = if d < s {
+            (&mut head[lo], &tail[0])
+        } else {
+            (&mut tail[0], &head[lo])
+        };
+        if src_node.cv.leq(&dst_node.cv) {
+            return false;
+        }
+        dst_node.cv.union_with(&src_node.cv);
+        self.stats.merges += 1;
+        true
+    }
+
+    /// `AddEdge` (Fig. 6): records the constraint `from mo→ to`, skipping
+    /// redundant edges via the clock-vector test, redirecting through rmw
+    /// chains, and propagating clock-vector changes breadth-first.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the edge closes a cycle — callers must
+    /// run the §4.3 feasibility check first; the whole point of the
+    /// design is that the graph never needs rollback.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        let mut from = from;
+        if from == to {
+            return;
+        }
+        {
+            let fnode = &self.nodes[from.index()];
+            let tnode = &self.nodes[to.index()];
+            let must_add = fnode.rmw == Some(to) || fnode.tid == tnode.tid;
+            if fnode.cv.leq(&tnode.cv) && !must_add {
+                self.stats.edges_redundant += 1;
+                return;
+            }
+        }
+        // RMWs are ordered immediately after the store they read from:
+        // follow the rmw chain so the edge lands after the chain's end.
+        while let Some(next) = self.nodes[from.index()].rmw {
+            if next == to {
+                break;
+            }
+            from = next;
+        }
+        if from == to {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        if self.reaches_slow(to, from) {
+            eprintln!("=== mo-graph dump at cycle ===");
+            for (ix, n) in self.nodes.iter().enumerate() {
+                eprintln!(
+                    "  node {ix}: {:?} {:?} {:?} cv={:?} edges={:?} rmw={:?}",
+                    n.tid, n.seq, n.obj, n.cv, n.edges, n.rmw
+                );
+            }
+            panic!(
+                "mo-graph cycle: adding {from:?}{:?} -> {to:?}{:?} while the reverse path exists",
+                (self.nodes[from.index()].tid, self.nodes[from.index()].seq),
+                (self.nodes[to.index()].tid, self.nodes[to.index()].seq),
+            );
+        }
+        if !self.nodes[from.index()].edges.contains(&to) {
+            self.nodes[from.index()].edges.push(to);
+            self.stats.edges_added += 1;
+        }
+        if self.merge(to, from) {
+            let mut queue = VecDeque::new();
+            queue.push_back(to);
+            while let Some(node) = queue.pop_front() {
+                let dsts = self.nodes[node.index()].edges.clone();
+                for dst in dsts {
+                    if self.merge(dst, node) {
+                        queue.push_back(dst);
+                    }
+                }
+                if let Some(r) = self.nodes[node.index()].rmw {
+                    if self.merge(r, node) {
+                        queue.push_back(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `AddRMWEdge` (Fig. 6): `rmw` read from `from`; installs the rmw
+    /// edge, migrates `from`'s outgoing mo edges onto `rmw` (everything
+    /// previously ordered after `from` is now ordered after `rmw`), and
+    /// finally adds the ordinary mo edge with propagation.
+    ///
+    /// Propagation runs unconditionally from the RMW node: the migrated
+    /// edges are new paths out of `rmw`, so their targets must absorb
+    /// its clock vector even when `from`'s clock was already merged in
+    /// by an earlier edge.
+    pub fn add_rmw_edge(&mut self, from: NodeId, rmw: NodeId) {
+        debug_assert!(
+            self.nodes[from.index()].rmw.is_none(),
+            "store {from:?} already feeds an RMW; at most one RMW may read from a store"
+        );
+        self.nodes[from.index()].rmw = Some(rmw);
+        self.stats.rmw_edges += 1;
+        let migrated: Vec<NodeId> = self.nodes[from.index()]
+            .edges
+            .iter()
+            .copied()
+            .filter(|&dst| dst != rmw)
+            .collect();
+        for dst in &migrated {
+            if !self.nodes[rmw.index()].edges.contains(dst) {
+                self.nodes[rmw.index()].edges.push(*dst);
+            }
+        }
+        self.nodes[from.index()].edges.clear();
+        self.add_edge(from, rmw);
+        // Forced propagation over the migrated edges.
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        queue.push_back(rmw);
+        while let Some(node) = queue.pop_front() {
+            let dsts = self.nodes[node.index()].edges.clone();
+            for dst in dsts {
+                if self.merge(dst, node) {
+                    queue.push_back(dst);
+                }
+            }
+            if let Some(r) = self.nodes[node.index()].rmw {
+                if self.merge(r, node) {
+                    queue.push_back(r);
+                }
+            }
+        }
+    }
+
+    /// Follows `start`'s rmw chain to its end, exactly as `AddEdge`
+    /// does before inserting an edge (an edge from a store that feeds
+    /// an RMW is redirected past the RMW to preserve immediacy). Stops
+    /// early if the chain hits `stop`.
+    pub fn chain_end(&self, start: NodeId, stop: NodeId) -> NodeId {
+        let mut n = start;
+        while let Some(next) = self.nodes[n.index()].rmw {
+            if next == stop {
+                break;
+            }
+            n = next;
+        }
+        n
+    }
+
+    /// Theorem 1 reachability: is `b` reachable from `a`?
+    ///
+    /// Only meaningful when both nodes write the same location (the
+    /// paper's precondition for comparing mo-graph clock vectors).
+    /// `a == b` answers `false` (we care about non-trivial paths).
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let an = &self.nodes[a.index()];
+        let bn = &self.nodes[b.index()];
+        debug_assert_eq!(an.obj, bn.obj, "CV reachability compares same-location nodes");
+        an.cv.leq(&bn.cv)
+    }
+
+    /// Graph-traversal reachability oracle (the expensive check that
+    /// clock vectors replace). Used by tests and debug assertions to
+    /// validate Theorem 1.
+    pub fn reaches_slow(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![a];
+        seen[a.index()] = true;
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n.index()];
+            let succs = node.edges.iter().chain(node.rmw.iter());
+            for &s in succs {
+                if s == b {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// True if the graph currently contains a cycle (traversal-based;
+    /// test/debug use only).
+    pub fn has_cycle_slow(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut mark = vec![Mark::White; self.nodes.len()];
+        for start in 0..self.nodes.len() {
+            if mark[start] != Mark::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, next-child).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            mark[start] = Mark::Grey;
+            while let Some(&(n, child)) = stack.last() {
+                let node = &self.nodes[n];
+                let succs: Vec<NodeId> =
+                    node.edges.iter().copied().chain(node.rmw).collect();
+                if child < succs.len() {
+                    stack.last_mut().expect("stack non-empty").1 += 1;
+                    let s = succs[child].index();
+                    match mark[s] {
+                        Mark::Grey => return true,
+                        Mark::White => {
+                            mark[s] = Mark::Grey;
+                            stack.push((s, 0));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    mark[n] = Mark::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Tombstones a node during pruning: releases its clock vector and
+    /// edge storage. The caller is responsible for ensuring no live node
+    /// still needs reachability answers involving this node.
+    pub fn prune_node(&mut self, id: NodeId) {
+        let n = &mut self.nodes[id.index()];
+        n.pruned = true;
+        n.cv.clear();
+        n.edges = Vec::new();
+        n.rmw = None;
+    }
+
+    /// Drops edges that point at pruned nodes (housekeeping after a
+    /// pruning pass so traversal oracles stay meaningful).
+    pub fn drop_edges_to_pruned(&mut self) {
+        let pruned: Vec<bool> = self.nodes.iter().map(|n| n.pruned).collect();
+        for n in &mut self.nodes {
+            n.edges.retain(|e| !pruned[e.index()]);
+            if let Some(r) = n.rmw {
+                if pruned[r.index()] {
+                    n.rmw = None;
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint of the graph in bytes (for the
+    /// memory-limiting experiments of §7.1).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for n in &self.nodes {
+            total += n.cv.len() * 8 + n.edges.capacity() * std::mem::size_of::<NodeId>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ix: usize) -> ThreadId {
+        ThreadId::from_index(ix)
+    }
+
+    fn graph() -> MoGraph {
+        MoGraph::new()
+    }
+
+    const OBJ: ObjId = ObjId(1);
+
+    #[test]
+    fn single_edge_reachability() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, b);
+        assert!(g.reaches(a, b));
+        assert!(!g.reaches(b, a));
+        assert!(g.reaches_slow(a, b));
+        assert!(!g.reaches_slow(b, a));
+    }
+
+    #[test]
+    fn transitive_reachability_via_cv() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        let c = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        assert!(g.reaches(a, c));
+        assert!(!g.reaches(c, a));
+    }
+
+    #[test]
+    fn propagation_updates_downstream_cvs() {
+        // Build c -> d first, then a -> b -> c; d's CV must absorb a's.
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        let c = g.add_node(t(2), SeqNum(3), OBJ);
+        let d = g.add_node(t(3), SeqNum(4), OBJ);
+        g.add_edge(c, d);
+        g.add_edge(b, c);
+        g.add_edge(a, b);
+        assert!(g.reaches(a, d));
+        assert!(g.reaches_slow(a, d));
+        assert_eq!(g.node(d).cv.get(t(0)), 1);
+        assert_eq!(g.node(d).cv.get(t(1)), 2);
+        assert_eq!(g.node(d).cv.get(t(2)), 3);
+    }
+
+    #[test]
+    fn redundant_edge_is_skipped() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        let c = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let before = g.stats().edges_added;
+        g.add_edge(a, c); // already implied
+        assert_eq!(g.stats().edges_added, before);
+        assert_eq!(g.stats().edges_redundant, 1);
+        assert!(g.reaches(a, c));
+    }
+
+    #[test]
+    fn same_thread_edge_is_forced_despite_cv() {
+        // Same-thread nodes start with comparable bottom CVs, which would
+        // make the redundancy test misfire without the mustAddEdge guard.
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(0), SeqNum(5), OBJ);
+        assert!(g.node(a).cv.leq(&g.node(b).cv));
+        g.add_edge(a, b);
+        assert!(g.reaches_slow(a, b), "edge must be physically present");
+        assert_eq!(g.stats().edges_added, 1);
+    }
+
+    #[test]
+    fn rmw_edge_migrates_outgoing_edges() {
+        // a --mo--> c; then RMW r reads from a: a's edge to c must move to
+        // r, so the final order is a, r, c.
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let c = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, c);
+        let r = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_rmw_edge(a, r);
+        assert!(g.reaches(a, r));
+        assert!(g.reaches(r, c));
+        assert!(g.reaches(a, c));
+        assert!(!g.reaches_slow(c, r));
+        // a's only outgoing mo edge is now to the RMW (the migrated edge
+        // to c lives on r).
+        assert_eq!(g.node(a).edges, vec![r]);
+        assert_eq!(g.node(a).rmw, Some(r));
+        assert!(g.node(r).edges.contains(&c));
+    }
+
+    #[test]
+    fn add_edge_respects_rmw_chain() {
+        // r is an RMW after a. A later edge x -> a must be redirected to
+        // land after the chain end (x -> a stays as incoming edge is fine;
+        // the *outgoing* redirect case: adding a -> y must become r -> y).
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let r = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_rmw_edge(a, r);
+        let y = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_edge(a, y); // must follow the rmw chain and become r -> y
+        assert!(g.reaches(r, y));
+        assert!(g.reaches_slow(r, y));
+        // a's direct outgoing edges still only name the RMW.
+        assert_eq!(g.node(a).edges, vec![r]);
+    }
+
+    #[test]
+    fn cv_reachability_matches_dfs_on_random_dags() {
+        // Theorem 1 assumes the invariant the execution layer maintains:
+        // same-thread same-location stores are mo-ordered in program
+        // order (CoWW). We materialize those chains first, then throw
+        // random forward cross edges at the graph in random insertion
+        // order, and require the CV test to agree exactly with DFS.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = graph();
+            let n = 12usize;
+            let nthreads = 4usize;
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| g.add_node(t(i % nthreads), SeqNum((i + 1) as u64), OBJ))
+                .collect();
+            for th in 0..nthreads {
+                let own: Vec<usize> = (0..n).filter(|i| i % nthreads == th).collect();
+                for w in own.windows(2) {
+                    g.add_edge(ids[w[0]], ids[w[1]]);
+                }
+            }
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.25) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            for k in (1..edges.len()).rev() {
+                let j = rng.gen_range(0..=k);
+                edges.swap(k, j);
+            }
+            for (i, j) in edges {
+                g.add_edge(ids[i], ids[j]);
+            }
+            assert!(!g.has_cycle_slow());
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let fast = g.reaches(ids[i], ids[j]);
+                    let slow = g.reaches_slow(ids[i], ids[j]);
+                    assert_eq!(
+                        fast, slow,
+                        "seed {seed}: CV test and DFS disagree on {i}->{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_releases_node_storage() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, b);
+        g.prune_node(a);
+        g.drop_edges_to_pruned();
+        assert!(g.node(a).pruned);
+        assert!(g.node(a).edges.is_empty());
+        assert!(g.node(a).cv.is_empty());
+        assert!(!g.node(b).pruned);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mo-graph cycle")]
+    fn debug_build_catches_cycles() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+    }
+}

@@ -1,0 +1,418 @@
+//! Execution-graph pruning (paper §7.1, "Pruning the Execution Graph").
+//!
+//! Long executions accumulate stores, loads, and mo-graph nodes without
+//! bound. Naively discarding old records is unsound: an old store can be
+//! modification-ordered *after* a newer one, and dropping only the old
+//! one could let a thread read both in an order the model forbids.
+//!
+//! * **Conservative mode** computes `CV_min = ⋂_t C_t` over live
+//!   threads. A store `S` with `S.seq ≤ CV_min[S.tid]` happens-before
+//!   every live thread's current point, so new loads must read `S` or
+//!   something mo-after it; everything *strictly mo-before* such an `S`
+//!   can never be read again and is retired. This mode never changes the
+//!   set of producible executions.
+//! * **Aggressive mode** additionally anchors on the newest store older
+//!   than a trace window and retires everything mo-before it — possibly
+//!   including still-readable stores, trading behavioral coverage for
+//!   bounded memory (exactly the paper's trade-off).
+//!
+//! Both modes also retire seq_cst fences that happen-before `CV_min`
+//! (their constraints are subsumed by happens-before from then on).
+//!
+//! Retired records are tombstoned and their arena slots recycled via
+//! free lists, so memory use is genuinely bounded rather than merely
+//! deferred.
+
+use crate::clock::ClockVector;
+use crate::event::{AccessRef, ObjId, StoreIdx, ThreadId};
+use crate::exec::Execution;
+use std::collections::HashSet;
+
+/// Which pruning mode is active (§7.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Never prune (suitable for short executions; keeps full traces).
+    #[default]
+    Disabled,
+    /// Retire only provably unreadable records.
+    Conservative,
+    /// Retire everything mo-before the newest store outside a trace
+    /// window, possibly narrowing the set of producible executions.
+    Aggressive,
+}
+
+/// Pruning configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PruneConfig {
+    /// Mode selector.
+    pub mode: PruneMode,
+    /// Run a pass every `interval` events (0 disables automatic passes;
+    /// [`Execution::prune_now`] can still be called manually).
+    pub interval: u64,
+    /// Trace-window length in events for aggressive mode.
+    pub window: u64,
+}
+
+impl PruneConfig {
+    /// No pruning.
+    pub fn disabled() -> Self {
+        PruneConfig {
+            mode: PruneMode::Disabled,
+            interval: 0,
+            window: 0,
+        }
+    }
+
+    /// Conservative pruning every `interval` events.
+    pub fn conservative(interval: u64) -> Self {
+        PruneConfig {
+            mode: PruneMode::Conservative,
+            interval,
+            window: 0,
+        }
+    }
+
+    /// Aggressive pruning every `interval` events with a `window`-event
+    /// trace window.
+    pub fn aggressive(interval: u64, window: u64) -> Self {
+        PruneConfig {
+            mode: PruneMode::Aggressive,
+            interval,
+            window,
+        }
+    }
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig::disabled()
+    }
+}
+
+impl Execution {
+    /// Hook invoked after every committed event.
+    pub(crate) fn maybe_prune(&mut self) {
+        if self.prune_cfg.mode == PruneMode::Disabled || self.prune_cfg.interval == 0 {
+            return;
+        }
+        if self.seq % self.prune_cfg.interval != 0 {
+            return;
+        }
+        self.prune_now();
+    }
+
+    /// Runs one pruning pass immediately (no-op when disabled).
+    pub fn prune_now(&mut self) {
+        match self.prune_cfg.mode {
+            PruneMode::Disabled => {}
+            PruneMode::Conservative => self.prune_pass(false),
+            PruneMode::Aggressive => self.prune_pass(true),
+        }
+    }
+
+    /// `CV_min`: intersection of the clock vectors of all live threads.
+    fn cv_min(&self) -> Option<ClockVector> {
+        let mut alive = self.threads.iter().filter(|t| t.alive);
+        let mut cv = alive.next()?.cv.clone();
+        for t in alive {
+            cv = cv.intersect(&t.cv);
+        }
+        Some(cv)
+    }
+
+    /// Is `x` strictly modification-ordered before `k`?
+    fn mo_before(&self, x: StoreIdx, k: StoreIdx) -> bool {
+        if x == k {
+            return false;
+        }
+        let xr = &self.stores[x.index()];
+        let kr = &self.stores[k.index()];
+        if xr.tid == kr.tid {
+            // Same-thread same-location stores are mo-ordered in program
+            // order (write-write coherence).
+            return xr.seq < kr.seq;
+        }
+        match (xr.node, kr.node) {
+            (Some(nx), Some(nk)) => self.graph.reaches(nx, nk),
+            _ => false,
+        }
+    }
+
+    fn prune_pass(&mut self, aggressive: bool) {
+        let Some(cv_min) = self.cv_min() else {
+            return;
+        };
+        self.stats.prune_passes += 1;
+        let cutoff = if aggressive {
+            self.seq.saturating_sub(self.prune_cfg.window)
+        } else {
+            0
+        };
+
+        let objs: Vec<ObjId> = self.locations.keys().copied().collect();
+        for obj in objs {
+            // Phase 1: anchors — the newest store per thread known to
+            // every live thread (conservative), plus the newest store
+            // per thread older than the window (aggressive).
+            let mut anchors: Vec<StoreIdx> = Vec::new();
+            {
+                let loc = &self.locations[&obj];
+                for (uix, h) in loc.threads() {
+                    let bound = cv_min.get(ThreadId::from_index(uix));
+                    let pos = h
+                        .stores
+                        .partition_point(|&s| self.stores[s.index()].seq.0 <= bound);
+                    if pos > 0 {
+                        anchors.push(h.stores[pos - 1]);
+                    }
+                    if aggressive && cutoff > 0 {
+                        let pos2 = h
+                            .stores
+                            .partition_point(|&s| self.stores[s.index()].seq.0 <= cutoff);
+                        if pos2 > 0 {
+                            anchors.push(h.stores[pos2 - 1]);
+                        }
+                    }
+                }
+            }
+            if anchors.is_empty() {
+                continue;
+            }
+
+            // Phase 2: everything strictly mo-before an anchor dies,
+            // except the anchors themselves and bookkeeping stores the
+            // engine still references.
+            let mut doomed: Vec<StoreIdx> = Vec::new();
+            {
+                let loc = &self.locations[&obj];
+                for (_, h) in loc.threads() {
+                    for &s in &h.stores {
+                        if anchors.contains(&s)
+                            || loc.last_sc_store == Some(s)
+                            || loc.last_store_exec == Some(s)
+                        {
+                            continue;
+                        }
+                        if anchors.iter().any(|&k| self.mo_before(s, k)) {
+                            doomed.push(s);
+                        }
+                    }
+                }
+            }
+            if doomed.is_empty() {
+                continue;
+            }
+            let doom_set: HashSet<StoreIdx> = doomed.iter().copied().collect();
+
+            // Phase 3: drop doomed stores and the loads that read them
+            // from every history list; tombstone the records and nodes.
+            let mut doomed_loads = Vec::new();
+            {
+                let Execution {
+                    locations, loads, ..
+                } = self;
+                let loc = locations.get_mut(&obj).expect("location exists");
+                for h in &mut loc.per_thread {
+                    h.stores.retain(|s| !doom_set.contains(s));
+                    h.sc_stores.retain(|s| !doom_set.contains(s));
+                    h.accesses.retain(|a| match *a {
+                        AccessRef::Store(s) => !doom_set.contains(&s),
+                        AccessRef::Load(l) => {
+                            let keep = !doom_set.contains(&loads[l.index()].rf);
+                            if !keep {
+                                doomed_loads.push(l);
+                            }
+                            keep
+                        }
+                    });
+                }
+                loc.pruned_stores += doomed.len() as u64;
+            }
+            for &s in &doomed {
+                let rec = &mut self.stores[s.index()];
+                rec.pruned = true;
+                rec.rf_cv.clear();
+                rec.hb_cv.clear();
+                if let Some(n) = rec.node.take() {
+                    self.graph.prune_node(n);
+                }
+                self.free_stores.push(s);
+            }
+            for &l in &doomed_loads {
+                self.loads[l.index()].pruned = true;
+                self.free_loads.push(l);
+            }
+            self.stats.pruned_stores += doomed.len() as u64;
+            self.stats.pruned_loads += doomed_loads.len() as u64;
+        }
+
+        // Fence rule (§7.1): seq_cst fences that happen-before CV_min are
+        // subsumed by happens-before from now on.
+        {
+            let Execution {
+                threads, fences, ..
+            } = self;
+            let mut dropped = 0u64;
+            for (uix, th) in threads.iter_mut().enumerate() {
+                let bound = cv_min.get(ThreadId::from_index(uix));
+                let before = th.sc_fences.len();
+                th.sc_fences
+                    .retain(|&f| fences[f.index()].seq.0 > bound);
+                dropped += (before - th.sc_fences.len()) as u64;
+            }
+            self.stats.pruned_fences += dropped;
+        }
+
+        self.graph.drop_edges_to_pruned();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemOrder, StoreKind};
+    use crate::policy::Policy;
+
+    /// With full synchronization, old stores become unreadable and a
+    /// conservative pass retires them.
+    #[test]
+    fn conservative_prunes_globally_known_history() {
+        let mut e =
+            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        for v in 0..100 {
+            e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+        }
+        // Single live thread: everything it alone knows is globally
+        // known; all but the newest store can go.
+        assert_eq!(e.stores_at(x).len(), 100);
+        e.prune_now();
+        let left = e.stores_at(x);
+        assert_eq!(left.len(), 1, "only the newest store survives");
+        assert_eq!(e.store_value(left[0]), 99);
+        assert_eq!(e.stats().pruned_stores, 99);
+    }
+
+    /// Pruning must never remove stores an unsynchronized thread could
+    /// still read.
+    #[test]
+    fn conservative_keeps_stores_unknown_to_a_thread() {
+        let mut e =
+            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        e.atomic_store(main, x, MemOrder::Relaxed, 0, StoreKind::Atomic);
+        let lagger = e.fork(main); // knows only the init store
+        for v in 1..50 {
+            e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+        }
+        e.prune_now();
+        // The lagger's CV pins CV_min at the init store: nothing newer is
+        // globally known, so nothing mo-after init is prunable — and the
+        // init store itself is an anchor, so nothing at all goes.
+        assert_eq!(e.stores_at(x).len(), 50);
+        assert_eq!(e.stats().pruned_stores, 0);
+        // The lagger can still read anything it could before.
+        let cands = e.feasible_read_candidates(lagger, x, MemOrder::Relaxed, false);
+        assert_eq!(cands.len(), 50);
+    }
+
+    /// Feasible read sets are identical with and without conservative
+    /// pruning — the mode must not change producible executions.
+    #[test]
+    fn conservative_preserves_feasible_reads() {
+        let run = |prune: bool| {
+            let cfg = if prune {
+                PruneConfig::conservative(0)
+            } else {
+                PruneConfig::disabled()
+            };
+            let mut e = Execution::with_pruning(Policy::C11Tester, cfg);
+            let main = ThreadId::MAIN;
+            let x = e.new_object();
+            let y = e.new_object();
+            e.atomic_store(main, x, MemOrder::Relaxed, 0, StoreKind::Atomic);
+            e.atomic_store(main, y, MemOrder::Relaxed, 0, StoreKind::Atomic);
+            let t1 = e.fork(main);
+            for v in 1..20 {
+                e.atomic_store(t1, x, MemOrder::Release, v, StoreKind::Atomic);
+                e.atomic_store(t1, y, MemOrder::Release, v + 100, StoreKind::Atomic);
+            }
+            e.finish_thread(t1);
+            e.join(main, t1);
+            if prune {
+                e.prune_now();
+            }
+            let cx: Vec<u64> = e
+                .feasible_read_candidates(main, x, MemOrder::Acquire, false)
+                .into_iter()
+                .map(|s| e.store_value(s))
+                .collect();
+            let cy: Vec<u64> = e
+                .feasible_read_candidates(main, y, MemOrder::Acquire, false)
+                .into_iter()
+                .map(|s| e.store_value(s))
+                .collect();
+            (cx, cy)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Aggressive mode bounds history length even without global
+    /// synchronization.
+    #[test]
+    fn aggressive_prunes_outside_window() {
+        let mut e = Execution::with_pruning(
+            Policy::C11Tester,
+            PruneConfig::aggressive(0, 10),
+        );
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        let _lagger = e.fork(main); // never synchronizes
+        for v in 0..100 {
+            e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+        }
+        e.prune_now();
+        let left = e.stores_at(x).len();
+        assert!(
+            left < 100,
+            "window-based anchors must retire old stores (left {left})"
+        );
+        assert!(e.stats().pruned_stores > 0);
+    }
+
+    /// Pruned arena slots are recycled, bounding memory.
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut e = Execution::with_pruning(
+            Policy::C11Tester,
+            PruneConfig::conservative(16),
+        );
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        for v in 0..10_000 {
+            e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+        }
+        assert!(
+            e.stores.len() < 1000,
+            "store arena must stay bounded, got {}",
+            e.stores.len()
+        );
+    }
+
+    /// Old seq_cst fences are retired once happens-before subsumes them.
+    #[test]
+    fn sc_fences_are_pruned() {
+        let mut e =
+            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        for _ in 0..5 {
+            e.fence(main, MemOrder::SeqCst);
+            e.atomic_store(main, x, MemOrder::Relaxed, 1, StoreKind::Atomic);
+        }
+        e.prune_now();
+        assert!(e.stats().pruned_fences >= 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-execution operation statistics (Table 3 of the paper reports the
+//! number of atomic operations — including synchronization operations —
+//! and normal shared-memory accesses per benchmark).
+
+use crate::mograph::MoGraphStats;
+
+/// Counters accumulated over a single execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Atomic loads committed.
+    pub atomic_loads: u64,
+    /// Atomic stores committed (excluding RMW store halves).
+    pub atomic_stores: u64,
+    /// RMW operations committed.
+    pub rmws: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Synchronization operations (mutex lock/unlock, condvar ops,
+    /// thread create/join) — the paper counts these as atomic ops.
+    pub sync_ops: u64,
+    /// Non-atomic (plain) shared-memory accesses observed by the race
+    /// detector ("normal memory accesses" in Table 3).
+    pub normal_accesses: u64,
+    /// Volatile accesses converted to atomics (§7.2).
+    pub volatile_accesses: u64,
+    /// Reads-from candidates rejected by the feasibility check (§4.3).
+    pub candidates_rejected: u64,
+    /// Stores pruned from the execution graph (§7.1).
+    pub pruned_stores: u64,
+    /// Loads pruned from the execution graph (§7.1).
+    pub pruned_loads: u64,
+    /// Seq_cst fences pruned (§7.1, fence rules).
+    pub pruned_fences: u64,
+    /// Pruning passes performed.
+    pub prune_passes: u64,
+    /// Mo-graph maintenance statistics.
+    pub mograph: MoGraphStats,
+}
+
+impl ExecStats {
+    /// Total atomic operations in the paper's Table 3 sense: atomics
+    /// plus synchronization operations.
+    pub fn atomic_ops(&self) -> u64 {
+        self.atomic_loads
+            + self.atomic_stores
+            + self.rmws
+            + self.fences
+            + self.sync_ops
+            + self.volatile_accesses
+    }
+
+    /// Folds another execution's counters into this one (used when a
+    /// model accumulates totals across repeated executions).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.atomic_loads += other.atomic_loads;
+        self.atomic_stores += other.atomic_stores;
+        self.rmws += other.rmws;
+        self.fences += other.fences;
+        self.sync_ops += other.sync_ops;
+        self.normal_accesses += other.normal_accesses;
+        self.volatile_accesses += other.volatile_accesses;
+        self.candidates_rejected += other.candidates_rejected;
+        self.pruned_stores += other.pruned_stores;
+        self.pruned_loads += other.pruned_loads;
+        self.pruned_fences += other.pruned_fences;
+        self.prune_passes += other.prune_passes;
+        self.mograph.edges_added += other.mograph.edges_added;
+        self.mograph.edges_redundant += other.mograph.edges_redundant;
+        self.mograph.merges += other.mograph.merges;
+        self.mograph.rmw_edges += other.mograph.rmw_edges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_ops_totals_all_visible_categories() {
+        let s = ExecStats {
+            atomic_loads: 1,
+            atomic_stores: 2,
+            rmws: 3,
+            fences: 4,
+            sync_ops: 5,
+            volatile_accesses: 6,
+            normal_accesses: 100,
+            ..ExecStats::default()
+        };
+        assert_eq!(s.atomic_ops(), 21);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = ExecStats {
+            atomic_loads: 1,
+            normal_accesses: 10,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            atomic_loads: 2,
+            normal_accesses: 5,
+            prune_passes: 1,
+            ..ExecStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.atomic_loads, 3);
+        assert_eq!(a.normal_accesses, 15);
+        assert_eq!(a.prune_passes, 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Property-based tests over random programs.
+//!
+//! Random sequences of atomic operations (stores, loads, RMWs, fences,
+//! forks) are replayed through [`Execution`] with generated read
+//! choices, and the engine's core invariants are checked:
+//!
+//! * the mo-graph never acquires a cycle (constraint satisfiability);
+//! * **Theorem 1**: clock-vector reachability coincides with graph
+//!   reachability for same-location nodes;
+//! * loads only read already-executed stores (`hb ∪ sc ∪ rf` acyclic);
+//! * per-thread read-read coherence over the lifted execution;
+//! * the restricted tsan11 fragment only produces a *subset* of the
+//!   full fragment's feasible reads;
+//! * conservative pruning never changes feasible read sets.
+
+use c11tester_core::{Execution, MemOrder, ObjId, Policy, PruneConfig, StoreIdx, StoreKind, ThreadId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Store { t: u8, obj: u8, order: u8, val: u8 },
+    Load { t: u8, obj: u8, order: u8, choice: u8 },
+    Rmw { t: u8, obj: u8, order: u8, choice: u8 },
+    Fence { t: u8, order: u8 },
+    Fork { t: u8 },
+}
+
+fn order_of(ix: u8) -> MemOrder {
+    match ix % 5 {
+        0 => MemOrder::Relaxed,
+        1 => MemOrder::Acquire,
+        2 => MemOrder::Release,
+        3 => MemOrder::AcqRel,
+        _ => MemOrder::SeqCst,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(t, obj, order, val)| Op::Store { t, obj, order, val }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(t, obj, order, choice)| Op::Load { t, obj, order, choice }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(t, obj, order, choice)| Op::Rmw { t, obj, order, choice }),
+        (any::<u8>(), any::<u8>()).prop_map(|(t, order)| Op::Fence { t, order }),
+        any::<u8>().prop_map(|t| Op::Fork { t }),
+    ]
+}
+
+/// Replays `ops` on an execution, recording `(thread, obj, store)` for
+/// every committed read. Returns the execution and the read log.
+fn replay(policy: Policy, prune: PruneConfig, ops: &[Op]) -> (Execution, Vec<(ThreadId, ObjId, StoreIdx)>) {
+    let mut e = Execution::with_pruning(policy, prune);
+    let mut threads = vec![ThreadId::MAIN];
+    let objs: Vec<ObjId> = (0..3).map(|_| e.new_object()).collect();
+    let mut reads = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Store { t, obj, order, val } => {
+                let t = threads[t as usize % threads.len()];
+                let obj = objs[obj as usize % objs.len()];
+                e.atomic_store(t, obj, order_of(order), u64::from(val), StoreKind::Atomic);
+            }
+            Op::Load { t, obj, order, choice } => {
+                let t = threads[t as usize % threads.len()];
+                let obj = objs[obj as usize % objs.len()];
+                let cands = e.feasible_read_candidates(t, obj, order_of(order), false);
+                if !cands.is_empty() {
+                    let c = cands[choice as usize % cands.len()];
+                    e.commit_load(t, obj, order_of(order), c);
+                    reads.push((t, obj, c));
+                }
+            }
+            Op::Rmw { t, obj, order, choice } => {
+                let t = threads[t as usize % threads.len()];
+                let obj = objs[obj as usize % objs.len()];
+                let cands = e.feasible_read_candidates(t, obj, order_of(order), true);
+                if !cands.is_empty() {
+                    let c = cands[choice as usize % cands.len()];
+                    let old = e.store_value(c);
+                    e.commit_rmw(t, obj, order_of(order), c, old.wrapping_add(1));
+                    reads.push((t, obj, c));
+                }
+            }
+            Op::Fence { t, order } => {
+                let t = threads[t as usize % threads.len()];
+                e.fence(t, order_of(order));
+            }
+            Op::Fork { t } => {
+                if threads.len() < 4 {
+                    let parent = threads[t as usize % threads.len()];
+                    threads.push(e.fork(parent));
+                }
+            }
+        }
+    }
+    (e, reads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The mo-graph stays acyclic and Theorem 1 holds after any program.
+    #[test]
+    fn mograph_acyclic_and_theorem1(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (e, _) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+        let g = e.mograph();
+        prop_assert!(!g.has_cycle_slow(), "mo-graph acquired a cycle");
+        // Theorem 1 on every same-location node pair.
+        let nodes: Vec<_> = (0..g.len())
+            .map(|i| c11tester_core::NodeId(i as u32))
+            .filter(|&n| !g.node(n).pruned)
+            .collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a == b || g.node(a).obj != g.node(b).obj {
+                    continue;
+                }
+                prop_assert_eq!(
+                    g.reaches(a, b),
+                    g.reaches_slow(a, b),
+                    "Theorem 1 violated between {:?} and {:?}", a, b
+                );
+            }
+        }
+    }
+
+    /// Loads only ever read stores that already executed, so
+    /// `hb ∪ sc ∪ rf` is trivially acyclic (Lemma 4).
+    #[test]
+    fn reads_only_from_the_past(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+        for &(_, _, s) in &reads {
+            prop_assert!(e.store(s).seq <= e.now());
+        }
+    }
+
+    /// Per-thread read-read coherence: two successive reads of the same
+    /// location by one thread never observe stores in anti-mo order.
+    #[test]
+    fn read_read_coherence(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (mut e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+        for t_ix in 0..4 {
+            let t = ThreadId::from_index(t_ix);
+            for obj_ix in 0..3 {
+                let mine: Vec<StoreIdx> = reads
+                    .iter()
+                    .filter(|(rt, robj, _)| *rt == t && robj.0 == obj_ix)
+                    .map(|&(_, _, s)| s)
+                    .collect();
+                for w in mine.windows(2) {
+                    let (x, y) = (w[0], w[1]);
+                    if x == y {
+                        continue;
+                    }
+                    let nx = e.node_of(x);
+                    let ny = e.node_of(y);
+                    prop_assert!(
+                        !e.mograph().reaches_slow(ny, nx),
+                        "CoRR violated: later read saw mo-earlier store"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The restricted fragment's feasible reads are a subset of the
+    /// full fragment's at every step (driving both with the restricted
+    /// choice, which must be legal in both).
+    #[test]
+    fn restricted_fragment_is_a_subset(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut full = Execution::new(Policy::C11Tester);
+        let mut restr = Execution::new(Policy::Tsan11);
+        let mut threads = vec![ThreadId::MAIN];
+        let objs_f: Vec<ObjId> = (0..3).map(|_| full.new_object()).collect();
+        let objs_r: Vec<ObjId> = (0..3).map(|_| restr.new_object()).collect();
+        for op in &ops {
+            match *op {
+                Op::Store { t, obj, order, val } => {
+                    let t = threads[t as usize % threads.len()];
+                    full.atomic_store(t, objs_f[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                    restr.atomic_store(t, objs_r[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                }
+                Op::Load { t, obj, order, choice } | Op::Rmw { t, obj, order, choice } => {
+                    let for_rmw = matches!(op, Op::Rmw { .. });
+                    let t = threads[t as usize % threads.len()];
+                    let of = objs_f[obj as usize % 3];
+                    let or = objs_r[obj as usize % 3];
+                    let cf = full.feasible_read_candidates(t, of, order_of(order), for_rmw);
+                    let cr = restr.feasible_read_candidates(t, or, order_of(order), for_rmw);
+                    // Candidate sets are over distinct executions; compare
+                    // by the identifying (tid, seq) of the stores.
+                    let key = |e: &Execution, s: StoreIdx| (e.store(s).tid, e.store(s).seq);
+                    let kf: Vec<_> = cf.iter().map(|&s| key(&full, s)).collect();
+                    for &s in &cr {
+                        prop_assert!(
+                            kf.contains(&key(&restr, s)),
+                            "restricted fragment allowed a read the full one forbids"
+                        );
+                    }
+                    if !cr.is_empty() {
+                        let pick_r = cr[choice as usize % cr.len()];
+                        let k = key(&restr, pick_r);
+                        let pick_f = cf
+                            .iter()
+                            .copied()
+                            .find(|&s| key(&full, s) == k)
+                            .expect("subset property");
+                        if for_rmw {
+                            let old = restr.store_value(pick_r);
+                            restr.commit_rmw(t, or, order_of(order), pick_r, old + 1);
+                            full.commit_rmw(t, of, order_of(order), pick_f, old + 1);
+                        } else {
+                            restr.commit_load(t, or, order_of(order), pick_r);
+                            full.commit_load(t, of, order_of(order), pick_f);
+                        }
+                    }
+                }
+                Op::Fence { t, order } => {
+                    let t = threads[t as usize % threads.len()];
+                    full.fence(t, order_of(order));
+                    restr.fence(t, order_of(order));
+                }
+                Op::Fork { t } => {
+                    if threads.len() < 4 {
+                        let parent = threads[t as usize % threads.len()];
+                        let a = full.fork(parent);
+                        let b = restr.fork(parent);
+                        prop_assert_eq!(a, b);
+                        threads.push(a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conservative pruning never changes the feasible read set of any
+    /// load (it only retires unreadable history).
+    #[test]
+    fn conservative_pruning_is_invisible(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut plain = Execution::new(Policy::C11Tester);
+        let mut pruned = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(8));
+        let mut threads = vec![ThreadId::MAIN];
+        let objs_a: Vec<ObjId> = (0..3).map(|_| plain.new_object()).collect();
+        let objs_b: Vec<ObjId> = (0..3).map(|_| pruned.new_object()).collect();
+        for op in &ops {
+            match *op {
+                Op::Store { t, obj, order, val } => {
+                    let t = threads[t as usize % threads.len()];
+                    plain.atomic_store(t, objs_a[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                    pruned.atomic_store(t, objs_b[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                }
+                Op::Load { t, obj, order, choice } => {
+                    let t = threads[t as usize % threads.len()];
+                    let oa = objs_a[obj as usize % 3];
+                    let ob = objs_b[obj as usize % 3];
+                    let key = |e: &Execution, s: StoreIdx| (e.store(s).tid, e.store(s).seq);
+                    let ca = plain.feasible_read_candidates(t, oa, order_of(order), false);
+                    let cb = pruned.feasible_read_candidates(t, ob, order_of(order), false);
+                    let mut ka: Vec<_> = ca.iter().map(|&s| key(&plain, s)).collect();
+                    let mut kb: Vec<_> = cb.iter().map(|&s| key(&pruned, s)).collect();
+                    ka.sort_unstable();
+                    kb.sort_unstable();
+                    prop_assert_eq!(&ka, &kb, "pruning changed a feasible read set");
+                    if !ca.is_empty() {
+                        let pa = ca[choice as usize % ca.len()];
+                        let k = key(&plain, pa);
+                        let pb = cb.iter().copied().find(|&s| key(&pruned, s) == k).expect("equal sets");
+                        plain.commit_load(t, oa, order_of(order), pa);
+                        pruned.commit_load(t, ob, order_of(order), pb);
+                    }
+                }
+                Op::Rmw { t, obj, order, choice } => {
+                    let t = threads[t as usize % threads.len()];
+                    let oa = objs_a[obj as usize % 3];
+                    let ob = objs_b[obj as usize % 3];
+                    let key = |e: &Execution, s: StoreIdx| (e.store(s).tid, e.store(s).seq);
+                    let ca = plain.feasible_read_candidates(t, oa, order_of(order), true);
+                    if ca.is_empty() {
+                        continue;
+                    }
+                    let pa = ca[choice as usize % ca.len()];
+                    let k = key(&plain, pa);
+                    let cb = pruned.feasible_read_candidates(t, ob, order_of(order), true);
+                    let pb = cb.iter().copied().find(|&s| key(&pruned, s) == k);
+                    prop_assert!(pb.is_some(), "pruning lost an RMW candidate");
+                    let old = plain.store_value(pa);
+                    plain.commit_rmw(t, oa, order_of(order), pa, old + 1);
+                    pruned.commit_rmw(t, ob, order_of(order), pb.expect("present"), old + 1);
+                }
+                Op::Fence { t, order } => {
+                    let t = threads[t as usize % threads.len()];
+                    plain.fence(t, order_of(order));
+                    pruned.fence(t, order_of(order));
+                }
+                Op::Fork { t } => {
+                    if threads.len() < 4 {
+                        let parent = threads[t as usize % threads.len()];
+                        let a = plain.fork(parent);
+                        let b = pruned.fork(parent);
+                        prop_assert_eq!(a, b);
+                        threads.push(a);
+                    }
+                }
+            }
+        }
+    }
+}

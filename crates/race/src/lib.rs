@@ -1,0 +1,23 @@
+//! # c11tester-race
+//!
+//! FastTrack-style data-race detection for **c11tester-rs** (paper
+//! §7.2): a 64-bit packed shadow word per memory cell with expanded
+//! records for mixed or concurrent access histories, supporting the
+//! full mixed atomic/non-atomic/volatile access matrix the paper's
+//! evaluation depends on (atomic_init races, legacy volatile
+//! spinlocks, memory reuse).
+//!
+//! The detector is driven by the `c11tester` facade, which feeds it
+//! every shared-memory access together with the accessing thread's
+//! happens-before clock from `c11tester-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod detect;
+pub mod report;
+pub mod shadow;
+
+pub use detect::RaceDetector;
+pub use report::{AccessKind, RaceKind, RaceReport};
+pub use shadow::{Epoch, PackedShadow, ShadowWord};

@@ -1,0 +1,231 @@
+//! Packed shadow words (paper §7.2).
+//!
+//! "C11Tester uses a FastTrack-like approach to race detection. It
+//! maintains a 64-bit shadow word for each byte of memory. The shadow
+//! word either contains 25-bit read and write clocks and 6-bit read and
+//! write thread identifiers or a reference to an expanded access
+//! record. We use one bit in the shadow word to record whether the last
+//! store to the address was from a non-atomic or an atomic store."
+//!
+//! Our packing keeps the same budget and adds a read-atomicity bit
+//! (needed because, unlike tsan's, our model atomics are logical cells
+//! and atomic reads must be visible to later non-atomic writes):
+//!
+//! ```text
+//! bit 63      : tag — 1 means bits 0..32 index an expanded record
+//! bit 62      : last write was atomic (incl. volatile-as-atomic)
+//! bit 61      : last read was atomic
+//! bits 55..61 : write thread id   (6 bits)
+//! bits 31..55 : write clock       (24 bits)
+//! bits 25..31 : read thread id    (6 bits)
+//! bits  0..25 : read clock        (25 bits)
+//! ```
+//!
+//! Clock or thread-id overflow, and concurrent-reader sets, fall back
+//! to expanded records exactly as in the paper.
+
+use c11tester_core::ThreadId;
+
+/// Maximum clock storable in the packed write slot.
+pub const MAX_WRITE_CLOCK: u64 = (1 << 24) - 1;
+/// Maximum clock storable in the packed read slot.
+pub const MAX_READ_CLOCK: u64 = (1 << 25) - 1;
+/// Maximum thread id storable in a packed slot.
+pub const MAX_TID: u32 = (1 << 6) - 1;
+
+const TAG_BIT: u64 = 1 << 63;
+const W_ATOMIC_BIT: u64 = 1 << 62;
+const R_ATOMIC_BIT: u64 = 1 << 61;
+const W_TID_SHIFT: u32 = 55;
+const W_CLOCK_SHIFT: u32 = 31;
+const R_TID_SHIFT: u32 = 25;
+
+/// One access epoch: thread + that thread's clock at access time.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    /// Accessing thread.
+    pub tid: ThreadId,
+    /// The thread's clock (its own clock-vector slot) at the access.
+    pub clock: u64,
+}
+
+impl Epoch {
+    /// An epoch that fits in a packed slot?
+    fn fits(self, max_clock: u64) -> bool {
+        self.clock <= max_clock && self.tid.as_u32() <= MAX_TID
+    }
+}
+
+/// Decoded view of a packed shadow word.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct PackedShadow {
+    /// Last write epoch (`clock == 0` means "never written").
+    pub write_clock: u64,
+    /// Writer thread id.
+    pub write_tid: u32,
+    /// Whether the last write was atomic.
+    pub write_atomic: bool,
+    /// Last read epoch (`clock == 0` means "no recorded read").
+    pub read_clock: u64,
+    /// Reader thread id.
+    pub read_tid: u32,
+    /// Whether the recorded read was atomic.
+    pub read_atomic: bool,
+}
+
+/// A shadow word: either a packed epoch pair or an expanded-record
+/// index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShadowWord {
+    /// The common inline representation.
+    Packed(PackedShadow),
+    /// Index into the detector's expanded-record arena.
+    Expanded(u32),
+}
+
+impl ShadowWord {
+    /// A fresh, never-accessed shadow word.
+    pub fn empty() -> Self {
+        ShadowWord::Packed(PackedShadow::default())
+    }
+
+    /// Encodes into the 64-bit representation.
+    pub fn encode(self) -> u64 {
+        match self {
+            ShadowWord::Expanded(ix) => TAG_BIT | u64::from(ix),
+            ShadowWord::Packed(p) => {
+                debug_assert!(p.write_clock <= MAX_WRITE_CLOCK);
+                debug_assert!(p.read_clock <= MAX_READ_CLOCK);
+                debug_assert!(p.write_tid <= MAX_TID && p.read_tid <= MAX_TID);
+                let mut w = 0u64;
+                if p.write_atomic {
+                    w |= W_ATOMIC_BIT;
+                }
+                if p.read_atomic {
+                    w |= R_ATOMIC_BIT;
+                }
+                w |= u64::from(p.write_tid) << W_TID_SHIFT;
+                w |= p.write_clock << W_CLOCK_SHIFT;
+                w |= u64::from(p.read_tid) << R_TID_SHIFT;
+                w |= p.read_clock;
+                w
+            }
+        }
+    }
+
+    /// Decodes from the 64-bit representation.
+    pub fn decode(bits: u64) -> Self {
+        if bits & TAG_BIT != 0 {
+            ShadowWord::Expanded((bits & 0xFFFF_FFFF) as u32)
+        } else {
+            ShadowWord::Packed(PackedShadow {
+                write_atomic: bits & W_ATOMIC_BIT != 0,
+                read_atomic: bits & R_ATOMIC_BIT != 0,
+                write_tid: ((bits >> W_TID_SHIFT) & u64::from(MAX_TID)) as u32,
+                write_clock: (bits >> W_CLOCK_SHIFT) & MAX_WRITE_CLOCK,
+                read_tid: ((bits >> R_TID_SHIFT) & u64::from(MAX_TID)) as u32,
+                read_clock: bits & MAX_READ_CLOCK,
+            })
+        }
+    }
+
+    /// Whether an epoch can be recorded in the packed write slot.
+    pub fn write_epoch_fits(e: Epoch) -> bool {
+        e.fits(MAX_WRITE_CLOCK)
+    }
+
+    /// Whether an epoch can be recorded in the packed read slot.
+    pub fn read_epoch_fits(e: Epoch) -> bool {
+        e.fits(MAX_READ_CLOCK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let w = ShadowWord::empty();
+        assert_eq!(ShadowWord::decode(w.encode()), w);
+        match w {
+            ShadowWord::Packed(p) => {
+                assert_eq!(p.write_clock, 0);
+                assert_eq!(p.read_clock, 0);
+            }
+            ShadowWord::Expanded(_) => panic!("empty must be packed"),
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_all_fields() {
+        let p = PackedShadow {
+            write_clock: 0xABCDE,
+            write_tid: 63,
+            write_atomic: true,
+            read_clock: 0x1FF_FFFF,
+            read_tid: 17,
+            read_atomic: false,
+        };
+        let w = ShadowWord::Packed(p);
+        assert_eq!(ShadowWord::decode(w.encode()), w);
+    }
+
+    #[test]
+    fn expanded_roundtrip() {
+        let w = ShadowWord::Expanded(123_456);
+        assert_eq!(ShadowWord::decode(w.encode()), w);
+    }
+
+    #[test]
+    fn max_values_roundtrip() {
+        let p = PackedShadow {
+            write_clock: MAX_WRITE_CLOCK,
+            write_tid: MAX_TID,
+            write_atomic: true,
+            read_clock: MAX_READ_CLOCK,
+            read_tid: MAX_TID,
+            read_atomic: true,
+        };
+        let w = ShadowWord::Packed(p);
+        assert_eq!(ShadowWord::decode(w.encode()), w);
+    }
+
+    #[test]
+    fn fit_checks() {
+        let ok = Epoch {
+            tid: ThreadId::from_index(5),
+            clock: 1000,
+        };
+        assert!(ShadowWord::write_epoch_fits(ok));
+        assert!(ShadowWord::read_epoch_fits(ok));
+        let big_clock = Epoch {
+            tid: ThreadId::from_index(5),
+            clock: MAX_WRITE_CLOCK + 1,
+        };
+        assert!(!ShadowWord::write_epoch_fits(big_clock));
+        assert!(ShadowWord::read_epoch_fits(big_clock));
+        let big_tid = Epoch {
+            tid: ThreadId::from_index(64),
+            clock: 1,
+        };
+        assert!(!ShadowWord::write_epoch_fits(big_tid));
+        assert!(!ShadowWord::read_epoch_fits(big_tid));
+    }
+
+    #[test]
+    fn tag_bit_distinguishes_representations() {
+        let packed = ShadowWord::Packed(PackedShadow {
+            write_clock: MAX_WRITE_CLOCK,
+            write_tid: MAX_TID,
+            write_atomic: true,
+            read_clock: MAX_READ_CLOCK,
+            read_tid: MAX_TID,
+            read_atomic: true,
+        })
+        .encode();
+        assert_eq!(packed & TAG_BIT, 0, "packed encoding must not set tag");
+        let exp = ShadowWord::Expanded(u32::MAX).encode();
+        assert_ne!(exp & TAG_BIT, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The controlled-execution substrate (paper §7.3–§7.5, adapted).
+//!
+//! C11Tester implements application threads as fibers and borrows a
+//! kernel thread's context for TLS (§7.4). In Rust, each model thread
+//! *is* an OS thread, so TLS works natively; what this module provides
+//! is the same observable discipline the fibers gave the paper's tool:
+//!
+//! * at most one model thread runs at any instant — the *run token*;
+//! * the token moves only at visible operations, to the exact thread
+//!   the testing strategy chose;
+//! * blocked or descheduled threads wait in their [`Notifier`] mailbox;
+//! * aborting an execution (deadlock, assertion failure, race-as-fatal)
+//!   poisons the runtime and wakes every parked thread so it can unwind
+//!   and exit cleanly.
+//!
+//! The memory-model engine, the enabled-set bookkeeping, and the
+//! scheduling policy live a layer above (in the `c11tester` facade);
+//! this module is deliberately mechanism-only.
+
+use crate::handover::{HandoverKind, Notifier};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// The runtime swallows it at each thread's root; user `Drop` code runs
+/// during the unwind, so model operations detect poisoning and re-raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+/// The run-token runtime: one slot (mailbox) per model thread.
+#[derive(Debug)]
+pub struct Runtime {
+    kind: HandoverKind,
+    slots: Mutex<Vec<Arc<Notifier>>>,
+    poisoned: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Creates a runtime using the given handover strategy.
+    pub fn new(kind: HandoverKind) -> Arc<Self> {
+        Arc::new(Runtime {
+            kind,
+            slots: Mutex::new(Vec::new()),
+            poisoned: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The handover strategy in use.
+    pub fn handover_kind(&self) -> HandoverKind {
+        self.kind
+    }
+
+    /// Allocates a mailbox slot for a new model thread and returns its
+    /// index. Slot indices match the engine's `ThreadId::index()`.
+    pub fn add_slot(&self) -> usize {
+        let mut slots = self.slots.lock();
+        slots.push(Arc::new(Notifier::new(self.kind)));
+        slots.len() - 1
+    }
+
+    fn slot(&self, ix: usize) -> Arc<Notifier> {
+        Arc::clone(&self.slots.lock()[ix])
+    }
+
+    /// Binds the calling OS thread as the owner of slot `ix` (required
+    /// before the first `park` on strategies that need a thread handle).
+    pub fn bind_current(&self, ix: usize) {
+        self.slot(ix).bind_current();
+    }
+
+    /// Hands the run token to model thread `ix`.
+    pub fn wake(&self, ix: usize) {
+        self.slot(ix).notify();
+    }
+
+    /// Parks the calling model thread until its mailbox receives a
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] if the execution was poisoned — the caller
+    /// must unwind (e.g. via `std::panic::panic_any(Aborted)`).
+    pub fn park(&self, ix: usize) -> Result<(), Aborted> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Aborted);
+        }
+        self.slot(ix).wait();
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Aborted);
+        }
+        Ok(())
+    }
+
+    /// Spawns the OS thread backing model thread `ix`. The thread
+    /// binds its mailbox, waits to be scheduled for the first time, and
+    /// then runs `body`. Panics escaping `body` are swallowed here; the
+    /// facade records failures before unwinding.
+    pub fn spawn(self: &Arc<Self>, ix: usize, body: Box<dyn FnOnce() + Send>) {
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("c11tester-model-{ix}"))
+            .spawn(move || {
+                rt.bind_current(ix);
+                if rt.park(ix).is_err() {
+                    return;
+                }
+                let _ = catch_unwind(AssertUnwindSafe(body));
+            })
+            .expect("failed to spawn model thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Poisons the execution and wakes every parked thread so it can
+    /// observe the poison and unwind.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let slots: Vec<Arc<Notifier>> = self.slots.lock().iter().cloned().collect();
+        for s in slots {
+            s.notify();
+        }
+    }
+
+    /// Whether the execution was aborted.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Joins all OS threads spawned for this execution. Call only after
+    /// the execution completed or was poisoned.
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Three model threads pass the token around a fixed ring; the
+    /// visit order must be exactly the handover order — proof that only
+    /// one thread runs at a time and control moves where directed.
+    #[test]
+    fn token_ring_runs_in_order() {
+        let rt = Runtime::new(HandoverKind::Park);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let main_slot = rt.add_slot();
+        rt.bind_current(main_slot);
+        let mut slots = vec![main_slot];
+        for _ in 0..3 {
+            slots.push(rt.add_slot());
+        }
+        for (k, &ix) in slots.iter().enumerate().skip(1) {
+            let rt2 = Arc::clone(&rt);
+            let log2 = Arc::clone(&log);
+            let counter2 = Arc::clone(&counter);
+            let next = if k == 3 { main_slot } else { slots[k + 1] };
+            rt.spawn(
+                ix,
+                Box::new(move || {
+                    for round in 0..5 {
+                        log2.lock().push((ix, round));
+                        counter2.fetch_add(1, Ordering::Relaxed);
+                        rt2.wake(next);
+                        if round < 4 && rt2.park(ix).is_err() {
+                            return;
+                        }
+                    }
+                }),
+            );
+        }
+        // Kick the ring and wait for it to come back around 5 times.
+        for _ in 0..5 {
+            rt.wake(slots[1]);
+            rt.park(main_slot).expect("not poisoned");
+        }
+        rt.join_all();
+        assert_eq!(counter.load(Ordering::Relaxed), 15);
+        let log = log.lock();
+        // Per round, threads appear in ring order.
+        for round in 0..5 {
+            let entries: Vec<usize> = log
+                .iter()
+                .filter(|(_, r)| *r == round)
+                .map(|(ix, _)| *ix)
+                .collect();
+            assert_eq!(entries, vec![slots[1], slots[2], slots[3]]);
+        }
+    }
+
+    /// Poisoning wakes parked threads and park reports the abort.
+    #[test]
+    fn poison_unblocks_parked_threads() {
+        let rt = Runtime::new(HandoverKind::Park);
+        let parked = rt.add_slot();
+        let witnessed_abort = Arc::new(AtomicBool::new(false));
+        let w2 = Arc::clone(&witnessed_abort);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn(
+            parked,
+            Box::new(move || {
+                // Parks forever unless poisoned.
+                if rt2.park(parked).is_err() {
+                    w2.store(true, Ordering::Release);
+                    std::panic::panic_any(Aborted);
+                }
+            }),
+        );
+        // Let the thread start and park (first park is inside spawn).
+        rt.wake(parked);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rt.poison();
+        rt.join_all();
+        assert!(witnessed_abort.load(Ordering::Acquire));
+        assert!(rt.is_poisoned());
+    }
+
+    /// A spawned thread that is never scheduled exits cleanly on abort.
+    #[test]
+    fn unscheduled_thread_exits_on_poison() {
+        let rt = Runtime::new(HandoverKind::Park);
+        let ix = rt.add_slot();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        rt.spawn(
+            ix,
+            Box::new(move || {
+                r2.store(true, Ordering::Release);
+            }),
+        );
+        rt.poison();
+        rt.join_all();
+        assert!(!ran.load(Ordering::Acquire), "body must not run after abort");
+    }
+
+    /// park after poison returns the abort error immediately.
+    #[test]
+    fn park_after_poison_errors() {
+        let rt = Runtime::new(HandoverKind::Park);
+        let ix = rt.add_slot();
+        rt.bind_current(ix);
+        rt.poison();
+        assert_eq!(rt.park(ix), Err(Aborted));
+    }
+}

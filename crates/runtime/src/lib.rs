@@ -1,0 +1,27 @@
+//! # c11tester-runtime
+//!
+//! The controlled-scheduling substrate of **c11tester-rs** (a Rust
+//! reproduction of *C11Tester*, ASPLOS 2021): run-token handover
+//! between model threads ([`Runtime`], [`Notifier`]) and pluggable
+//! testing strategies ([`Scheduler`], [`RandomScheduler`],
+//! [`BurstScheduler`], [`ScriptedScheduler`]).
+//!
+//! The paper controls threads with fibers plus *thread context
+//! borrowing* for TLS (§7.3–7.4); here every model thread is an OS
+//! thread and the run token moves through per-thread mailboxes, whose
+//! implementations ([`HandoverKind`]) span the strategy spectrum the
+//! paper benchmarks in Figure 14.
+//!
+//! This crate knows nothing about the memory model: the `c11tester`
+//! facade combines it with `c11tester-core` and `c11tester-race`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod executor;
+pub mod handover;
+pub mod scheduler;
+
+pub use executor::{Aborted, Runtime};
+pub use handover::{HandoverKind, Notifier};
+pub use scheduler::{BurstScheduler, PctScheduler, RandomScheduler, Scheduler, ScriptedScheduler};

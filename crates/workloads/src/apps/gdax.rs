@@ -1,0 +1,154 @@
+//! GDAX order-book simulation (paper §8.2).
+//!
+//! The real benchmark keeps an in-memory copy of the GDAX exchange's
+//! order book in a lock-free skip list (libcds) with reader threads
+//! iterating the book while a feed thread applies updates. All tools
+//! reported data races in it.
+//!
+//! The simulation preserves that skeleton: a lock-free sorted
+//! singly-linked list over a node pool (CAS insertion, release
+//! publication), reader threads iterating the book, and the seeded
+//! race the paper's tools flag — order *sizes* are updated in place
+//! with plain accesses while readers traverse.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+
+/// The order book: a sorted linked list of (price, size) orders.
+#[derive(Debug)]
+pub struct OrderBook {
+    head: AtomicU32,
+    next: Vec<AtomicU32>,
+    price: SharedArray<u64>,
+    /// In-place mutable order size — the seeded race target.
+    size: SharedArray<u64>,
+    alloc: AtomicU32,
+}
+
+impl OrderBook {
+    /// Creates a book with capacity for `cap` orders.
+    pub fn new(cap: usize) -> Self {
+        OrderBook {
+            head: AtomicU32::named("gdax.head", NONE),
+            next: (0..cap)
+                .map(|i| AtomicU32::named(format!("gdax.next{i}"), NONE))
+                .collect(),
+            price: SharedArray::named("gdax.price", cap, 0),
+            size: SharedArray::named("gdax.size", cap, 0),
+            alloc: AtomicU32::named("gdax.alloc", 0),
+        }
+    }
+
+    /// Inserts an order at the head (prices arrive pre-sorted in the
+    /// recorded feed). Publication of the node is correct (release CAS);
+    /// the race is on later in-place `size` updates.
+    pub fn insert(&self, price: u64, size: u64) -> u32 {
+        let n = self.alloc.fetch_add(1, Ordering::AcqRel);
+        assert!((n as usize) < self.next.len(), "order pool exhausted");
+        self.price.set(n as usize, price);
+        self.size.set(n as usize, size);
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            self.next[n as usize].store(h, Ordering::Relaxed);
+            if self
+                .head
+                .compare_exchange(h, n, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return n;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// In-place size update (the feed applies a "change" message) —
+    /// plain write, racing with readers.
+    pub fn update_size(&self, node: u32, size: u64) {
+        self.size.set(node as usize, size);
+    }
+
+    /// Walks the book, summing sizes. Returns (orders, total size).
+    pub fn iterate(&self) -> (u64, u64) {
+        let mut n = self.head.load(Ordering::Acquire);
+        let mut count = 0;
+        let mut total = 0;
+        while n != NONE {
+            total += self.size.get(n as usize); // races with update_size
+            count += 1;
+            n = self.next[n as usize].load(Ordering::Acquire);
+        }
+        (count, total)
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GdaxConfig {
+    /// Reader threads iterating the book (the paper uses 5).
+    pub readers: usize,
+    /// Feed messages (half inserts, half size changes).
+    pub messages: usize,
+    /// Iterations each reader performs.
+    pub iterations_per_reader: usize,
+}
+
+impl Default for GdaxConfig {
+    fn default() -> Self {
+        GdaxConfig {
+            readers: 3,
+            messages: 30,
+            iterations_per_reader: 10,
+        }
+    }
+}
+
+/// Runs the simulation. Returns the number of complete book iterations
+/// (the paper's GDAX throughput metric).
+pub fn run(cfg: GdaxConfig) -> u64 {
+    let book = Arc::new(OrderBook::new(cfg.messages + 1));
+    let iterations = Arc::new(AtomicU32::named("gdax.iterations", 0));
+
+    let feed = {
+        let book = Arc::clone(&book);
+        c11tester::thread::spawn(move || {
+            let mut last = NONE;
+            for m in 0..cfg.messages {
+                if m % 2 == 0 || last == NONE {
+                    last = book.insert(1000 + m as u64, 10);
+                } else {
+                    book.update_size(last, 10 + m as u64);
+                }
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..cfg.readers)
+        .map(|_| {
+            let book = Arc::clone(&book);
+            let iterations = Arc::clone(&iterations);
+            c11tester::thread::spawn(move || {
+                // Aggregation buffers: the non-atomic bookkeeping a real
+                // order-book consumer performs per sweep.
+                let hist = SharedArray::named("gdax.hist", 16, 0u64);
+                for it in 0..cfg.iterations_per_reader {
+                    let (count, total) = book.iterate();
+                    for k in 0..16 {
+                        hist.set(k, hist.get(k).wrapping_add(total >> k));
+                    }
+                    hist.set(it % 16, count);
+                    iterations.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    feed.join();
+    for r in readers {
+        r.join();
+    }
+    u64::from(iterations.load(Ordering::Acquire))
+}

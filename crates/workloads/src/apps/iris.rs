@@ -1,0 +1,112 @@
+//! Iris-style asynchronous logger (paper §8.2).
+//!
+//! Iris buffers log messages through lock-free single-producer/
+//! single-consumer ring buffers; the paper's driver
+//! (`test_lfringbuffer.cpp`) runs one producer and one consumer. All
+//! tools reported data races. The seeded race here matches that shape:
+//! the ring's *publish* store is relaxed where the protocol needs
+//! release, so the consumer's payload read races with the producer's
+//! write.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+
+use std::sync::Arc;
+
+/// Lock-free SPSC ring buffer.
+#[derive(Debug)]
+pub struct RingBuffer {
+    slots: SharedArray<u64>,
+    head: AtomicU32,
+    tail: AtomicU32,
+    cap: usize,
+}
+
+impl RingBuffer {
+    /// Creates a ring with `cap` slots.
+    pub fn new(cap: usize) -> Self {
+        RingBuffer {
+            slots: SharedArray::named("iris.slots", cap, 0),
+            head: AtomicU32::named("iris.head", 0),
+            tail: AtomicU32::named("iris.tail", 0),
+            cap,
+        }
+    }
+
+    /// Producer-side push; spins while full.
+    pub fn push(&self, v: u64) {
+        loop {
+            let t = self.tail.load(Ordering::Relaxed);
+            let h = self.head.load(Ordering::Acquire);
+            if (t.wrapping_sub(h) as usize) < self.cap {
+                self.slots.set(t as usize % self.cap, v);
+                // Bug: must be Release to publish the slot write.
+                self.tail.store(t + 1, Ordering::Relaxed);
+                return;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// Consumer-side pop; spins while empty.
+    pub fn pop(&self) -> u64 {
+        loop {
+            let h = self.head.load(Ordering::Relaxed);
+            let t = self.tail.load(Ordering::Acquire);
+            if h != t {
+                let v = self.slots.get(h as usize % self.cap); // races
+                self.head.store(h + 1, Ordering::Release);
+                return v;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IrisConfig {
+    /// Messages logged (the paper uses 1M; scaled for model runs).
+    pub messages: usize,
+    /// Ring capacity.
+    pub capacity: usize,
+}
+
+impl Default for IrisConfig {
+    fn default() -> Self {
+        IrisConfig {
+            messages: 40,
+            capacity: 4,
+        }
+    }
+}
+
+/// Runs the logging benchmark. Returns the checksum of consumed
+/// messages (sanity signal for the harness).
+pub fn run(cfg: IrisConfig) -> u64 {
+    let ring = Arc::new(RingBuffer::new(cfg.capacity));
+    let consumer = {
+        let ring = Arc::clone(&ring);
+        c11tester::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..cfg.messages {
+                sum = sum.wrapping_add(ring.pop());
+            }
+            sum
+        })
+    };
+    // Message formatting scratch: the non-atomic byte shuffling a real
+    // logger performs before publishing each record.
+    let fmt = SharedArray::named("iris.fmt", 8, 0u64);
+    for m in 1..=cfg.messages as u64 {
+        for b in 0..8 {
+            fmt.set(b, m.rotate_left(b as u32));
+        }
+        let mut sum = 0;
+        for b in 0..8 {
+            sum ^= fmt.get(b);
+        }
+        ring.push(m ^ (sum & 1));
+    }
+    consumer.join()
+}

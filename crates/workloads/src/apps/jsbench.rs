@@ -1,0 +1,118 @@
+//! JSBench-style JavaScript-engine workload (paper §8.2, Tables 1 & 4).
+//!
+//! The paper tests the Firefox JavaScript engine on JSBench — 25
+//! benchmarks sampled from real web applications (5 sites × 5 browser
+//! profiles). The defining property for the *tool* is the op mix:
+//! enormous numbers of normal (non-atomic) shared-memory accesses with
+//! comparatively few atomics (Table 4 shows ratios near 1:1 down to
+//! 50M:47M per variant) across a couple of runtime threads.
+//!
+//! The simulation runs an "interpreter" thread (heavy non-atomic heap
+//! traffic over a shared object graph) alongside a "GC/helper" thread
+//! exchanging work through atomic reference counts and a release/
+//! acquire handshake — no bugs; this workload exists for the
+//! performance and op-count experiments.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+use std::sync::Arc;
+
+/// One of the 25 JSBench variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsVariant {
+    /// Site the trace was sampled from.
+    pub site: &'static str,
+    /// Browser profile.
+    pub profile: &'static str,
+    /// Interpreter steps (scaled from the real trace lengths so that
+    /// per-variant *relative* weight matches Table 4).
+    pub steps: usize,
+}
+
+const SITES: [(&str, usize); 5] = [
+    ("amazon", 80),
+    ("facebook", 400),
+    ("google", 300),
+    ("twitter", 120),
+    ("yahoo", 280),
+];
+
+const PROFILES: [(&str, usize); 5] = [
+    ("chrome", 100),
+    ("chrome-win", 110),
+    ("firefox", 80),
+    ("firefox-win", 70),
+    ("safari", 120),
+];
+
+/// All 25 variants (5 sites × 5 profiles).
+pub fn variants() -> Vec<JsVariant> {
+    let mut v = Vec::with_capacity(25);
+    for (site, s_w) in SITES {
+        for (profile, p_w) in PROFILES {
+            v.push(JsVariant {
+                site,
+                profile,
+                steps: s_w * p_w / 100,
+            });
+        }
+    }
+    v
+}
+
+/// Display name like the paper's `amazon/chrome`.
+pub fn name(v: &JsVariant) -> String {
+    format!("{}/{}", v.site, v.profile)
+}
+
+/// Runs one variant inside a model execution. Returns a checksum.
+pub fn run(v: JsVariant) -> u64 {
+    const HEAP: usize = 64;
+    let heap = Arc::new(SharedArray::named("js.heap", HEAP, 0u64));
+    let refcount = Arc::new(AtomicU32::named("js.refcount", 1));
+    let gc_flag = Arc::new(AtomicU32::named("js.gc", 0));
+
+    // GC/helper thread: occasionally scans a heap region it *owns*
+    // (indices handed over via the release/acquire flag) and adjusts
+    // reference counts.
+    let gc = {
+        let heap = Arc::clone(&heap);
+        let refcount = Arc::clone(&refcount);
+        let gc_flag = Arc::clone(&gc_flag);
+        c11tester::thread::spawn(move || {
+            let mut sweeps = 0u64;
+            let rounds = (v.steps / 32).max(1);
+            for _ in 0..rounds {
+                // Wait for the interpreter to hand over the heap.
+                while gc_flag.load(Ordering::Acquire) == 0 {
+                    c11tester::thread::yield_now();
+                }
+                for i in 0..HEAP / 8 {
+                    sweeps = sweeps.wrapping_add(heap.get(i * 8));
+                }
+                refcount.fetch_add(1, Ordering::AcqRel);
+                gc_flag.store(0, Ordering::Release);
+            }
+            sweeps
+        })
+    };
+
+    // Interpreter: dominated by non-atomic heap reads/writes.
+    let mut acc = 0u64;
+    let rounds = (v.steps / 32).max(1);
+    for r in 0..rounds {
+        for step in 0..32 {
+            let ix = (r * 37 + step * 13) % HEAP;
+            let val = heap.get(ix);
+            heap.set((ix + 7) % HEAP, val.wrapping_add(step as u64));
+            acc = acc.wrapping_add(val);
+        }
+        // Hand the heap to the GC and wait for it back: a proper
+        // release/acquire handshake, so the heap traffic never races.
+        gc_flag.store(1, Ordering::Release);
+        while gc_flag.load(Ordering::Acquire) != 0 {
+            c11tester::thread::yield_now();
+        }
+    }
+    acc.wrapping_add(gc.join())
+}

@@ -1,0 +1,153 @@
+//! Mabain-style key-value store (paper §8.2).
+//!
+//! Mabain's multi-thread insertion test has one asynchronous writer and
+//! several workers that submit insertion jobs through a lock-protected
+//! queue. The paper's finding: *"there is no check to make sure that
+//! all jobs in the queue have been cleared before the writer is
+//! stopped. Thus, after the writer is stopped, some values may not be
+//! found in the Mabain database, causing assertion failures."* All
+//! tools also found data races in Mabain; here the seeded race is a
+//! plain `jobs_done` statistics counter the writer and workers both
+//! bump.
+
+use c11tester::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use c11tester::sync::{Condvar, Mutex};
+use c11tester::{Shared, SharedArray};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The store plus the async-writer machinery.
+#[derive(Debug)]
+pub struct Mabain {
+    /// Value per key (0 = absent); published with release stores.
+    table: Vec<AtomicU32>,
+    queue: Mutex<VecDeque<(usize, u32)>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    /// Plain statistics counter — the seeded data race.
+    jobs_done: Shared<u64>,
+}
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MabainConfig {
+    /// Worker threads submitting insertions.
+    pub workers: usize,
+    /// Insertions per worker.
+    pub inserts_per_worker: usize,
+    /// Whether to run the final presence assertions (the test driver's
+    /// assertion that exposes the lost-drain bug).
+    pub verify: bool,
+}
+
+impl Default for MabainConfig {
+    fn default() -> Self {
+        MabainConfig {
+            workers: 2,
+            inserts_per_worker: 6,
+            verify: true,
+        }
+    }
+}
+
+/// Runs the insertion test. Returns the number of keys present at the
+/// end.
+pub fn run(cfg: MabainConfig) -> u64 {
+    let keys = cfg.workers * cfg.inserts_per_worker;
+    let db = Arc::new(Mabain {
+        table: (0..keys)
+            .map(|i| AtomicU32::named(format!("mabain.val{i}"), 0))
+            .collect(),
+        queue: Mutex::named("mabain.queue", VecDeque::new()),
+        queue_cv: Condvar::new(),
+        stop: AtomicBool::named("mabain.stop", false),
+        jobs_done: Shared::named("mabain.jobs_done", 0),
+    });
+
+    // The async writer: drains the queue until stopped.
+    let writer = {
+        let db = Arc::clone(&db);
+        c11tester::thread::spawn(move || {
+            loop {
+                let job = {
+                    let mut q = db.queue.lock();
+                    loop {
+                        // The bug, faithfully: the stop check runs
+                        // *before* draining what is left in the queue.
+                        if db.stop.load(Ordering::Acquire) {
+                            break None;
+                        }
+                        if let Some(job) = q.pop_front() {
+                            break Some(job);
+                        }
+                        q = db.queue_cv.wait(q);
+                    }
+                };
+                match job {
+                    None => return, // stopped — queue may still be non-empty later!
+                    Some((k, v)) => {
+                        db.table[k].store(v, Ordering::Release);
+                        // Seeded race: plain counter also bumped by workers.
+                        db.jobs_done.set(db.jobs_done.get() + 1);
+                    }
+                }
+            }
+        })
+    };
+
+    // Workers submit jobs.
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            c11tester::thread::spawn(move || {
+                // Key/value serialization scratch (non-atomic work per
+                // insert; Table 3 shows Mabain heavily normal-access
+                // dominated).
+                let buf = SharedArray::named(format!("mabain.w{w}.buf"), 16, 0u64);
+                for i in 0..cfg.inserts_per_worker {
+                    let k = w * cfg.inserts_per_worker + i;
+                    for b in 0..16 {
+                        buf.set(b, (k as u64) << b);
+                    }
+                    let mut acc = 0;
+                    for b in 0..16 {
+                        acc ^= buf.get(b);
+                    }
+                    std::hint::black_box(acc);
+                    {
+                        let mut q = db.queue.lock();
+                        q.push_back((k, (k + 1) as u32));
+                    }
+                    db.queue_cv.notify_one();
+                    // Seeded race on the statistics counter.
+                    db.jobs_done.set(db.jobs_done.get() + 1);
+                }
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join();
+    }
+
+    // The bug: stop the writer *without* waiting for the queue to
+    // drain.
+    db.stop.store(true, Ordering::Release);
+    db.queue_cv.notify_all();
+    writer.join();
+
+    let mut present = 0;
+    for k in 0..keys {
+        let v = db.table[k].load(Ordering::Acquire);
+        if cfg.verify {
+            assert!(
+                v != 0,
+                "mabain: key {k} lost — writer stopped before draining the queue"
+            );
+        }
+        if v != 0 {
+            present += 1;
+        }
+    }
+    present
+}

@@ -1,0 +1,76 @@
+//! Application-scale workload simulations (Table 1 / Table 3 / §8.2).
+
+pub mod gdax;
+pub mod iris;
+pub mod jsbench;
+pub mod mabain;
+pub mod silo;
+
+/// The five Table-1 applications.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AppBench {
+    /// Silo multicore storage engine.
+    Silo,
+    /// GDAX order book.
+    Gdax,
+    /// Mabain key-value store.
+    Mabain,
+    /// Iris asynchronous logger.
+    Iris,
+    /// Firefox JS engine on JSBench.
+    JsBench,
+}
+
+impl AppBench {
+    /// All applications in the paper's Table-1 order.
+    pub fn all() -> [AppBench; 5] {
+        [
+            AppBench::Silo,
+            AppBench::Gdax,
+            AppBench::Mabain,
+            AppBench::Iris,
+            AppBench::JsBench,
+        ]
+    }
+
+    /// Name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppBench::Silo => "Silo",
+            AppBench::Gdax => "GDAX",
+            AppBench::Mabain => "Mabain",
+            AppBench::Iris => "Iris",
+            AppBench::JsBench => "JSBench",
+        }
+    }
+
+    /// Runs the default-parameter body (call inside a model execution).
+    /// Assertion checking is disabled, as in the paper's performance
+    /// runs.
+    pub fn run_default(self) {
+        match self {
+            AppBench::Silo => {
+                silo::run(silo::SiloConfig {
+                    check_invariants: false,
+                    ..silo::SiloConfig::default()
+                });
+            }
+            AppBench::Gdax => {
+                gdax::run(gdax::GdaxConfig::default());
+            }
+            AppBench::Mabain => {
+                mabain::run(mabain::MabainConfig {
+                    verify: false,
+                    ..mabain::MabainConfig::default()
+                });
+            }
+            AppBench::Iris => {
+                iris::run(iris::IrisConfig::default());
+            }
+            AppBench::JsBench => {
+                let v = jsbench::variants();
+                jsbench::run(v[0]);
+            }
+        }
+    }
+}

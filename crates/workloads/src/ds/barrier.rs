@@ -1,0 +1,61 @@
+//! Sense-reversing spinning barrier (CDSChecker benchmark `barrier`).
+//!
+//! The seeded bug: the last arriver publishes the new sense with a
+//! **relaxed** store and waiters spin with **relaxed** loads (the
+//! correct protocol needs release/acquire), so data written before the
+//! barrier is not ordered before reads after it — a data race.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::Shared;
+use std::sync::Arc;
+
+/// A two-phase sense barrier for `n` threads.
+#[derive(Debug)]
+pub struct Barrier {
+    count: AtomicU32,
+    sense: AtomicU32,
+    n: u32,
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: u32) -> Self {
+        Barrier {
+            count: AtomicU32::named("barrier.count", 0),
+            sense: AtomicU32::named("barrier.sense", 0),
+            n,
+        }
+    }
+
+    /// Waits for all participants; `local_sense` alternates per phase.
+    pub fn wait(&self, local_sense: u32) {
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            // Bug: should be Release.
+            self.sense.store(local_sense, Ordering::Relaxed);
+        } else {
+            // Bug: should be Acquire.
+            while self.sense.load(Ordering::Relaxed) != local_sense {
+                c11tester::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Benchmark body: a producer fills data before the barrier; a consumer
+/// reads it after.
+pub fn run() {
+    let barrier = Arc::new(Barrier::new(2));
+    let payload = Arc::new(Shared::named("barrier.payload", 0u64));
+
+    let (b2, p2) = (Arc::clone(&barrier), Arc::clone(&payload));
+    let producer = c11tester::thread::spawn(move || {
+        p2.set(42);
+        b2.wait(1);
+    });
+
+    barrier.wait(1);
+    let v = payload.get(); // races with the producer's write
+    assert!(v == 0 || v == 42, "impossible payload {v}");
+    producer.join();
+}

@@ -1,0 +1,114 @@
+//! Chase-Lev work-stealing deque (CDSChecker benchmark
+//! `chase-lev-deque`, from Lê et al.'s published C11 implementation,
+//! which contains a known ordering bug).
+//!
+//! Our seeded bug keys on the steal CAS: the thief advances `top` with
+//! a **relaxed** compare-exchange (the correct code needs seq_cst /
+//! acq_rel). The owner observes the advanced `top`, concludes the slot
+//! is free, and reuses it for a new push — but without the CAS
+//! synchronization the thief's in-flight read of the slot races with
+//! the owner's reuse write.
+//!
+//! This is the benchmark where the paper reports that *only* C11Tester
+//! finds the race (Table 2): the tsan-family's strengthened RMWs make
+//! the buggy CAS synchronize anyway.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+use std::sync::Arc;
+
+const CAP: usize = 4;
+
+/// The deque state shared between owner and thief.
+#[derive(Debug)]
+pub struct Deque {
+    top: AtomicU32,
+    bottom: AtomicU32,
+    buf: SharedArray<u64>,
+}
+
+impl Deque {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        Deque {
+            top: AtomicU32::named("deque.top", 0),
+            bottom: AtomicU32::named("deque.bottom", 0),
+            buf: SharedArray::named("deque.buf", CAP, 0),
+        }
+    }
+
+    /// Owner-side push onto the bottom.
+    pub fn push(&self, v: u64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        self.buf.set(b as usize % CAP, v);
+        // Publication is correct (release): the bug is not here.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Thief-side steal from the top. Returns the stolen value.
+    pub fn steal(&self) -> Option<u64> {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let v = self.buf.get(t as usize % CAP); // reads the slot...
+        // Bug: must be SeqCst/AcqRel; relaxed means the owner can see
+        // the new `top` without synchronizing with the read above.
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Owner-side take from the bottom (simplified: only used to check
+    /// emptiness in this benchmark body).
+    pub fn size(&self) -> u32 {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t)
+    }
+}
+
+impl Default for Deque {
+    fn default() -> Self {
+        Deque::new()
+    }
+}
+
+/// Benchmark body: the owner fills the deque, a thief steals, and the
+/// owner reuses slots the thief freed.
+pub fn run() {
+    let q = Arc::new(Deque::new());
+
+    let q2 = Arc::clone(&q);
+    let thief = c11tester::thread::spawn(move || {
+        let mut got = 0;
+        for _ in 0..3 {
+            if q2.steal().is_some() {
+                got += 1;
+            }
+        }
+        got
+    });
+
+    for i in 1..=CAP as u64 {
+        q.push(i);
+    }
+    // Reuse slots freed by steals: the owner *acquires* `top` (as the
+    // real take()/push() paths do), so with a correctly ordered steal
+    // CAS the reuse would be synchronized — the relaxed CAS is the only
+    // missing link, and only the full fragment exposes it.
+    for i in 0..2u64 {
+        let t = q.top.load(Ordering::Acquire);
+        if t > i as u32 {
+            q.push(100 + i);
+        }
+    }
+    let _ = thief.join();
+}

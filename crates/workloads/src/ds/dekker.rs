@@ -1,0 +1,82 @@
+//! Dekker's mutual exclusion with seq_cst fences (CDSChecker benchmark
+//! `dekker-fences`).
+//!
+//! The protocol uses relaxed flag accesses ordered by seq_cst fences.
+//! The seeded bug weakens one thread's fence to release, which lets
+//! both threads enter the critical section and race on the protected
+//! data.
+
+use c11tester::sync::atomic::{fence, AtomicU32, Ordering};
+use c11tester::Shared;
+use std::sync::Arc;
+
+struct DekkerState {
+    flag0: AtomicU32,
+    flag1: AtomicU32,
+    turn: AtomicU32,
+    data: Shared<u64>,
+}
+
+fn critical(me: usize, st: &DekkerState) {
+    let v = st.data.get();
+    st.data.set(v + (me as u64) + 1);
+}
+
+fn lock(me: usize, st: &DekkerState, weak_fence: bool) {
+    let (mine, other) = if me == 0 {
+        (&st.flag0, &st.flag1)
+    } else {
+        (&st.flag1, &st.flag0)
+    };
+    mine.store(1, Ordering::Relaxed);
+    if weak_fence {
+        // Bug: must be SeqCst for the flag handshake to be total.
+        fence(Ordering::Release);
+    } else {
+        fence(Ordering::SeqCst);
+    }
+    // Spins terminate under the model's fair random scheduler (every
+    // load is a visible operation, so the peer always gets to run).
+    while other.load(Ordering::Relaxed) == 1 {
+        if st.turn.load(Ordering::Relaxed) != me as u32 {
+            mine.store(0, Ordering::Relaxed);
+            while st.turn.load(Ordering::Relaxed) != me as u32 {
+                c11tester::thread::yield_now();
+            }
+            mine.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+        }
+        c11tester::thread::yield_now();
+    }
+}
+
+fn unlock(me: usize, st: &DekkerState) {
+    st.turn
+        .store(if me == 0 { 1 } else { 0 }, Ordering::Relaxed);
+    let mine = if me == 0 { &st.flag0 } else { &st.flag1 };
+    fence(Ordering::Release);
+    mine.store(0, Ordering::Release);
+}
+
+/// Benchmark body: two threads contend with Dekker's algorithm; thread
+/// 0's entry fence is the seeded weak one.
+pub fn run() {
+    let st = Arc::new(DekkerState {
+        flag0: AtomicU32::named("dekker.flag0", 0),
+        flag1: AtomicU32::named("dekker.flag1", 0),
+        turn: AtomicU32::named("dekker.turn", 0),
+        data: Shared::named("dekker.data", 0),
+    });
+
+    let s2 = Arc::clone(&st);
+    let t1 = c11tester::thread::spawn(move || {
+        lock(1, &s2, false);
+        critical(1, &s2);
+        unlock(1, &s2);
+    });
+
+    lock(0, &st, true); // weak fence: the seeded bug
+    critical(0, &st);
+    unlock(0, &st);
+    t1.join();
+}

@@ -1,0 +1,113 @@
+//! Linux-kernel-style reader-writer lock (CDSChecker benchmark
+//! `linuxrwlocks`): a single counter initialized to a bias; readers
+//! decrement by one, writers claim the whole bias.
+//!
+//! The seeded bug: the writer's unlock restores the bias with a
+//! **relaxed** store (correct: release), so a reader that enters
+//! afterwards does not synchronize with the writer's critical-section
+//! writes — a reader/writer data race on the protected data. The bug is
+//! in a plain store (not an RMW), so — unlike `rwlock_buggy` — every
+//! policy's hb machinery can in principle observe it, matching the
+//! paper's non-zero rates for all three tools.
+
+use c11tester::sync::atomic::{AtomicI64, Ordering};
+use c11tester::Shared;
+use std::sync::Arc;
+
+const BIAS: i64 = 0x0100_0000;
+
+/// The rwlock word plus protected data.
+#[derive(Debug)]
+pub struct LinuxRwLock {
+    lock: AtomicI64,
+}
+
+impl LinuxRwLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        LinuxRwLock {
+            lock: AtomicI64::named("linuxrw.lock", BIAS),
+        }
+    }
+
+    /// Shared acquisition. Returns `false` if the bounded attempt
+    /// budget runs out — under the full C11 fragment, relaxed RMW
+    /// chains can reach lock-word states that never clear, so the test
+    /// driver (like any benchmark under an adversarial-but-legal
+    /// memory model) must bound its spinning.
+    pub fn read_lock(&self) -> bool {
+        for _ in 0..8 {
+            let v = self.lock.fetch_sub(1, Ordering::Acquire);
+            if v > 0 {
+                return true;
+            }
+            self.lock.fetch_add(1, Ordering::Relaxed);
+            c11tester::thread::yield_now();
+        }
+        false
+    }
+
+    /// Shared release.
+    pub fn read_unlock(&self) {
+        self.lock.fetch_add(1, Ordering::Release);
+    }
+
+    /// Exclusive acquisition, bounded like [`LinuxRwLock::read_lock`].
+    /// CAS-based so failed attempts do not perturb the counter.
+    pub fn write_lock(&self) -> bool {
+        for _ in 0..8 {
+            if self
+                .lock
+                .compare_exchange(BIAS, 0, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+            c11tester::thread::yield_now();
+        }
+        false
+    }
+
+    /// Exclusive release — with the seeded relaxed-store bug. The
+    /// holder owns the word exclusively (its value is 0), so restoring
+    /// the bias is a plain store.
+    pub fn write_unlock(&self) {
+        // Bug: should be a release store.
+        self.lock.store(BIAS, Ordering::Relaxed);
+    }
+}
+
+impl Default for LinuxRwLock {
+    fn default() -> Self {
+        LinuxRwLock::new()
+    }
+}
+
+/// Benchmark body: a writer updates data, readers validate it.
+pub fn run() {
+    let lock = Arc::new(LinuxRwLock::new());
+    let data = Arc::new(Shared::named("linuxrw.data", 0u64));
+
+    let (l2, d2) = (Arc::clone(&lock), Arc::clone(&data));
+    let writer = c11tester::thread::spawn(move || {
+        for i in 1..=2u64 {
+            if l2.write_lock() {
+                d2.set(i);
+                l2.write_unlock();
+            }
+        }
+    });
+
+    let (l3, d3) = (Arc::clone(&lock), Arc::clone(&data));
+    let reader = c11tester::thread::spawn(move || {
+        for _ in 0..2 {
+            if l3.read_lock() {
+                let _ = d3.get(); // races with the writer when the unlock is relaxed
+                l3.read_unlock();
+            }
+        }
+    });
+
+    writer.join();
+    reader.join();
+}

@@ -1,0 +1,100 @@
+//! MCS queue lock (CDSChecker benchmark `mcs-lock`).
+//!
+//! Each contender enqueues a node by swapping itself into `tail` and
+//! spins on its own `locked` flag. The seeded bug: the lock *handoff*
+//! (the predecessor clearing the successor's flag) uses a **relaxed**
+//! store and the spin uses **relaxed** loads — the correct protocol
+//! needs release/acquire — so the successor enters the critical section
+//! without synchronizing with the predecessor's writes.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::Shared;
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+
+/// Per-thread queue node.
+#[derive(Debug)]
+struct Node {
+    next: AtomicU32,
+    locked: AtomicU32,
+}
+
+/// MCS lock over a fixed node pool (one node per contender).
+#[derive(Debug)]
+pub struct McsLock {
+    tail: AtomicU32,
+    nodes: Vec<Node>,
+}
+
+impl McsLock {
+    /// Creates a lock for up to `n` contenders.
+    pub fn new(n: usize) -> Self {
+        McsLock {
+            tail: AtomicU32::named("mcs.tail", NONE),
+            nodes: (0..n)
+                .map(|i| Node {
+                    next: AtomicU32::named(format!("mcs.node{i}.next"), NONE),
+                    locked: AtomicU32::named(format!("mcs.node{i}.locked"), 0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Acquires the lock with contender id `me`.
+    pub fn lock(&self, me: u32) {
+        let node = &self.nodes[me as usize];
+        node.next.store(NONE, Ordering::Relaxed);
+        node.locked.store(1, Ordering::Relaxed);
+        let prev = self.tail.swap(me, Ordering::AcqRel);
+        if prev != NONE {
+            self.nodes[prev as usize].next.store(me, Ordering::Release);
+            // Bug: should be Acquire — without it the handoff does not
+            // synchronize.
+            while node.locked.load(Ordering::Relaxed) == 1 {
+                c11tester::thread::yield_now();
+            }
+        }
+    }
+
+    /// Releases the lock held by contender `me`.
+    pub fn unlock(&self, me: u32) {
+        let node = &self.nodes[me as usize];
+        let mut next = node.next.load(Ordering::Acquire);
+        if next == NONE {
+            if self
+                .tail
+                .compare_exchange(me, NONE, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            while {
+                next = node.next.load(Ordering::Acquire);
+                next == NONE
+            } {
+                c11tester::thread::yield_now();
+            }
+        }
+        // Bug: should be Release — the handoff store.
+        self.nodes[next as usize].locked.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Benchmark body: two contenders increment shared data under the lock.
+pub fn run() {
+    let lock = Arc::new(McsLock::new(2));
+    let data = Arc::new(Shared::named("mcs.data", 0u64));
+
+    let (l2, d2) = (Arc::clone(&lock), Arc::clone(&data));
+    let t = c11tester::thread::spawn(move || {
+        l2.lock(1);
+        d2.set(d2.get() + 1);
+        l2.unlock(1);
+    });
+
+    lock.lock(0);
+    data.set(data.get() + 1);
+    lock.unlock(0);
+    t.join();
+}

@@ -1,0 +1,72 @@
+//! Data-structure benchmarks: the CDSChecker suite used in Table 2 and
+//! the §8.1 injected-bug benchmarks.
+
+pub mod barrier;
+pub mod chase_lev;
+pub mod dekker;
+pub mod linuxrwlocks;
+pub mod mcs_lock;
+pub mod mpmc_queue;
+pub mod ms_queue;
+pub mod rwlock_buggy;
+pub mod seqlock;
+
+/// The seven Table-2 data-structure benchmarks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DsBench {
+    /// Sense-reversing barrier.
+    Barrier,
+    /// Chase-Lev work-stealing deque.
+    ChaseLevDeque,
+    /// Dekker mutual exclusion with fences.
+    DekkerFences,
+    /// Linux-style reader-writer lock.
+    LinuxRwLocks,
+    /// MCS queue lock.
+    McsLock,
+    /// Bounded MPMC queue.
+    MpmcQueue,
+    /// Michael–Scott queue.
+    MsQueue,
+}
+
+impl DsBench {
+    /// All benchmarks in the paper's Table-2 order.
+    pub fn all() -> [DsBench; 7] {
+        [
+            DsBench::Barrier,
+            DsBench::ChaseLevDeque,
+            DsBench::DekkerFences,
+            DsBench::LinuxRwLocks,
+            DsBench::McsLock,
+            DsBench::MpmcQueue,
+            DsBench::MsQueue,
+        ]
+    }
+
+    /// Name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            DsBench::Barrier => "barrier",
+            DsBench::ChaseLevDeque => "chase-lev-deque",
+            DsBench::DekkerFences => "dekker-fences",
+            DsBench::LinuxRwLocks => "linuxrwlocks",
+            DsBench::McsLock => "mcs-lock",
+            DsBench::MpmcQueue => "mpmc-queue",
+            DsBench::MsQueue => "ms-queue",
+        }
+    }
+
+    /// Runs the benchmark body (call inside a model execution).
+    pub fn run(self) {
+        match self {
+            DsBench::Barrier => barrier::run(),
+            DsBench::ChaseLevDeque => chase_lev::run(),
+            DsBench::DekkerFences => dekker::run(),
+            DsBench::LinuxRwLocks => linuxrwlocks::run(),
+            DsBench::McsLock => mcs_lock::run(),
+            DsBench::MpmcQueue => mpmc_queue::run(),
+            DsBench::MsQueue => ms_queue::run(),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded multi-producer/multi-consumer queue (CDSChecker benchmark
+//! `mpmc-queue`).
+//!
+//! A ring of cells, each with a sequence stamp; producers and consumers
+//! claim tickets with fetch_add. The seeded bug: the producer's stamp
+//! publication is a **relaxed** store (correct: release), so a consumer
+//! that observes the stamp may read the payload without
+//! synchronization — a data race on the cell payload.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+use std::sync::Arc;
+
+const CAP: usize = 2;
+
+/// The queue state.
+#[derive(Debug)]
+pub struct MpmcQueue {
+    stamps: Vec<AtomicU32>,
+    payload: SharedArray<u64>,
+    head: AtomicU32,
+    tail: AtomicU32,
+}
+
+impl MpmcQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MpmcQueue {
+            stamps: (0..CAP)
+                .map(|i| AtomicU32::named(format!("mpmc.stamp{i}"), i as u32))
+                .collect(),
+            payload: SharedArray::named("mpmc.payload", CAP, 0),
+            head: AtomicU32::named("mpmc.head", 0),
+            tail: AtomicU32::named("mpmc.tail", 0),
+        }
+    }
+
+    /// Enqueues `v`, spinning until a cell is free.
+    pub fn push(&self, v: u64) {
+        loop {
+            let t = self.tail.load(Ordering::Relaxed);
+            let cell = t as usize % CAP;
+            let stamp = self.stamps[cell].load(Ordering::Acquire);
+            if stamp == t
+                && self
+                    .tail
+                    .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.payload.set(cell, v);
+                // Bug: should be Release.
+                self.stamps[cell].store(t + 1, Ordering::Relaxed);
+                return;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// Dequeues a value, spinning until one is available.
+    pub fn pop(&self) -> u64 {
+        loop {
+            let h = self.head.load(Ordering::Relaxed);
+            let cell = h as usize % CAP;
+            let stamp = self.stamps[cell].load(Ordering::Acquire);
+            if stamp == h + 1
+                && self
+                    .head
+                    .compare_exchange(h, h + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                let v = self.payload.get(cell); // races with the producer
+                self.stamps[cell].store(h + CAP as u32, Ordering::Release);
+                return v;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+}
+
+impl Default for MpmcQueue {
+    fn default() -> Self {
+        MpmcQueue::new()
+    }
+}
+
+/// Benchmark body: two producers, two consumers, two items each.
+pub fn run() {
+    let q = Arc::new(MpmcQueue::new());
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            c11tester::thread::spawn(move || {
+                for i in 0..2 {
+                    q.push(p * 10 + i);
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            c11tester::thread::spawn(move || {
+                let mut sum = 0;
+                for _ in 0..2 {
+                    sum += q.pop();
+                }
+                sum
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join();
+    }
+    for c in consumers {
+        let _ = c.join();
+    }
+}

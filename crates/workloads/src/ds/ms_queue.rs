@@ -1,0 +1,119 @@
+//! Michael–Scott lock-free queue (CDSChecker benchmark `ms-queue`).
+//!
+//! Nodes come from a preallocated pool; `next` pointers are node
+//! indices. The seeded bug is the classic *publish-then-initialize*
+//! mistake: the enqueuer links the node into the queue **before**
+//! writing its (non-atomic) value, so a fast dequeuer reads the value
+//! while the enqueuer writes it. This race fires on essentially every
+//! interleaving, which is why Table 2 reports 100% detection for all
+//! three tools.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::SharedArray;
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+const POOL: usize = 8;
+
+/// The queue over a fixed node pool.
+#[derive(Debug)]
+pub struct MsQueue {
+    next: Vec<AtomicU32>,
+    value: SharedArray<u64>,
+    head: AtomicU32,
+    tail: AtomicU32,
+    alloc: AtomicU32,
+}
+
+impl MsQueue {
+    /// Creates the queue with a dummy node at index 0.
+    pub fn new() -> Self {
+        MsQueue {
+            next: (0..POOL)
+                .map(|i| AtomicU32::named(format!("msq.next{i}"), NONE))
+                .collect(),
+            value: SharedArray::named("msq.value", POOL, 0),
+            head: AtomicU32::named("msq.head", 0),
+            tail: AtomicU32::named("msq.tail", 0),
+            alloc: AtomicU32::named("msq.alloc", 1),
+        }
+    }
+
+    /// Enqueues `v` (with the seeded publish-before-init bug).
+    pub fn push(&self, v: u64) {
+        let n = self.alloc.fetch_add(1, Ordering::AcqRel);
+        assert!((n as usize) < POOL, "node pool exhausted");
+        self.next[n as usize].store(NONE, Ordering::Relaxed);
+        loop {
+            let t = self.tail.load(Ordering::Acquire);
+            let tn = self.next[t as usize].load(Ordering::Acquire);
+            if tn != NONE {
+                let _ = self.tail.compare_exchange(
+                    t,
+                    tn,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                continue;
+            }
+            if self.next[t as usize]
+                .compare_exchange(NONE, n, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Bug: the node is reachable *now*, but the value write
+                // happens after publication.
+                self.value.set(n as usize, v);
+                let _ = self
+                    .tail
+                    .compare_exchange(t, n, Ordering::AcqRel, Ordering::Relaxed);
+                return;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// Dequeues a value if available.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let hn = self.next[h as usize].load(Ordering::Acquire);
+            if hn == NONE {
+                return None;
+            }
+            let v = self.value.get(hn as usize); // races with push's init
+            if self
+                .head
+                .compare_exchange(h, hn, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(v);
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+}
+
+impl Default for MsQueue {
+    fn default() -> Self {
+        MsQueue::new()
+    }
+}
+
+/// Benchmark body: one enqueuer, one dequeuer.
+pub fn run() {
+    let q = Arc::new(MsQueue::new());
+    let q2 = Arc::clone(&q);
+    let consumer = c11tester::thread::spawn(move || {
+        let mut got = 0;
+        while got < 2 {
+            if q2.pop().is_some() {
+                got += 1;
+            } else {
+                c11tester::thread::yield_now();
+            }
+        }
+    });
+    q.push(7);
+    q.push(9);
+    consumer.join();
+}

@@ -1,0 +1,128 @@
+//! Reader-writer lock with the paper's §8.1 injected bug: the
+//! write-lock acquisition "incorrectly uses relaxed atomics".
+//!
+//! The test case mirrors the paper's: the read-lock protects reads of
+//! the shared data and the write-lock protects writes. A writer whose
+//! lock CAS is relaxed does not synchronize with the previous writer's
+//! release, so the two writers' critical-section accesses race.
+//! tsan11/tsan11rec strengthen the CAS to acq_rel and therefore can
+//! never observe the race; C11Tester models the relaxed RMW precisely.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use c11tester::Shared;
+use std::sync::Arc;
+
+const WRITER_BIT: u32 = 1 << 16;
+
+/// A small reader-writer lock over a single atomic word.
+#[derive(Debug)]
+pub struct RwLock {
+    state: AtomicU32,
+    write_order: Ordering,
+}
+
+impl RwLock {
+    /// Creates the lock; `fixed` selects the correct acquire CAS for
+    /// writers instead of the injected relaxed one.
+    pub fn new(fixed: bool) -> Self {
+        RwLock {
+            state: AtomicU32::named("rwlock.state", 0),
+            write_order: if fixed {
+                Ordering::AcqRel
+            } else {
+                Ordering::Relaxed // injected bug
+            },
+        }
+    }
+
+    /// Acquires the lock in shared mode.
+    pub fn read_lock(&self) {
+        loop {
+            let v = self.state.fetch_add(1, Ordering::Acquire);
+            if v & WRITER_BIT == 0 {
+                return;
+            }
+            self.state.fetch_sub(1, Ordering::Relaxed);
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// Releases a shared hold.
+    pub fn read_unlock(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Acquires the lock exclusively (with the buggy ordering unless
+    /// constructed `fixed`).
+    pub fn write_lock(&self) {
+        loop {
+            if self
+                .state
+                .compare_exchange(0, WRITER_BIT, self.write_order, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            c11tester::thread::yield_now();
+        }
+    }
+
+    /// Releases an exclusive hold.
+    pub fn write_unlock(&self) {
+        self.state.fetch_sub(WRITER_BIT, Ordering::Release);
+    }
+}
+
+/// Benchmark body: two writers and one reader over lock-protected data.
+pub fn run(fixed: bool) {
+    let lock = Arc::new(RwLock::new(fixed));
+    let d1 = Arc::new(Shared::named("rwlock.data1", 0u32));
+    let d2 = Arc::new(Shared::named("rwlock.data2", 0u32));
+
+    let writers: Vec<_> = (1..=2u32)
+        .map(|w| {
+            let lock = Arc::clone(&lock);
+            let d1 = Arc::clone(&d1);
+            let d2 = Arc::clone(&d2);
+            c11tester::thread::spawn(move || {
+                for i in 0..2 {
+                    lock.write_lock();
+                    let v = w * 10 + i;
+                    d1.set(v);
+                    d2.set(v);
+                    lock.write_unlock();
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let lock = Arc::clone(&lock);
+        let d1 = Arc::clone(&d1);
+        let d2 = Arc::clone(&d2);
+        c11tester::thread::spawn(move || {
+            for _ in 0..2 {
+                lock.read_lock();
+                let a = d1.get();
+                let b = d2.get();
+                assert_eq!(a, b, "rwlock invariant broken: {a} != {b}");
+                lock.read_unlock();
+            }
+        })
+    };
+
+    for w in writers {
+        w.join();
+    }
+    reader.join();
+}
+
+/// The buggy variant evaluated in §8.1.
+pub fn run_buggy() {
+    run(false);
+}
+
+/// The corrected protocol (control: must never fail).
+pub fn run_fixed() {
+    run(true);
+}

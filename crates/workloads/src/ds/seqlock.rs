@@ -1,0 +1,78 @@
+//! Seqlock with the paper's §8.1 injected bug.
+//!
+//! Based on Figure 5 of Boehm's MSPC'12 seqlock paper: the writer
+//! correctly uses **release** atomics for the data-field stores, and the
+//! injected bug weakens the counter increments to **relaxed** (the
+//! correct protocol needs release on the closing increment and an
+//! acquire-compatible counter read).
+//!
+//! The observable failure is a *torn read*: a reader validates the
+//! counter (even and unchanged) yet sees data fields from different
+//! writer rounds. Exposing it requires a load to read a counter value
+//! whose modification order disagrees with the tool's execution order —
+//! the fragment tsan11/tsan11rec exclude (§1.1) — and, equally, requires
+//! the relaxed `fetch_add` increments *not* to synchronize, which the
+//! tsan-family's conservatively strengthened RMWs always do.
+
+use c11tester::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Number of writer rounds per execution.
+pub const ROUNDS: u32 = 3;
+/// Number of read attempts per execution.
+pub const READS: u32 = 4;
+
+/// Runs the seqlock benchmark body; `fixed` selects the correct
+/// protocol instead of the injected bug.
+///
+/// # Panics
+///
+/// Panics (an assertion violation the model reports) when a torn read
+/// is observed — the injected bug firing.
+pub fn run(fixed: bool) {
+    let count = Arc::new(AtomicU32::named("seqlock.count", 0));
+    let data1 = Arc::new(AtomicU32::named("seqlock.data1", 0));
+    let data2 = Arc::new(AtomicU32::named("seqlock.data2", 0));
+
+    let (c, d1, d2) = (Arc::clone(&count), Arc::clone(&data1), Arc::clone(&data2));
+    let inc_order = if fixed {
+        Ordering::AcqRel
+    } else {
+        Ordering::Relaxed // injected bug
+    };
+    let writer = c11tester::thread::spawn(move || {
+        for i in 1..=ROUNDS {
+            c.fetch_add(1, inc_order); // odd: write in progress
+            d1.store(i, Ordering::Release);
+            d2.store(i, Ordering::Release);
+            c.fetch_add(1, inc_order); // even: write complete
+        }
+    });
+
+    for _ in 0..READS {
+        let c1 = count.load(Ordering::Acquire);
+        if c1 % 2 != 0 {
+            c11tester::thread::yield_now();
+            continue;
+        }
+        let v1 = data1.load(Ordering::Acquire);
+        let v2 = data2.load(Ordering::Acquire);
+        let c2 = count.load(Ordering::Relaxed);
+        if c1 == c2 {
+            // The seqlock read protocol says this snapshot is
+            // consistent; with the injected bug it may not be.
+            assert_eq!(v1, v2, "seqlock torn read: data1={v1} data2={v2} seq={c1}");
+        }
+    }
+    writer.join();
+}
+
+/// The buggy variant evaluated in §8.1.
+pub fn run_buggy() {
+    run(false);
+}
+
+/// The corrected protocol (control: must never fail).
+pub fn run_fixed() {
+    run(true);
+}

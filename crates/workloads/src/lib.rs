@@ -1,0 +1,24 @@
+//! # c11tester-workloads
+//!
+//! The benchmark programs of the C11Tester evaluation (paper §8),
+//! ported to the `c11tester` model API:
+//!
+//! * [`ds`] — the CDSChecker data-structure suite of Table 2 (barrier,
+//!   chase-lev-deque, dekker-fences, linuxrwlocks, mcs-lock,
+//!   mpmc-queue, ms-queue) plus the §8.1 injected-bug seqlock and
+//!   reader-writer lock;
+//! * [`apps`] — simulations of the five applications of Table 1 (Silo,
+//!   GDAX, Mabain, Iris, JSBench) preserving each one's concurrency
+//!   skeleton, op mix, and reported bug.
+//!
+//! Every benchmark is a plain function run inside
+//! [`c11tester::Model::run`]; the `c11tester-bench` crate drives them
+//! to regenerate the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod ds;
+
+pub use apps::AppBench;
+pub use ds::DsBench;

@@ -1,0 +1,232 @@
+//! Smoke tests: every workload terminates under the model, the seeded
+//! bugs fire under the C11Tester policy at healthy rates, the fixed
+//! variants stay clean, and the §8.1 policy separation holds.
+
+use c11tester::{Config, Model, Policy};
+use c11tester_workloads::{apps, ds, AppBench, DsBench};
+
+fn model(policy: Policy, seed: u64) -> Model {
+    Model::new(Config::for_policy(policy).with_seed(seed))
+}
+
+#[test]
+fn all_ds_benchmarks_terminate() {
+    for bench in DsBench::all() {
+        let mut m = model(Policy::C11Tester, 1000);
+        for _ in 0..5 {
+            let report = m.run(|| bench.run());
+            assert!(
+                report.failure.is_none()
+                    || matches!(report.failure, Some(c11tester::Failure::Panic(_))),
+                "{}: unexpected outcome {report}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_apps_terminate() {
+    for app in AppBench::all() {
+        let mut m = model(Policy::C11Tester, 2000);
+        let report = m.run(|| app.run_default());
+        assert!(
+            report.failure.is_none(),
+            "{}: unexpected failure {report}",
+            app.name()
+        );
+        assert!(report.stats.atomic_ops() > 0, "{} ran no atomics", app.name());
+    }
+}
+
+#[test]
+fn seqlock_bug_detected_only_by_full_fragment() {
+    // §8.1: C11Tester detects the injected seqlock bug; tsan11 and
+    // tsan11rec miss it (their executions keep hb ∪ sc ∪ rf ∪ mo
+    // acyclic and their RMWs over-synchronize).
+    let mut full = model(Policy::C11Tester, 77);
+    let report = full.check(300, ds::seqlock::run_buggy);
+    assert!(
+        report.executions_with_bug > 0,
+        "C11Tester must detect the seqlock bug: {report}"
+    );
+
+    for policy in [Policy::Tsan11Rec, Policy::Tsan11] {
+        let mut m = model(policy, 77);
+        let report = m.check(300, ds::seqlock::run_buggy);
+        assert_eq!(
+            report.executions_with_bug, 0,
+            "{policy} should miss the seqlock bug: {report}"
+        );
+    }
+}
+
+#[test]
+fn seqlock_fixed_is_clean() {
+    let mut m = model(Policy::C11Tester, 78);
+    let report = m.check(200, ds::seqlock::run_fixed);
+    assert_eq!(report.executions_with_bug, 0, "{report}");
+}
+
+#[test]
+fn rwlock_bug_detected_only_by_full_fragment() {
+    let mut full = model(Policy::C11Tester, 79);
+    let report = full.check(200, ds::rwlock_buggy::run_buggy);
+    assert!(
+        report.executions_with_race > 0,
+        "C11Tester must detect the rwlock race: {report}"
+    );
+
+    for policy in [Policy::Tsan11Rec, Policy::Tsan11] {
+        let mut m = model(policy, 79);
+        let report = m.check(200, ds::rwlock_buggy::run_buggy);
+        assert_eq!(
+            report.executions_with_race, 0,
+            "{policy} should miss the rwlock race: {report}"
+        );
+    }
+}
+
+#[test]
+fn rwlock_fixed_is_clean() {
+    let mut m = model(Policy::C11Tester, 80);
+    let report = m.check(200, ds::rwlock_buggy::run_fixed);
+    assert_eq!(report.executions_with_bug, 0, "{report}");
+}
+
+#[test]
+fn chase_lev_race_found_only_by_c11tester() {
+    // Table 2: "Tsan11 and tsan11rec did not detect races in
+    // chase-lev-deque, but C11Tester did."
+    let mut full = model(Policy::C11Tester, 81);
+    let report = full.check(300, ds::chase_lev::run);
+    assert!(
+        report.executions_with_race > 0,
+        "C11Tester must find the chase-lev race: {report}"
+    );
+    for policy in [Policy::Tsan11Rec, Policy::Tsan11] {
+        let mut m = model(policy, 81);
+        let report = m.check(300, ds::chase_lev::run);
+        assert_eq!(
+            report.executions_with_race, 0,
+            "{policy} should miss the chase-lev race: {report}"
+        );
+    }
+}
+
+#[test]
+fn ms_queue_race_found_by_everyone() {
+    // Table 2: all three tools detect the ms-queue race at 100%.
+    for policy in Policy::all() {
+        let mut m = model(policy, 82);
+        let report = m.check(50, ds::ms_queue::run);
+        assert!(
+            report.race_detection_rate() > 0.9,
+            "{policy} should detect ms-queue nearly always: {report}"
+        );
+    }
+}
+
+#[test]
+fn barrier_and_locks_race_under_full_fragment() {
+    for bench in [DsBench::Barrier, DsBench::LinuxRwLocks, DsBench::McsLock, DsBench::MpmcQueue] {
+        let mut m = model(Policy::C11Tester, 83);
+        let report = m.check(100, || bench.run());
+        assert!(
+            report.executions_with_race > 0,
+            "{} should race under C11Tester: {report}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn dekker_without_weak_fence_is_detected_by_all_policies() {
+    for policy in Policy::all() {
+        let mut m = model(policy, 84);
+        let report = m.check(150, ds::dekker::run);
+        assert!(
+            report.executions_with_race > 0,
+            "{policy} should be able to catch the dekker race: {report}"
+        );
+    }
+}
+
+#[test]
+fn silo_invariant_depends_on_volatile_handling() {
+    // §8.2 Silo: invariant violations with volatiles-as-relaxed; gone
+    // when volatiles are handled as acquire/release.
+    let cfg = Config::for_policy(Policy::C11Tester).with_seed(85);
+    let mut relaxed = Model::new(cfg.clone());
+    let report = relaxed.check(150, || {
+        apps::silo::run(apps::silo::SiloConfig::default());
+    });
+    assert!(
+        report.executions_with_bug > 0,
+        "relaxed volatiles must expose the Silo invariant violation: {report}"
+    );
+
+    let fixed_cfg = cfg.with_volatile_orders(
+        c11tester::MemOrder::Acquire,
+        c11tester::MemOrder::Release,
+    );
+    let mut acqrel = Model::new(fixed_cfg);
+    let report = acqrel.check(150, || {
+        apps::silo::run(apps::silo::SiloConfig::default());
+    });
+    assert_eq!(
+        report.failures.len(),
+        0,
+        "acquire/release volatiles must fix Silo: {report}"
+    );
+}
+
+#[test]
+fn mabain_lost_drain_bug_fires() {
+    let mut m = model(Policy::C11Tester, 86);
+    let report = m.check(150, || {
+        apps::mabain::run(apps::mabain::MabainConfig::default());
+    });
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|(_, f)| matches!(f, c11tester::Failure::Panic(msg) if msg.contains("lost"))),
+        "the lost-drain assertion should fire: {report}"
+    );
+    assert!(
+        report.executions_with_race > 0,
+        "the jobs_done counter race should be detected: {report}"
+    );
+}
+
+#[test]
+fn iris_and_gdax_report_races() {
+    let mut m = model(Policy::C11Tester, 87);
+    let report = m.check(60, || {
+        apps::iris::run(apps::iris::IrisConfig::default());
+    });
+    assert!(report.executions_with_race > 0, "iris: {report}");
+
+    let mut m = model(Policy::C11Tester, 88);
+    let report = m.check(60, || {
+        apps::gdax::run(apps::gdax::GdaxConfig::default());
+    });
+    assert!(report.executions_with_race > 0, "gdax: {report}");
+}
+
+#[test]
+fn jsbench_variants_are_clean_and_normal_heavy() {
+    let v = c11tester_workloads::apps::jsbench::variants();
+    assert_eq!(v.len(), 25);
+    let mut m = model(Policy::C11Tester, 89);
+    let report = m.run(|| {
+        c11tester_workloads::apps::jsbench::run(v[0]);
+    });
+    assert!(!report.found_bug(), "{report}");
+    assert!(
+        report.stats.normal_accesses > report.stats.atomic_ops(),
+        "jsbench must be dominated by normal accesses: {:?}",
+        report.stats
+    );
+}

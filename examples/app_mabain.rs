@@ -1,0 +1,30 @@
+//! Finding a real application bug: the Mabain lost-drain assertion.
+//!
+//! ```text
+//! cargo run --release --example app_mabain
+//! ```
+//!
+//! The paper's Mabain finding (§8.2): the insertion test stops its
+//! asynchronous writer without checking that the job queue has drained,
+//! so keys can be lost. The model finds both the assertion failure and
+//! the seeded statistics-counter data race.
+
+use c11tester::{Config, Model, Policy};
+use c11tester_workloads::apps::mabain::{self, MabainConfig};
+
+fn main() {
+    const RUNS: u64 = 300;
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(0x4ABA));
+    let report = model.check(RUNS, || {
+        mabain::run(MabainConfig::default());
+    });
+    println!("Mabain insertion test, {RUNS} executions\n{report}");
+    let lost = report
+        .failures
+        .iter()
+        .filter(|(_, f)| matches!(f, c11tester::Failure::Panic(m) if m.contains("lost")))
+        .count();
+    println!("lost-drain assertion fired in {lost} executions");
+    assert!(lost > 0, "the lost-drain bug should fire");
+    assert!(report.executions_with_race > 0, "the stats counter race should fire");
+}

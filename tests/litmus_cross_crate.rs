@@ -1,0 +1,93 @@
+//! Workspace-level integration tests: drive the public `c11tester` API
+//! against the workloads crate and cross-check behaviors that span
+//! crates (policies × workloads × reports).
+
+use c11tester::{Config, Model, Policy, PruneConfig};
+use c11tester_workloads::{ds, DsBench};
+
+/// Every Table-2 benchmark runs to completion (possibly with races)
+/// under every policy — no deadlocks, no engine panics.
+#[test]
+fn ds_suite_runs_under_every_policy() {
+    for policy in Policy::all() {
+        for bench in DsBench::all() {
+            let mut model = Model::new(Config::for_policy(policy).with_seed(9));
+            for _ in 0..3 {
+                let report = model.run(|| bench.run());
+                assert!(
+                    !matches!(report.failure, Some(c11tester::Failure::Deadlock)),
+                    "{policy}/{}: deadlock: {report}",
+                    bench.name()
+                );
+                assert!(
+                    !matches!(report.failure, Some(c11tester::Failure::TooManyEvents(_))),
+                    "{policy}/{}: runaway: {report}",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+/// Pruning modes don't change which bugs the §8.1 benchmarks expose.
+#[test]
+fn pruning_preserves_bug_detection() {
+    let run = |prune: PruneConfig| {
+        let mut model =
+            Model::new(Config::for_policy(Policy::C11Tester).with_seed(10).with_prune(prune));
+        let report = model.check(150, ds::seqlock::run_buggy);
+        report.executions_with_bug > 0
+    };
+    assert!(run(PruneConfig::disabled()));
+    assert!(run(PruneConfig::conservative(128)));
+}
+
+/// The detection-rate ordering of Table 2 holds in aggregate: the full
+/// fragment detects at least as often as the restricted ones on the
+/// RMW-dependent benchmarks.
+#[test]
+fn detection_rates_order_by_fragment() {
+    let rate = |policy: Policy, bench: DsBench| {
+        let mut model = Model::new(Config::for_policy(policy).with_seed(11));
+        let report = model.check(100, || bench.run());
+        report.race_detection_rate()
+    };
+    for bench in [DsBench::ChaseLevDeque, DsBench::McsLock] {
+        let full = rate(Policy::C11Tester, bench);
+        let restricted = rate(Policy::Tsan11Rec, bench);
+        assert!(
+            full >= restricted,
+            "{}: C11Tester rate {full} < tsan11rec rate {restricted}",
+            bench.name()
+        );
+    }
+}
+
+/// Distinct race labels accumulate across executions without
+/// duplicates (the §7.6 report-once behavior at the model level).
+#[test]
+fn distinct_races_are_deduplicated_across_runs() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(12));
+    let report = model.check(60, || DsBench::MsQueue.run());
+    let mut labels: Vec<(String, c11tester::RaceKind)> = report
+        .distinct_races
+        .iter()
+        .map(|r| (r.label.clone(), r.kind))
+        .collect();
+    let before = labels.len();
+    labels.sort();
+    labels.dedup();
+    assert_eq!(before, labels.len(), "duplicate distinct races reported");
+    assert!(before >= 1);
+}
+
+/// Statistics accumulate sensibly across the suite.
+#[test]
+fn stats_accumulate_over_check() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(13));
+    let one = model.run(|| DsBench::MpmcQueue.run()).stats;
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(13));
+    let many = model.check(5, || DsBench::MpmcQueue.run()).total_stats;
+    assert!(many.atomic_ops() >= one.atomic_ops());
+    assert!(many.rmws >= one.rmws);
+}
