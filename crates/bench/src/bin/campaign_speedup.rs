@@ -1,0 +1,111 @@
+//! Campaign scaling harness: wall-clock speedup of parallel exploration
+//! campaigns over the serial `Model::run_many` loop, with the
+//! determinism contract checked on every row.
+//!
+//! ```text
+//! cargo run --release -p c11tester-bench --bin campaign_speedup \
+//!     [-- --target <name>] [--executions N]
+//! ```
+//!
+//! For each worker count (1, 2, 4, …, up to the core count) the
+//! harness runs the same fixed budget and reports wall time, speedup
+//! over serial, and whether the aggregate (detection counts + dedup
+//! race set) is identical to the serial reference — it must be, or the
+//! row is marked `MISMATCH`.
+//!
+//! On a host with ≥ 4 cores the 4-worker row lands at ≥ 2× in
+//! release mode (executions are independent and embarrassingly
+//! parallel; the only shared state is the report channel). On fewer
+//! cores the harness still validates determinism but cannot show the
+//! speedup — the core count is printed so the context is explicit.
+
+use c11tester::{Config, Model};
+use c11tester_bench::runs_from_env;
+use c11tester_campaign::{targets, Campaign, CampaignBudget};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut target_name = "mpmc-queue".to_string();
+    let mut executions = u64::from(runs_from_env(1000));
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--target" => target_name = args.next().expect("--target needs a value"),
+            "--executions" => {
+                executions = args
+                    .next()
+                    .expect("--executions needs a value")
+                    .parse()
+                    .expect("--executions must be a number")
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    let target = targets::find(&target_name).unwrap_or_else(|| {
+        panic!("unknown target `{target_name}` (try c11campaign --list)");
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let seed = 0xCA4_4A16u64;
+
+    println!(
+        "campaign speedup on `{}`: {executions} executions, seed {seed:#x}, {cores} core(s)",
+        target.name
+    );
+
+    // Serial reference: Model::run_many on one thread.
+    let t0 = Instant::now();
+    let serial =
+        Model::new(Config::new().with_seed(seed)).run_many(executions, move || target.run());
+    let serial_wall = t0.elapsed();
+    println!(
+        "{:<12} {:>10} {:>9} {:>12}  aggregate",
+        "mode", "wall", "speedup", "exec/s"
+    );
+    println!(
+        "{:<12} {:>10.2?} {:>8.2}x {:>12.0}  reference",
+        "serial",
+        serial_wall,
+        1.0,
+        executions as f64 / serial_wall.as_secs_f64().max(1e-12),
+    );
+
+    let mut workers = 1usize;
+    let mut reached_2x_on_4 = None;
+    while workers <= cores.max(4) {
+        let campaign = Campaign::new(Config::new().with_seed(seed)).with_workers(workers);
+        let report = campaign.run(&CampaignBudget::executions(executions), move || {
+            target.run()
+        });
+        let speedup = serial_wall.as_secs_f64() / report.wall_time.as_secs_f64().max(1e-12);
+        let matches = report.aggregate == serial;
+        println!(
+            "{:<12} {:>10.2?} {:>8.2}x {:>12.0}  {}",
+            format!("{workers} worker(s)"),
+            report.wall_time,
+            speedup,
+            report.throughput(),
+            if matches { "identical" } else { "MISMATCH" },
+        );
+        assert!(
+            matches,
+            "campaign aggregate diverged from serial at {workers} workers"
+        );
+        if workers == 4 {
+            reached_2x_on_4 = Some(speedup >= 2.0);
+        }
+        workers *= 2;
+    }
+
+    match reached_2x_on_4 {
+        Some(true) => println!("4-worker campaign achieved >= 2x over serial."),
+        Some(false) if cores >= 4 => {
+            println!("WARNING: 4-worker campaign below 2x despite {cores} cores.")
+        }
+        _ => println!(
+            "(only {cores} core(s) available: speedup not observable here; \
+             determinism verified on every row)"
+        ),
+    }
+}

@@ -2,13 +2,20 @@
 //! detection rate for each tool — plus Figure 16 (the bar-chart view of
 //! the same data).
 //!
+//! Detection rates are computed by a **campaign** over all cores
+//! (`c11tester-campaign`): rates and dedup histories are identical to
+//! the serial loop's by the campaign determinism contract, while the
+//! rate runs finish `~cores`× faster. Per-execution times are measured
+//! on a serial sample so multi-worker scheduling noise cannot leak
+//! into them.
+//!
 //! ```text
 //! cargo run --release -p c11tester-bench --bin table2 [-- --figure16]
 //! ```
 //! Set `C11_BENCH_RUNS` to change the run count (paper: 500).
 
 use c11tester::Policy;
-use c11tester_bench::{paper_model, rule, runs_from_env, summarize};
+use c11tester_bench::{campaign_policy_runs, paper_model, rule, runs_from_env, summarize};
 use c11tester_workloads::DsBench;
 use std::time::Instant;
 
@@ -18,20 +25,20 @@ struct Cell {
 }
 
 fn measure(bench: DsBench, policy: Policy, runs: u64) -> Cell {
+    // Detection rate: campaign over all cores, full run budget.
+    let report = campaign_policy_runs(policy, 0x7AB1E2, runs, None, move || bench.run());
+    // Timing: serial sample (up to 100 executions of the same stream).
     let mut model = paper_model(policy, 0x7AB1E2);
-    let mut samples = Vec::with_capacity(runs as usize);
-    let mut detected = 0u64;
-    for _ in 0..runs {
+    let timing_runs = runs.min(100);
+    let mut samples = Vec::with_capacity(timing_runs as usize);
+    for _ in 0..timing_runs {
         let t0 = Instant::now();
-        let report = model.run(|| bench.run());
+        let _ = model.run(|| bench.run());
         samples.push(t0.elapsed());
-        if report.found_race() {
-            detected += 1;
-        }
     }
     Cell {
         time_ms: summarize(&samples).mean_ms(),
-        rate: detected as f64 / runs as f64,
+        rate: report.race_detection_rate(),
     }
 }
 
@@ -51,10 +58,7 @@ fn main() {
     let mut rates = [Vec::new(), Vec::new(), Vec::new()];
     let mut rows = Vec::new();
     for bench in DsBench::all() {
-        let cells: Vec<Cell> = policies
-            .iter()
-            .map(|&p| measure(bench, p, runs))
-            .collect();
+        let cells: Vec<Cell> = policies.iter().map(|&p| measure(bench, p, runs)).collect();
         print!("{:<18}", bench.name());
         for (i, c) in cells.iter().enumerate() {
             print!(" {:>10.2} {:>6.1}%", c.time_ms, 100.0 * c.rate);

@@ -23,10 +23,12 @@ fn main() {
     for v in jsbench::variants() {
         let times: Vec<f64> = [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11]
             .into_iter()
-            .map(|p| time_policy_runs(p, 0x7AB1E4, runs, move || {
-                jsbench::run(v);
+            .map(|p| {
+                time_policy_runs(p, 0x7AB1E4, runs, move || {
+                    jsbench::run(v);
+                })
+                .mean_ms()
             })
-            .mean_ms())
             .collect();
         let mut model = paper_model(Policy::C11Tester, 0x7AB1E4);
         let report = model.run(move || {

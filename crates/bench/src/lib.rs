@@ -10,6 +10,7 @@
 //! target (see EXPERIMENTS.md).
 
 use c11tester::{Config, Model, Policy};
+use c11tester_campaign::{Campaign, CampaignBudget, CampaignReport};
 use std::time::{Duration, Instant};
 
 /// Measurement of repeated model executions.
@@ -46,6 +47,41 @@ where
     summarize(&samples)
 }
 
+/// Runs a fixed-budget campaign of `executions` executions of `body`
+/// under the paper-faithful configuration for `policy`, using all
+/// cores (or `workers`, when given). Detection rates and dedup
+/// histories in the returned report are identical to the serial
+/// [`Model::run_many`] aggregate over the same seed — campaigns only
+/// change wall-clock time.
+pub fn campaign_policy_runs<F>(
+    policy: Policy,
+    seed: u64,
+    executions: u64,
+    workers: Option<usize>,
+    body: F,
+) -> CampaignReport
+where
+    F: Fn() + Send + Sync,
+{
+    let mut campaign = Campaign::new(Config::for_policy(policy).with_seed(seed));
+    if let Some(w) = workers {
+        campaign = campaign.with_workers(w);
+    }
+    campaign.run(&CampaignBudget::executions(executions), body)
+}
+
+/// Mean wall time per execution of a campaign, as a [`Timing`] (the
+/// campaign amortizes over all cores; `rsd` is not observable per
+/// execution and reported as 0).
+pub fn campaign_timing(report: &CampaignReport) -> Timing {
+    let execs = report.aggregate.executions.max(1);
+    Timing {
+        mean: report.wall_time.div_f64(execs as f64),
+        rsd: 0.0,
+        runs: u32::try_from(execs).unwrap_or(u32::MAX),
+    }
+}
+
 /// Summarizes a set of duration samples.
 pub fn summarize(samples: &[Duration]) -> Timing {
     let n = samples.len().max(1) as f64;
@@ -75,16 +111,54 @@ pub fn geomean(values: &[f64]) -> f64 {
     (s / values.len() as f64).exp()
 }
 
+/// CPU-affinity syscall bindings, declared directly against the libc
+/// the binary links anyway (the `libc` crate is unavailable in the
+/// offline build environment).
+#[cfg(target_os = "linux")]
+mod affinity {
+    /// Matches glibc's `cpu_set_t`: a 1024-bit mask.
+    #[repr(C)]
+    pub struct CpuSet {
+        pub bits: [u64; 16],
+    }
+
+    extern "C" {
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+        fn sysconf(name: i32) -> std::ffi::c_long;
+    }
+
+    /// `_SC_NPROCESSORS_ONLN` on Linux. `available_parallelism` is no
+    /// substitute here: it respects the current affinity mask, which is
+    /// exactly what `unpin_all_cores` is trying to widen.
+    const SC_NPROCESSORS_ONLN: i32 = 84;
+
+    pub fn online_cpus() -> usize {
+        let n = unsafe { sysconf(SC_NPROCESSORS_ONLN) };
+        if n < 1 {
+            1
+        } else {
+            n as usize
+        }
+    }
+
+    pub fn set_mask(cpus: impl Iterator<Item = usize>) -> bool {
+        let mut set = CpuSet { bits: [0; 16] };
+        for cpu in cpus {
+            if cpu < 1024 {
+                set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+            }
+        }
+        unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) == 0 }
+    }
+}
+
 /// Pins the calling thread (and, by inheritance, the model threads it
 /// spawns) to CPU 0, emulating the paper's `taskset` single-core
 /// configuration. Returns `false` if unsupported on this platform.
 pub fn pin_to_single_core() -> bool {
     #[cfg(target_os = "linux")]
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        libc::CPU_SET(0, &mut set);
-        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    {
+        affinity::set_mask(std::iter::once(0))
     }
     #[cfg(not(target_os = "linux"))]
     {
@@ -95,14 +169,8 @@ pub fn pin_to_single_core() -> bool {
 /// Restores the calling thread's affinity to all online CPUs.
 pub fn unpin_all_cores() -> bool {
     #[cfg(target_os = "linux")]
-    unsafe {
-        let n = libc::sysconf(libc::_SC_NPROCESSORS_ONLN).max(1) as usize;
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        for cpu in 0..n.min(libc::CPU_SETSIZE as usize) {
-            libc::CPU_SET(cpu, &mut set);
-        }
-        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    {
+        affinity::set_mask(0..affinity::online_cpus())
     }
     #[cfg(not(target_os = "linux"))]
     {

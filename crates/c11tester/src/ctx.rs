@@ -56,9 +56,7 @@ fn install_quiet_panic_hook() {
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let in_model = CURRENT
-                .try_with(|c| c.borrow().is_some())
-                .unwrap_or(false);
+            let in_model = CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false);
             if !in_model {
                 previous(info);
             }
@@ -119,8 +117,7 @@ pub(crate) fn schedule_point(ctx: &Arc<ModelCtx>, tid: ThreadId, class: OpClass)
         // Write-run rule: consecutive relaxed/release plain stores by
         // the same thread run without interruption.
         if let OpClass::Store(order) = class {
-            if matches!(order, MemOrder::Relaxed | MemOrder::Release)
-                && eng.exec.in_store_run(tid)
+            if matches!(order, MemOrder::Relaxed | MemOrder::Release) && eng.exec.in_store_run(tid)
             {
                 return;
             }
@@ -319,11 +316,7 @@ pub(crate) enum RmwDecision {
 /// A read-modify-write: reads from an RMW-eligible store, lets `f`
 /// decide the written value (or decline, for failed CAS), and returns
 /// the value read.
-pub(crate) fn atomic_rmw(
-    obj: ObjId,
-    order: MemOrder,
-    f: impl FnOnce(u64) -> RmwDecision,
-) -> u64 {
+pub(crate) fn atomic_rmw(obj: ObjId, order: MemOrder, f: impl FnOnce(u64) -> RmwDecision) -> u64 {
     with_ctx(|ctx, tid| {
         schedule_point(ctx, tid, OpClass::Other);
         let mut eng = ctx.engine.lock();
@@ -352,7 +345,9 @@ pub(crate) fn atomic_rmw(
                 } else {
                     // Rare: the failure ordering adds constraints that
                     // exclude the candidate; fall back to a legal one.
-                    let lc = eng.exec.feasible_read_candidates(tid, obj, fail_order, false);
+                    let lc = eng
+                        .exec
+                        .feasible_read_candidates(tid, obj, fail_order, false);
                     let ix = eng.scheduler.choose_read(lc.len());
                     lc[ix]
                 };
@@ -384,7 +379,8 @@ pub(crate) fn nonatomic_read(obj: ObjId, offset: u32) {
         let mut eng = ctx.engine.lock();
         eng.exec.count_normal_access();
         let cv = eng.exec.thread_cv(tid).clone();
-        eng.race.on_read(obj, offset, tid, &cv, AccessKind::NonAtomic);
+        eng.race
+            .on_read(obj, offset, tid, &cv, AccessKind::NonAtomic);
     });
 }
 
@@ -395,7 +391,8 @@ pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
         let mut eng = ctx.engine.lock();
         eng.exec.count_normal_access();
         let cv = eng.exec.thread_cv(tid).clone();
-        eng.race.on_write(obj, offset, tid, &cv, AccessKind::NonAtomic);
+        eng.race
+            .on_write(obj, offset, tid, &cv, AccessKind::NonAtomic);
     });
 }
 

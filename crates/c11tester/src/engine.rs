@@ -64,9 +64,10 @@ impl Engine {
             scheduler.unwrap_or_else(|| match config.strategy {
                 Strategy::Random => Box::new(RandomScheduler::new(config.seed)),
                 Strategy::Burst { mean } => Box::new(BurstScheduler::new(config.seed, mean)),
-                Strategy::Pct { depth, expected_ops } => {
-                    Box::new(PctScheduler::new(config.seed, depth, expected_ops))
-                }
+                Strategy::Pct {
+                    depth,
+                    expected_ops,
+                } => Box::new(PctScheduler::new(config.seed, depth, expected_ops)),
             });
         scheduler.begin_execution(execution_index);
         let mut race = race;
@@ -164,14 +165,77 @@ impl Engine {
     }
 
     /// Checks the event budget; returns `false` when exhausted (caller
-    /// must abort).
+    /// must abort). The bound is inclusive: the execution aborts as
+    /// soon as the event count *reaches* `max_events` — a budget of
+    /// `n` permits at most `n` events (`Config::max_events` documents
+    /// "abort after this many model events").
     pub(crate) fn within_budget(&mut self) -> bool {
         let n = self.exec.now().0;
-        if n > self.max_events {
+        if n >= self.max_events {
             self.fail(Failure::TooManyEvents(n));
             false
         } else {
             true
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11tester_core::StoreKind;
+
+    /// An engine whose budget allows exactly `events` more events on
+    /// top of the thread-begin events `Execution::new` already emitted.
+    fn engine_with_headroom(events: u64) -> Engine {
+        let race = RaceDetector::new();
+        let probe = Engine::new(&Config::new(), 0, RaceDetector::new(), None);
+        let base = probe.exec.now().0;
+        let config = Config::new().with_max_events(base + events);
+        Engine::new(&config, 0, race, None)
+    }
+
+    #[test]
+    fn budget_bound_is_inclusive() {
+        let mut eng = engine_with_headroom(3);
+        let budget = eng.max_events;
+        let obj = eng.exec.new_object();
+        let t = c11tester_core::ThreadId::MAIN;
+        for _ in 0..2 {
+            eng.exec
+                .atomic_store(t, obj, MemOrder::Relaxed, 7, StoreKind::Atomic);
+            assert!(
+                eng.within_budget(),
+                "events strictly below the budget must pass"
+            );
+        }
+        // The third store brings the count to exactly `max_events`: the
+        // inclusive bound aborts here instead of allowing one extra
+        // event past the budget.
+        eng.exec
+            .atomic_store(t, obj, MemOrder::Relaxed, 7, StoreKind::Atomic);
+        assert_eq!(eng.exec.now().0, budget);
+        assert!(
+            !eng.within_budget(),
+            "a budget of n permits at most n events"
+        );
+        assert_eq!(eng.failure, Some(Failure::TooManyEvents(budget)));
+        assert!(eng.completed);
+    }
+
+    #[test]
+    fn budget_failure_sticks_and_does_not_overwrite() {
+        let mut eng = engine_with_headroom(1);
+        let budget = eng.max_events;
+        let obj = eng.exec.new_object();
+        let t = c11tester_core::ThreadId::MAIN;
+        eng.exec
+            .atomic_store(t, obj, MemOrder::Relaxed, 1, StoreKind::Atomic);
+        assert!(!eng.within_budget());
+        eng.exec
+            .atomic_store(t, obj, MemOrder::Relaxed, 2, StoreKind::Atomic);
+        assert!(!eng.within_budget());
+        // The recorded failure names the first exceeding count.
+        assert_eq!(eng.failure, Some(Failure::TooManyEvents(budget)));
     }
 }

@@ -59,8 +59,11 @@ mod volatile;
 
 pub use cell::{Shared, SharedArray};
 pub use config::{Config, Strategy};
-pub use model::Model;
-pub use report::{AccessKind, ExecutionReport, Failure, RaceKind, RaceReport, TestReport};
+pub use model::{Model, ModelParts};
+pub use report::{
+    AccessKind, DedupEntry, DedupHistory, ExecutionReport, Failure, RaceKey, RaceKind, RaceReport,
+    TestReport,
+};
 pub use volatile::{VolatileBool, VolatileU32, VolatileU64, VolatileUsize};
 
 pub use c11tester_core::{ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId};

@@ -21,6 +21,17 @@ use std::sync::Arc;
 /// statistics — while the program's state is reconstructed by re-running
 /// the closure (our stand-in for the paper's fork snapshots).
 ///
+/// # Execution indexing and determinism
+///
+/// Every execution has a global **execution index**, and the built-in
+/// strategies derive their random stream from `(config.seed, index)`
+/// alone — so execution `i` under a given [`Config`] is reproducible
+/// regardless of which model instance (or campaign worker) runs it.
+/// [`Model::for_shard`] creates a model that walks the index arithmetic
+/// progression `shard, shard + stride, shard + 2·stride, …`; a campaign
+/// with `N` workers gives worker `w` the shard `(w, N)`, partitioning
+/// the same index set the serial model `(0, 1)` walks.
+///
 /// # Examples
 ///
 /// ```
@@ -44,7 +55,39 @@ pub struct Model {
     config: Config,
     race: Option<RaceDetector>,
     scheduler: Option<Box<dyn Scheduler>>,
+    /// Global index the next `run` call executes.
     execution_index: u64,
+    /// Index step between consecutive `run` calls (1 for serial models,
+    /// the worker count for campaign shards).
+    stride: u64,
+    /// Executions performed by this instance.
+    runs: u64,
+}
+
+/// The reusable pieces of a disassembled [`Model`]
+/// ([`Model::into_parts`]): enough to reconstruct or rewire the model
+/// onto a different execution-index shard.
+pub struct ModelParts {
+    /// The configuration the model ran with.
+    pub config: Config,
+    /// The custom strategy plugin, if one was installed.
+    pub scheduler: Option<Box<dyn Scheduler>>,
+    /// The race detector carrying tool state across executions.
+    pub race: RaceDetector,
+    /// The global index the next execution would have used.
+    pub next_execution_index: u64,
+    /// The index stride.
+    pub stride: u64,
+}
+
+impl std::fmt::Debug for ModelParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelParts")
+            .field("config", &self.config)
+            .field("next_execution_index", &self.next_execution_index)
+            .field("stride", &self.stride)
+            .finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for Model {
@@ -52,6 +95,8 @@ impl std::fmt::Debug for Model {
         f.debug_struct("Model")
             .field("config", &self.config)
             .field("execution_index", &self.execution_index)
+            .field("stride", &self.stride)
+            .field("runs", &self.runs)
             .finish_non_exhaustive()
     }
 }
@@ -59,11 +104,31 @@ impl std::fmt::Debug for Model {
 impl Model {
     /// Creates a model with the given configuration.
     pub fn new(config: Config) -> Self {
+        Model::for_shard(config, 0, 1)
+    }
+
+    /// Creates a model that executes the index progression
+    /// `shard, shard + stride, shard + 2·stride, …` — the seed-shard
+    /// constructor campaigns use to partition one logical execution
+    /// stream over `stride` workers. `Model::for_shard(config, 0, 1)`
+    /// is the serial model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `shard >= stride`.
+    pub fn for_shard(config: Config, shard: u64, stride: u64) -> Self {
+        assert!(stride > 0, "shard stride must be positive");
+        assert!(
+            shard < stride,
+            "shard index {shard} out of range for stride {stride}"
+        );
         Model {
             config,
             race: Some(RaceDetector::new()),
             scheduler: None,
-            execution_index: 0,
+            execution_index: shard,
+            stride,
+            runs: 0,
         }
     }
 
@@ -75,6 +140,31 @@ impl Model {
             race: Some(RaceDetector::new()),
             scheduler: Some(scheduler),
             execution_index: 0,
+            stride: 1,
+            runs: 0,
+        }
+    }
+
+    /// Disassembles the model into its reusable parts.
+    pub fn into_parts(mut self) -> ModelParts {
+        ModelParts {
+            config: self.config.clone(),
+            scheduler: self.scheduler.take(),
+            race: self.race.take().expect("race detector present"),
+            next_execution_index: self.execution_index,
+            stride: self.stride,
+        }
+    }
+
+    /// Reassembles a model from [`ModelParts`].
+    pub fn from_parts(parts: ModelParts) -> Self {
+        Model {
+            config: parts.config,
+            race: Some(parts.race),
+            scheduler: parts.scheduler,
+            execution_index: parts.next_execution_index,
+            stride: parts.stride,
+            runs: 0,
         }
     }
 
@@ -83,20 +173,46 @@ impl Model {
         &self.config
     }
 
-    /// Number of executions performed so far.
+    /// Number of executions performed by this instance.
     pub fn executions(&self) -> u64 {
+        self.runs
+    }
+
+    /// The global execution index the next [`Model::run`] will use.
+    pub fn next_execution_index(&self) -> u64 {
         self.execution_index
     }
 
-    /// Runs the program once under controlled scheduling.
+    /// The index stride between consecutive runs.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Runs the program once under controlled scheduling at the next
+    /// index of this model's shard progression.
     pub fn run<F>(&mut self, f: F) -> ExecutionReport
+    where
+        F: Fn() + Send + Sync,
+    {
+        let index = self.execution_index;
+        let report = self.run_at(index, f);
+        self.execution_index += self.stride;
+        report
+    }
+
+    /// Runs the program once at an explicit global execution index,
+    /// without advancing the shard progression. With the built-in
+    /// strategies this reproduces exactly the execution a campaign (or
+    /// any other model over the same [`Config`]) labeled with that
+    /// index — the replay entry point for "execution #i raced".
+    pub fn run_at<F>(&mut self, execution_index: u64, f: F) -> ExecutionReport
     where
         F: Fn() + Send + Sync,
     {
         let runtime = Runtime::new(self.config.handover);
         let race = self.race.take().expect("race detector present");
         let scheduler = self.scheduler.take();
-        let engine = Engine::new(&self.config, self.execution_index, race, scheduler);
+        let engine = Engine::new(&self.config, execution_index, race, scheduler);
         let ctx = Arc::new(ModelCtx {
             engine: Mutex::new(engine),
             runtime: Arc::clone(&runtime),
@@ -112,7 +228,10 @@ impl Model {
         match body {
             Ok(()) => self.main_finished(&ctx),
             Err(payload) => {
-                if payload.downcast_ref::<c11tester_runtime::Aborted>().is_none() {
+                if payload
+                    .downcast_ref::<c11tester_runtime::Aborted>()
+                    .is_none()
+                {
                     let msg = panic_message_pub(payload);
                     ctx::fail_execution(&ctx, Failure::Panic(msg));
                 }
@@ -139,29 +258,46 @@ impl Model {
             Box::new(c11tester_runtime::RandomScheduler::new(0)),
         ));
         let report = ExecutionReport {
-            execution_index: self.execution_index,
+            execution_index,
             races,
             failure: eng.failure.clone(),
             stats: *eng.exec.stats(),
             elided_volatile_races: elided,
         };
         drop(eng);
-        self.execution_index += 1;
+        self.runs += 1;
         report
     }
 
-    /// Runs the program `iterations` times (paper §7.6), aggregating
-    /// detection rates and distinct reports.
-    pub fn check<F>(&mut self, iterations: u64, f: F) -> TestReport
+    /// Runs the next `executions` indices of this model's shard
+    /// progression, aggregating detection rates and deduplicated
+    /// reports (paper §7.6).
+    ///
+    /// This is the **serial reference path for campaigns**: a
+    /// `c11tester-campaign` run over the same [`Config`] and execution
+    /// count produces an aggregate equal to this one for any worker
+    /// count, because each execution index behaves identically wherever
+    /// it runs and [`TestReport`] aggregation is order-independent.
+    pub fn run_many<F>(&mut self, executions: u64, f: F) -> TestReport
     where
         F: Fn() + Send + Sync,
     {
         let mut report = TestReport::default();
-        for _ in 0..iterations {
+        for _ in 0..executions {
             let exec = self.run(&f);
             report.absorb(&exec);
         }
         report
+    }
+
+    /// Runs the program `iterations` times (paper §7.6), aggregating
+    /// detection rates and distinct reports. Alias of
+    /// [`Model::run_many`], kept for the paper-facing vocabulary.
+    pub fn check<F>(&mut self, iterations: u64, f: F) -> TestReport
+    where
+        F: Fn() + Send + Sync,
+    {
+        self.run_many(iterations, f)
     }
 
     /// Main thread finished its program: if other threads remain, hand
@@ -259,5 +395,94 @@ mod tests {
         assert_eq!(report.executions, 5);
         assert_eq!(report.executions_with_bug, 0);
         assert_eq!(model.executions(), 5);
+    }
+
+    #[test]
+    fn sharded_models_walk_their_index_progression() {
+        let mut shard = Model::for_shard(Config::new(), 2, 4);
+        assert_eq!(shard.next_execution_index(), 2);
+        assert_eq!(shard.stride(), 4);
+        let r0 = shard.run(|| {});
+        let r1 = shard.run(|| {});
+        assert_eq!(r0.execution_index, 2);
+        assert_eq!(r1.execution_index, 6);
+        assert_eq!(shard.executions(), 2);
+        assert_eq!(shard.next_execution_index(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_below_stride() {
+        let _ = Model::for_shard(Config::new(), 4, 4);
+    }
+
+    #[test]
+    fn run_at_replays_a_specific_index() {
+        // The program's outcome is a pure function of the execution
+        // index: replaying index 3 on a fresh model must reproduce what
+        // a serial model produced there.
+        use crate::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let program = || {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = Arc::clone(&x);
+            let t = crate::thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                x2.store(2, Ordering::Relaxed);
+            });
+            let _ = x.load(Ordering::Relaxed);
+            let _ = x.load(Ordering::Relaxed);
+            t.join();
+        };
+        let mut serial = Model::new(Config::new().with_seed(99));
+        let serial_reports: Vec<_> = (0..4).map(|_| serial.run(program)).collect();
+        let mut replay = Model::new(Config::new().with_seed(99));
+        let r = replay.run_at(3, program);
+        assert_eq!(r.execution_index, 3);
+        assert_eq!(r.stats, serial_reports[3].stats);
+        // run_at does not advance the shard progression.
+        assert_eq!(replay.next_execution_index(), 0);
+    }
+
+    #[test]
+    fn into_parts_roundtrip_preserves_progression() {
+        let mut m = Model::for_shard(Config::new().with_seed(5), 1, 2);
+        let _ = m.run(|| {});
+        let parts = m.into_parts();
+        assert_eq!(parts.next_execution_index, 3);
+        assert_eq!(parts.stride, 2);
+        let mut m2 = Model::from_parts(parts);
+        let r = m2.run(|| {});
+        assert_eq!(r.execution_index, 3);
+    }
+
+    #[test]
+    fn run_many_aggregate_is_partition_invariant() {
+        // Stripe the same 6 indices over 1, 2, and 3 shards; merged
+        // aggregates must be identical to the serial run_many report.
+        use crate::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let program = || {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = Arc::clone(&x);
+            let t = crate::thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+            });
+            let _ = x.load(Ordering::Relaxed);
+            t.join();
+        };
+        let config = || Config::new().with_seed(1234);
+        let mut serial = Model::new(config());
+        let reference = serial.run_many(6, program);
+        for workers in [2u64, 3] {
+            let mut merged = TestReport::default();
+            for w in 0..workers {
+                let mut shard = Model::for_shard(config(), w, workers);
+                let quota = (6 - w).div_ceil(workers);
+                let part = shard.run_many(quota, program);
+                merged.merge(&part);
+            }
+            assert_eq!(merged, reference, "partition over {workers} shards");
+        }
     }
 }

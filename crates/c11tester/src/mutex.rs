@@ -93,9 +93,9 @@ impl<T> Mutex<T> {
             // also offer stale locked (1) stores — a real weak-memory
             // behavior that would merely make a CAS loop spin again, so
             // the model commits the successful iteration directly.
-            let mut cands = eng
-                .exec
-                .feasible_read_candidates(tid, self.obj, MemOrder::Acquire, true);
+            let mut cands =
+                eng.exec
+                    .feasible_read_candidates(tid, self.obj, MemOrder::Acquire, true);
             cands.retain(|&s| eng.exec.store_value(s) == 0);
             assert!(
                 !cands.is_empty(),
@@ -144,9 +144,9 @@ impl<T> Mutex<T> {
                 })
             } else {
                 let mut eng = ctx.engine.lock();
-                let cands = eng
-                    .exec
-                    .feasible_read_candidates(tid, self.obj, MemOrder::Relaxed, false);
+                let cands =
+                    eng.exec
+                        .feasible_read_candidates(tid, self.obj, MemOrder::Relaxed, false);
                 if !cands.is_empty() {
                     let choice = eng.scheduler.choose_read(cands.len());
                     eng.exec

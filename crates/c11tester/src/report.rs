@@ -6,8 +6,8 @@
 //! many executions exhibited a bug (the *detection rate* of Tables 2
 //! and §8.1) while deduplicating the distinct reports.
 
-pub use c11tester_race::{AccessKind, RaceKind, RaceReport};
 use c11tester_core::ExecStats;
+pub use c11tester_race::{AccessKind, DedupEntry, DedupHistory, RaceKey, RaceKind, RaceReport};
 use std::fmt;
 
 /// A fatal condition that ended an execution early.
@@ -81,8 +81,18 @@ impl fmt::Display for ExecutionReport {
     }
 }
 
-/// Aggregate outcome of repeated executions ([`crate::Model::check`]).
-#[derive(Clone, Debug, Default)]
+/// Aggregate outcome of repeated executions
+/// ([`crate::Model::run_many`] / [`crate::Model::check`], and the
+/// serial reference that `c11tester-campaign` reproduces in parallel).
+///
+/// Aggregation is **order-independent**: absorbing the per-execution
+/// reports of any partition of an execution stream (in any order, via
+/// [`TestReport::merge`]) yields an identical report, because the race
+/// dedup history keys on [`RaceKey`] with lowest-execution-index
+/// exemplars, failures are kept sorted by execution index, and every
+/// counter is a sum. This is what lets a campaign fan executions over
+/// any number of workers and still aggregate byte-identically.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TestReport {
     /// Number of executions performed.
     pub executions: u64,
@@ -90,10 +100,11 @@ pub struct TestReport {
     pub executions_with_race: u64,
     /// Executions in which any bug (race, assertion, deadlock) showed.
     pub executions_with_bug: u64,
-    /// Distinct race reports across all executions (reported once, as
-    /// the paper's fork-snapshot dedup does).
-    pub distinct_races: Vec<RaceReport>,
-    /// Fatal conditions with the execution index they occurred in.
+    /// Mergeable dedup history of race reports across all executions
+    /// (each reported once, as the paper's fork-snapshot dedup does).
+    pub races: DedupHistory,
+    /// Fatal conditions with the execution index they occurred in,
+    /// sorted by execution index.
     pub failures: Vec<(u64, Failure)>,
     /// Operation counts accumulated over all executions.
     pub total_stats: ExecStats,
@@ -102,6 +113,16 @@ pub struct TestReport {
 }
 
 impl TestReport {
+    /// Distinct race reports in deterministic (key) order.
+    pub fn distinct_races(&self) -> Vec<&RaceReport> {
+        self.races.reports()
+    }
+
+    /// Number of distinct race classes observed.
+    pub fn distinct_race_count(&self) -> usize {
+        self.races.len()
+    }
+
     /// Fraction of executions that detected a race (Table 2's "rate").
     pub fn race_detection_rate(&self) -> f64 {
         if self.executions == 0 {
@@ -130,19 +151,51 @@ impl TestReport {
             self.executions_with_bug += 1;
         }
         for race in &report.races {
-            if !self
-                .distinct_races
-                .iter()
-                .any(|r| r.label == race.label && r.kind == race.kind)
-            {
-                self.distinct_races.push(race.clone());
-            }
+            self.races.record(report.execution_index, race);
         }
         if let Some(f) = &report.failure {
-            self.failures.push((report.execution_index, f.clone()));
+            let at = self
+                .failures
+                .partition_point(|(ix, _)| *ix <= report.execution_index);
+            self.failures
+                .insert(at, (report.execution_index, f.clone()));
         }
         self.total_stats.absorb(&report.stats);
         self.elided_volatile_races += report.elided_volatile_races;
+    }
+
+    /// Folds another aggregate into this one. Commutative and
+    /// associative over disjoint execution sets: campaigns use this to
+    /// combine per-worker aggregates into a report identical to the
+    /// serial one.
+    pub fn merge(&mut self, other: &TestReport) {
+        self.executions += other.executions;
+        self.executions_with_race += other.executions_with_race;
+        self.executions_with_bug += other.executions_with_bug;
+        self.races.merge(&other.races);
+        // Merge two index-sorted failure lists, preserving the invariant.
+        let mut merged = Vec::with_capacity(self.failures.len() + other.failures.len());
+        let (mut a, mut b) = (
+            self.failures.iter().peekable(),
+            other.failures.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.0 <= y.0 {
+                        merged.push(a.next().expect("peeked").clone());
+                    } else {
+                        merged.push(b.next().expect("peeked").clone());
+                    }
+                }
+                (Some(_), None) => merged.push(a.next().expect("peeked").clone()),
+                (None, Some(_)) => merged.push(b.next().expect("peeked").clone()),
+                (None, None) => break,
+            }
+        }
+        self.failures = merged;
+        self.total_stats.absorb(&other.total_stats);
+        self.elided_volatile_races += other.elided_volatile_races;
     }
 }
 
@@ -156,10 +209,14 @@ impl fmt::Display for TestReport {
             100.0 * self.race_detection_rate(),
             self.executions_with_bug,
             100.0 * self.bug_detection_rate(),
-            self.distinct_races.len()
+            self.races.len()
         )?;
-        for r in &self.distinct_races {
-            writeln!(f, "  {r}")?;
+        for (_, entry) in self.races.iter() {
+            writeln!(
+                f,
+                "  {} [seen in {} execution(s), first #{}]",
+                entry.report, entry.occurrences, entry.first_execution
+            )?;
         }
         for (ix, fail) in &self.failures {
             writeln!(f, "  execution #{ix}: {fail}")?;
@@ -195,6 +252,54 @@ mod tests {
         assert!((t.bug_detection_rate() - 0.5).abs() < 1e-9);
         assert_eq!(t.race_detection_rate(), 0.0);
         assert_eq!(t.failures.len(), 1);
+    }
+
+    #[test]
+    fn merge_matches_serial_absorption() {
+        use c11tester_core::{ObjId, ThreadId};
+        let race = |label: &str| RaceReport {
+            label: label.into(),
+            obj: ObjId(1),
+            offset: 0,
+            kind: RaceKind::WriteAfterWrite,
+            current_tid: ThreadId::from_index(1),
+            current_kind: AccessKind::NonAtomic,
+            prior_tid: ThreadId::from_index(0),
+            prior_atomic: false,
+        };
+        let mut reports: Vec<ExecutionReport> = (0..6).map(empty_exec).collect();
+        reports[1].races.push(race("x"));
+        reports[4].races.push(race("x"));
+        reports[4].races.push(race("y"));
+        reports[2].failure = Some(Failure::Deadlock);
+        reports[5].failure = Some(Failure::Panic("boom".into()));
+
+        // Serial reference: absorb everything in index order.
+        let mut serial = TestReport::default();
+        for r in &reports {
+            serial.absorb(r);
+        }
+        // Two workers striped over even/odd indices, merged odd-first.
+        let mut even = TestReport::default();
+        let mut odd = TestReport::default();
+        for r in &reports {
+            if r.execution_index % 2 == 0 {
+                even.absorb(r);
+            } else {
+                odd.absorb(r);
+            }
+        }
+        let mut merged = TestReport::default();
+        merged.merge(&odd);
+        merged.merge(&even);
+        assert_eq!(merged, serial);
+        assert_eq!(merged.failures.len(), 2);
+        assert_eq!(merged.failures[0].0, 2, "failures sorted by index");
+        assert_eq!(
+            merged.distinct_races().len(),
+            2,
+            "x deduped across executions"
+        );
     }
 
     #[test]

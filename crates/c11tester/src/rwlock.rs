@@ -108,7 +108,10 @@ impl<T> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         ctx::with_ctx(|ctx, tid| {
             if ctx.runtime.is_poisoned() && std::thread::panicking() {
-                return RwLockReadGuard { lock: self, live: false };
+                return RwLockReadGuard {
+                    lock: self,
+                    live: false,
+                };
             }
             ctx::schedule_point(ctx, tid, OpClass::Other);
             loop {
@@ -125,7 +128,10 @@ impl<T> RwLock<T> {
                 };
                 if acquired {
                     self.lock_rmw(|v| v + 1);
-                    return RwLockReadGuard { lock: self, live: true };
+                    return RwLockReadGuard {
+                        lock: self,
+                        live: true,
+                    };
                 }
                 ctx::block_and_yield(ctx, tid, WaitReason::Mutex(self.obj));
             }
@@ -137,7 +143,10 @@ impl<T> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         ctx::with_ctx(|ctx, tid| {
             if ctx.runtime.is_poisoned() && std::thread::panicking() {
-                return RwLockWriteGuard { lock: self, live: false };
+                return RwLockWriteGuard {
+                    lock: self,
+                    live: false,
+                };
             }
             ctx::schedule_point(ctx, tid, OpClass::Other);
             loop {
@@ -153,7 +162,10 @@ impl<T> RwLock<T> {
                 };
                 if acquired {
                     self.lock_rmw(|v| v + WRITER);
-                    return RwLockWriteGuard { lock: self, live: true };
+                    return RwLockWriteGuard {
+                        lock: self,
+                        live: true,
+                    };
                 }
                 ctx::block_and_yield(ctx, tid, WaitReason::Mutex(self.obj));
             }

@@ -74,7 +74,10 @@ fn store_buffering_seq_cst_forbids_both_zero() {
         !seen.contains(&(0, 0)),
         "seq_cst forbids both-zero SB, saw {seen:?}"
     );
-    assert!(seen.len() >= 2, "exploration should vary outcomes: {seen:?}");
+    assert!(
+        seen.len() >= 2,
+        "exploration should vary outcomes: {seen:?}"
+    );
 }
 
 /// The paper's Figure 2 example: with relaxed orders, the
@@ -188,6 +191,7 @@ fn iriw_seq_cst_readers_agree() {
 /// Coherence (CoRR): one thread never observes the same location going
 /// backwards.
 #[test]
+#[allow(clippy::nonminimal_bool)] // the two forbidden outcomes read clearest separately
 fn coherence_read_read() {
     let seen = outcomes(300, 17, Policy::C11Tester, || {
         let x = Arc::new(AtomicU32::new(0));

@@ -99,8 +99,7 @@ fn wrc_causality_propagates() {
         });
         t1.join();
         t2.join();
-        let out = t3.join();
-        out
+        t3.join()
     });
     assert!(
         !seen.contains(&(1, 0)),

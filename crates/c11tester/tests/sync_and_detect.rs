@@ -68,7 +68,7 @@ fn unguarded_shared_data_races() {
     });
     assert!(report.executions_with_race > 0, "{report}");
     assert!(report
-        .distinct_races
+        .distinct_races()
         .iter()
         .any(|r| r.label == "unguarded"));
 }
@@ -237,7 +237,9 @@ fn pruning_does_not_change_outcomes() {
     // observed values (it only retires unreadable history).
     let run = |prune: bool| {
         let cfg = if prune {
-            Config::new().with_seed(53).with_prune(PruneConfig::conservative(64))
+            Config::new()
+                .with_seed(53)
+                .with_prune(PruneConfig::conservative(64))
         } else {
             Config::new().with_seed(53)
         };
@@ -359,11 +361,10 @@ fn rwlock_guards_shared_data_against_races() {
 #[test]
 fn pct_strategy_finds_the_publication_race() {
     use c11tester::Strategy;
-    let mut model = Model::new(
-        Config::new()
-            .with_seed(57)
-            .with_strategy(Strategy::Pct { depth: 3, expected_ops: 32 }),
-    );
+    let mut model = Model::new(Config::new().with_seed(57).with_strategy(Strategy::Pct {
+        depth: 3,
+        expected_ops: 32,
+    }));
     let report = model.check(150, || {
         let d = Arc::new(Shared::named("pct.data", 0u32));
         let f = Arc::new(AtomicU32::named("pct.flag", 0));

@@ -1,0 +1,184 @@
+//! `c11campaign` — run a parallel exploration campaign on a built-in
+//! workload.
+//!
+//! ```text
+//! c11campaign --target seqlock-buggy --executions 1000 --workers 8 --seed 7
+//! c11campaign --target rwlock-buggy --stop-on-first-bug
+//! c11campaign --target ms-queue --deadline-secs 10 --json
+//! c11campaign --list
+//! ```
+
+use c11tester::{Config, Policy};
+use c11tester_campaign::{targets, Campaign, CampaignBudget};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+c11campaign — parallel exploration campaigns over the built-in workloads
+
+USAGE:
+    c11campaign --target <NAME> [OPTIONS]
+    c11campaign --list
+
+OPTIONS:
+    --target <NAME>         workload to campaign on (see --list)
+    --executions <N>        execution budget [default: 1000]
+    --workers <N>           worker threads [default: all CPUs]
+    --seed <N>              base seed (decimal or 0x-hex) [default: 0xC11]
+    --policy <P>            c11tester | tsan11 | tsan11rec [default: c11tester]
+    --stop-on-first-bug     stop all workers at the first bug
+    --deadline-secs <SECS>  wall-clock deadline for the campaign
+    --json                  emit the full JSON report instead of text
+    --list                  list available targets
+    --help                  show this help
+";
+
+struct Args {
+    target: Option<String>,
+    executions: u64,
+    workers: Option<usize>,
+    seed: u64,
+    policy: Policy,
+    stop_on_first_bug: bool,
+    deadline_secs: Option<f64>,
+    json: bool,
+    list: bool,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("not a number: `{s}`"))
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        target: None,
+        executions: 1000,
+        workers: None,
+        seed: 0xC11,
+        policy: Policy::C11Tester,
+        stop_on_first_bug: false,
+        deadline_secs: None,
+        json: false,
+        list: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--target" => args.target = Some(value()?),
+            "--executions" => args.executions = parse_u64(&value()?)?,
+            "--workers" => {
+                let v = value()?;
+                let n: usize = v.parse().map_err(|_| format!("not a number: `{v}`"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = Some(n);
+            }
+            "--seed" => args.seed = parse_u64(&value()?)?,
+            "--policy" => {
+                let v = value()?;
+                args.policy = match v.to_ascii_lowercase().as_str() {
+                    "c11tester" => Policy::C11Tester,
+                    "tsan11" => Policy::Tsan11,
+                    "tsan11rec" => Policy::Tsan11Rec,
+                    _ => return Err(format!("unknown policy `{v}`")),
+                };
+            }
+            "--stop-on-first-bug" => args.stop_on_first_bug = true,
+            "--deadline-secs" => {
+                let v = value()?;
+                let secs: f64 = v.parse().map_err(|_| format!("not a number: `{v}`"))?;
+                // Finite and within Duration range, so from_secs_f64
+                // cannot panic (rejects nan/inf/1e20 cleanly).
+                if !secs.is_finite() || secs <= 0.0 || secs > 1e9 {
+                    return Err("--deadline-secs must be a positive number of seconds".into());
+                }
+                args.deadline_secs = Some(secs);
+            }
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn list_targets() {
+    println!("{:<18} {:<12} DESCRIPTION", "TARGET", "GROUP");
+    for t in targets::all() {
+        println!("{:<18} {:<12} {}", t.name, t.group, t.description);
+    }
+}
+
+/// Restores default `SIGPIPE` so `c11campaign ... | head` exits
+/// quietly instead of panicking on a closed stdout (Rust ignores
+/// `SIGPIPE` by default; declared directly since the `libc` crate is
+/// unavailable offline).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        list_targets();
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = args.target.as_deref() else {
+        eprintln!("error: --target (or --list) is required\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(target) = targets::find(name) else {
+        eprintln!("error: unknown target `{name}`; available targets:\n");
+        list_targets();
+        return ExitCode::from(2);
+    };
+
+    let config = Config::for_policy(args.policy).with_seed(args.seed);
+    let mut campaign = Campaign::new(config);
+    if let Some(w) = args.workers {
+        campaign = campaign.with_workers(w);
+    }
+    let mut budget =
+        CampaignBudget::executions(args.executions).with_stop_on_first_bug(args.stop_on_first_bug);
+    if let Some(secs) = args.deadline_secs {
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+
+    let report = campaign.run(&budget, move || target.run());
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("target: {} ({})", target.name, target.group);
+        print!("{report}");
+    }
+    ExitCode::SUCCESS
+}

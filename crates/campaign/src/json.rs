@@ -1,0 +1,206 @@
+//! Hand-rolled JSON serialization for [`CampaignReport`].
+//!
+//! The offline build environment has no access to `serde`, so the
+//! campaign report serializes itself: a ~hundred lines of emitter
+//! beats carrying a vendored serde fork. Output is deterministic —
+//! objects are emitted in fixed field order, arrays in the dedup
+//! history's key order — which is what the canonical-form
+//! byte-identity contract of [`CampaignReport::canonical_json`] rests
+//! on.
+
+use crate::CampaignReport;
+use c11tester::{AccessKind, Failure};
+use c11tester_core::ExecStats;
+
+/// Escapes a string per RFC 8259.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn access_kind(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::NonAtomic => "non-atomic",
+        AccessKind::Atomic => "atomic",
+        AccessKind::Volatile => "volatile",
+    }
+}
+
+fn failure(f: &Failure) -> (&'static str, String) {
+    match f {
+        Failure::Deadlock => ("deadlock", "all live threads blocked".to_string()),
+        Failure::Panic(msg) => ("panic", msg.clone()),
+        Failure::TooManyEvents(n) => ("too-many-events", format!("{n} events")),
+    }
+}
+
+fn stats(s: &ExecStats) -> String {
+    format!(
+        concat!(
+            "{{\"atomic_loads\":{},\"atomic_stores\":{},\"rmws\":{},",
+            "\"fences\":{},\"sync_ops\":{},\"normal_accesses\":{},",
+            "\"volatile_accesses\":{},\"candidates_rejected\":{},",
+            "\"pruned_stores\":{},\"pruned_loads\":{},\"pruned_fences\":{},",
+            "\"prune_passes\":{},\"atomic_ops\":{},",
+            "\"mograph\":{{\"edges_added\":{},\"edges_redundant\":{},",
+            "\"merges\":{},\"rmw_edges\":{}}}}}"
+        ),
+        s.atomic_loads,
+        s.atomic_stores,
+        s.rmws,
+        s.fences,
+        s.sync_ops,
+        s.normal_accesses,
+        s.volatile_accesses,
+        s.candidates_rejected,
+        s.pruned_stores,
+        s.pruned_loads,
+        s.pruned_fences,
+        s.prune_passes,
+        s.atomic_ops(),
+        s.mograph.edges_added,
+        s.mograph.edges_redundant,
+        s.mograph.merges,
+        s.mograph.rmw_edges,
+    )
+}
+
+/// The canonical (worker-count independent) object.
+pub(crate) fn canonical(r: &CampaignReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"c11campaign/v1\"");
+    out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
+    out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
+    out.push_str(&format!(
+        ",\"budget\":{{\"max_executions\":{},\"deadline_secs\":{},\"stop_on_first_bug\":{}}}",
+        r.budget.max_executions,
+        r.budget
+            .deadline
+            .map(|d| d.as_secs_f64().to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        r.budget.stop_on_first_bug,
+    ));
+    out.push_str(&format!(",\"stop_reason\":\"{}\"", r.stop_reason.name()));
+    let a = &r.aggregate;
+    out.push_str(&format!(",\"executions\":{}", a.executions));
+    out.push_str(&format!(
+        ",\"executions_with_race\":{}",
+        a.executions_with_race
+    ));
+    out.push_str(&format!(
+        ",\"executions_with_bug\":{}",
+        a.executions_with_bug
+    ));
+    out.push_str(&format!(
+        ",\"race_detection_rate\":{}",
+        a.race_detection_rate()
+    ));
+    out.push_str(&format!(
+        ",\"bug_detection_rate\":{}",
+        a.bug_detection_rate()
+    ));
+    out.push_str(",\"distinct_races\":[");
+    for (i, (_, entry)) in a.races.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rep = &entry.report;
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"kind\":\"{}\",\"obj\":{},\"offset\":{},",
+                "\"current_tid\":{},\"current_kind\":\"{}\",\"prior_tid\":{},",
+                "\"prior_atomic\":{},\"first_execution\":{},\"occurrences\":{}}}"
+            ),
+            esc(&rep.label),
+            rep.kind,
+            rep.obj.0,
+            rep.offset,
+            rep.current_tid.index(),
+            access_kind(rep.current_kind),
+            rep.prior_tid.index(),
+            rep.prior_atomic,
+            entry.first_execution,
+            entry.occurrences,
+        ));
+    }
+    out.push(']');
+    out.push_str(",\"failures\":[");
+    for (i, (ix, f)) in a.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (kind, msg) = failure(f);
+        out.push_str(&format!(
+            "{{\"execution\":{ix},\"kind\":\"{kind}\",\"message\":\"{}\"}}",
+            esc(&msg)
+        ));
+    }
+    out.push(']');
+    out.push_str(&format!(
+        ",\"elided_volatile_races\":{}",
+        a.elided_volatile_races
+    ));
+    out.push_str(&format!(",\"stats\":{}", stats(&a.total_stats)));
+    out.push('}');
+    out
+}
+
+/// The full object: canonical plus timing.
+pub(crate) fn full(r: &CampaignReport) -> String {
+    format!(
+        "{{\"campaign\":{},\"timing\":{{\"workers\":{},\"wall_secs\":{},\"executions_per_second\":{}}}}}",
+        canonical(r),
+        r.workers,
+        r.wall_time.as_secs_f64(),
+        r.throughput(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Campaign, CampaignBudget};
+    use c11tester::Config;
+
+    #[test]
+    fn json_is_well_formed_and_canonical_excludes_timing() {
+        let report = Campaign::new(Config::new().with_seed(9))
+            .with_workers(2)
+            .run(&CampaignBudget::executions(20), || {
+                c11tester_workloads::ds::rwlock_buggy::run_buggy();
+            });
+        let canonical = report.canonical_json();
+        let full = report.to_json();
+        // Structure smoke checks (no JSON parser in the offline env).
+        assert!(canonical.starts_with('{') && canonical.ends_with('}'));
+        assert!(canonical.contains("\"schema\":\"c11campaign/v1\""));
+        assert!(canonical.contains("\"executions\":20"));
+        assert!(canonical.contains("\"distinct_races\":["));
+        assert!(!canonical.contains("wall_secs"));
+        assert!(full.contains("\"campaign\":{"));
+        assert!(full.contains("\"workers\":2"));
+        assert!(full.contains("wall_secs"));
+        // Balanced braces/brackets outside strings (labels here contain
+        // neither, so a raw count suffices).
+        let opens = canonical.matches('{').count();
+        let closes = canonical.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(super::esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,384 @@
+//! # c11tester-campaign
+//!
+//! Parallel exploration campaigns for **c11tester-rs**.
+//!
+//! C11Tester's methodology is statistical (paper §7.6, Tables 1–2):
+//! re-run a program under randomized controlled scheduling thousands of
+//! times and report the fraction of executions that exhibit each race.
+//! The [`c11tester::Model`] drives executions strictly serially on one
+//! OS thread; a [`Campaign`] shards the same logical execution stream
+//! over `N` worker threads:
+//!
+//! * worker `w` owns a [`Model::for_shard`] walking execution indices
+//!   `w, w + N, w + 2N, …` — the built-in strategies derive their
+//!   random stream from `(seed, index)` alone, so **any single
+//!   execution is reproducible by `(seed, execution_index)` regardless
+//!   of worker count** (replay with [`Model::run_at`]);
+//! * workers stream [`ExecutionReport`]s through a channel into an
+//!   aggregator that merges race dedup histories
+//!   ([`c11tester_race::DedupHistory`]), sums
+//!   [`c11tester_core::ExecStats`], and computes detection rates;
+//! * the resulting [`CampaignReport`] is **byte-identical for any
+//!   worker count** (over a fixed budget), and equal to the serial
+//!   [`Model::run_many`] aggregate — parallelism is a pure speedup,
+//!   never a semantic change.
+//!
+//! Budgets ([`CampaignBudget`]) bound a campaign by execution count,
+//! wall-clock deadline, or first bug found.
+//!
+//! ```
+//! use c11tester_campaign::{Campaign, CampaignBudget};
+//! use c11tester::{Config, Model};
+//!
+//! let config = Config::new().with_seed(7);
+//! let campaign = Campaign::new(config.clone()).with_workers(4);
+//! let report = campaign.run(&CampaignBudget::executions(40), || {
+//!     c11tester_workloads::ds::rwlock_buggy::run_buggy();
+//! });
+//! assert_eq!(report.aggregate.executions, 40);
+//!
+//! // The parallel aggregate equals the serial reference:
+//! let serial = Model::new(config).run_many(40, || {
+//!     c11tester_workloads::ds::rwlock_buggy::run_buggy();
+//! });
+//! assert_eq!(report.aggregate, serial);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod json;
+pub mod targets;
+
+use c11tester::{Config, ExecutionReport, Model, TestReport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Resource bounds for one campaign.
+///
+/// A campaign always stops once `max_executions` executions completed;
+/// a deadline or stop-on-first-bug bound can end it earlier. Only the
+/// fixed-budget mode (no early stop triggered) promises worker-count
+/// independent aggregates — an early stop cuts the execution stream at
+/// a racy point by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignBudget {
+    /// Maximum number of executions (execution indices `0..max`).
+    pub max_executions: u64,
+    /// Optional wall-clock deadline for the whole campaign.
+    pub deadline: Option<Duration>,
+    /// Stop all workers as soon as any execution exhibits a bug.
+    pub stop_on_first_bug: bool,
+}
+
+impl CampaignBudget {
+    /// A budget of exactly `max_executions` executions.
+    pub fn executions(max_executions: u64) -> Self {
+        CampaignBudget {
+            max_executions,
+            deadline: None,
+            stop_on_first_bug: false,
+        }
+    }
+
+    /// Adds a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops the campaign at the first bug (race, assertion violation,
+    /// or deadlock).
+    pub fn with_stop_on_first_bug(mut self, stop: bool) -> Self {
+        self.stop_on_first_bug = stop;
+        self
+    }
+}
+
+/// Why a campaign ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every execution index in the budget was explored.
+    BudgetExhausted,
+    /// `stop_on_first_bug` was set and a bug was found.
+    FirstBug,
+    /// The wall-clock deadline expired.
+    Deadline,
+}
+
+impl StopReason {
+    /// Stable machine-readable name (used in JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::BudgetExhausted => "budget-exhausted",
+            StopReason::FirstBug => "first-bug",
+            StopReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// The aggregated outcome of a campaign.
+///
+/// `aggregate` carries the memory-model-level result (identical to the
+/// serial [`Model::run_many`] report over the same budget);
+/// the remaining fields describe the campaign run itself. Timing and
+/// worker count are excluded from [`CampaignReport::canonical_json`] so
+/// the canonical form is byte-identical across worker counts.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Base seed every execution index derives its stream from.
+    pub base_seed: u64,
+    /// Memory-model policy name (`C11Tester`, `tsan11`, `tsan11rec`).
+    pub policy: &'static str,
+    /// Debug rendering of the testing strategy.
+    pub strategy: String,
+    /// The budget the campaign ran under.
+    pub budget: CampaignBudget,
+    /// Why the campaign stopped.
+    pub stop_reason: StopReason,
+    /// Order-independent aggregate over all completed executions.
+    pub aggregate: TestReport,
+    /// Number of worker threads used (not part of the canonical form).
+    pub workers: usize,
+    /// Wall-clock duration (not part of the canonical form).
+    pub wall_time: Duration,
+}
+
+impl CampaignReport {
+    /// Fraction of executions that detected a race (Table 2's "rate").
+    pub fn race_detection_rate(&self) -> f64 {
+        self.aggregate.race_detection_rate()
+    }
+
+    /// Fraction of executions that found any bug (§8.1's rates).
+    pub fn bug_detection_rate(&self) -> f64 {
+        self.aggregate.bug_detection_rate()
+    }
+
+    /// Executions per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.aggregate.executions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Did any execution exhibit a bug?
+    pub fn found_bug(&self) -> bool {
+        self.aggregate.executions_with_bug > 0
+    }
+
+    /// The canonical (worker-count independent) JSON form: everything
+    /// determined by `(config, budget)` alone. Two campaigns over the
+    /// same configuration and fixed budget produce byte-identical
+    /// canonical JSON for **any** worker counts.
+    pub fn canonical_json(&self) -> String {
+        json::canonical(self)
+    }
+
+    /// The full JSON form: the canonical object plus campaign timing
+    /// (workers, wall seconds, throughput).
+    pub fn to_json(&self) -> String {
+        json::full(self)
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} executions on {} worker(s) in {:.2?} ({:.0} exec/s), seed {:#x}, {}",
+            self.aggregate.executions,
+            self.workers,
+            self.wall_time,
+            self.throughput(),
+            self.base_seed,
+            self.stop_reason.name(),
+        )?;
+        write!(f, "{}", self.aggregate)
+    }
+}
+
+/// A parallel exploration campaign over one configuration.
+///
+/// See the [crate docs](crate) for the determinism contract.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    config: Config,
+    workers: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign over `config`, defaulting to one worker per
+    /// available CPU.
+    pub fn new(config: Config) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Campaign { config, workers }
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a campaign needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The campaign's model configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Runs the campaign: fans executions of `program` out over the
+    /// workers until the budget is exhausted (or an early-stop bound
+    /// triggers) and aggregates the streamed per-execution reports.
+    pub fn run<F>(&self, budget: &CampaignBudget, program: F) -> CampaignReport
+    where
+        F: Fn() + Send + Sync,
+    {
+        let start = Instant::now();
+        // Never spin up more workers than executions: shard `w` of `N`
+        // would walk `w, w + N, …`, all ≥ max_executions.
+        let workers = self
+            .workers
+            .min(budget.max_executions.max(1).min(usize::MAX as u64) as usize)
+            .max(1);
+        let stop = AtomicBool::new(false);
+        let bug_stop = AtomicBool::new(false);
+        let deadline_stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<ExecutionReport>();
+
+        let aggregate = std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let config = self.config.clone();
+                let program = &program;
+                let (stop, bug_stop, deadline_stop) = (&stop, &bug_stop, &deadline_stop);
+                let builder = std::thread::Builder::new().name(format!("c11campaign-{w}"));
+                builder
+                    .spawn_scoped(scope, move || {
+                        let mut model = Model::for_shard(config, w as u64, workers as u64);
+                        while model.next_execution_index() < budget.max_executions
+                            && !stop.load(Ordering::Relaxed)
+                        {
+                            if let Some(deadline) = budget.deadline {
+                                if start.elapsed() >= deadline {
+                                    deadline_stop.store(true, Ordering::Relaxed);
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            let report = model.run(program);
+                            let bug = report.found_bug();
+                            if tx.send(report).is_err() {
+                                break;
+                            }
+                            if bug && budget.stop_on_first_bug {
+                                bug_stop.store(true, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn campaign worker");
+            }
+            drop(tx);
+            // Aggregate on the calling thread while workers stream.
+            let mut aggregate = TestReport::default();
+            while let Ok(report) = rx.recv() {
+                aggregate.absorb(&report);
+            }
+            aggregate
+        });
+
+        let stop_reason = if bug_stop.load(Ordering::Relaxed) {
+            StopReason::FirstBug
+        } else if deadline_stop.load(Ordering::Relaxed) {
+            StopReason::Deadline
+        } else {
+            StopReason::BudgetExhausted
+        };
+        CampaignReport {
+            base_seed: self.config.seed,
+            policy: self.config.policy.name(),
+            strategy: format!("{:?}", self.config.strategy),
+            budget: budget.clone(),
+            stop_reason,
+            aggregate,
+            workers,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racy_program() {
+        c11tester_workloads::ds::rwlock_buggy::run_buggy();
+    }
+
+    #[test]
+    fn campaign_covers_exactly_the_budget() {
+        let report = Campaign::new(Config::new().with_seed(3))
+            .with_workers(3)
+            .run(&CampaignBudget::executions(10), || {});
+        assert_eq!(report.aggregate.executions, 10);
+        assert_eq!(report.stop_reason, StopReason::BudgetExhausted);
+        assert_eq!(report.workers, 3);
+        assert!(!report.found_bug());
+    }
+
+    #[test]
+    fn workers_never_exceed_executions() {
+        let report = Campaign::new(Config::new())
+            .with_workers(8)
+            .run(&CampaignBudget::executions(2), || {});
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.aggregate.executions, 2);
+    }
+
+    #[test]
+    fn campaign_equals_serial_run_many() {
+        let config = Config::new().with_seed(0xA5);
+        let parallel = Campaign::new(config.clone())
+            .with_workers(4)
+            .run(&CampaignBudget::executions(60), racy_program);
+        let serial = Model::new(config).run_many(60, racy_program);
+        assert_eq!(parallel.aggregate, serial);
+        assert!(parallel.aggregate.executions_with_race > 0);
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let budget = CampaignBudget::executions(u64::MAX).with_deadline(Duration::from_millis(50));
+        let report = Campaign::new(Config::new())
+            .with_workers(2)
+            .run(&budget, racy_program);
+        assert_eq!(report.stop_reason, StopReason::Deadline);
+        assert!(report.aggregate.executions < u64::MAX);
+    }
+
+    #[test]
+    fn zero_execution_budget_is_a_noop() {
+        let report = Campaign::new(Config::new())
+            .with_workers(4)
+            .run(&CampaignBudget::executions(0), racy_program);
+        assert_eq!(report.aggregate.executions, 0);
+        assert_eq!(report.stop_reason, StopReason::BudgetExhausted);
+    }
+}

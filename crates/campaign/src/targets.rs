@@ -1,0 +1,137 @@
+//! Named campaign targets: the built-in workloads of
+//! `c11tester-workloads`, addressable by CLI-friendly names.
+//!
+//! Covers the Table-2 data-structure suite, the §8.1 injected-bug
+//! benchmarks (buggy *and* fixed variants), and the Table-1 application
+//! simulations.
+
+use c11tester_workloads::{ds, AppBench, DsBench};
+
+/// How a target's body is invoked.
+#[derive(Copy, Clone, Debug)]
+enum Body {
+    Ds(DsBench),
+    App(AppBench),
+    Free(fn()),
+}
+
+/// A named workload a campaign can run.
+#[derive(Copy, Clone, Debug)]
+pub struct Target {
+    /// CLI name (`c11campaign --target <name>`).
+    pub name: &'static str,
+    /// Table/section of the paper the workload comes from.
+    pub group: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    body: Body,
+}
+
+impl Target {
+    /// Runs one execution of the workload body (call inside a model
+    /// execution — a `Model` or `Campaign` closure).
+    pub fn run(&self) {
+        match self.body {
+            Body::Ds(b) => b.run(),
+            Body::App(a) => a.run_default(),
+            Body::Free(f) => f(),
+        }
+    }
+}
+
+/// All built-in targets, in presentation order.
+pub fn all() -> Vec<Target> {
+    let mut targets = Vec::new();
+    for b in DsBench::all() {
+        targets.push(Target {
+            name: b.name(),
+            group: "table2",
+            description: "CDSChecker data-structure benchmark (paper Table 2)",
+            body: Body::Ds(b),
+        });
+    }
+    targets.push(Target {
+        name: "seqlock-buggy",
+        group: "section8.1",
+        description: "seqlock with the injected relaxed-ordering bug (paper §8.1)",
+        body: Body::Free(ds::seqlock::run_buggy),
+    });
+    targets.push(Target {
+        name: "seqlock-fixed",
+        group: "section8.1",
+        description: "seqlock with correct orderings (control for §8.1)",
+        body: Body::Free(ds::seqlock::run_fixed),
+    });
+    targets.push(Target {
+        name: "rwlock-buggy",
+        group: "section8.1",
+        description: "reader-writer lock with the injected bug (paper §8.1)",
+        body: Body::Free(ds::rwlock_buggy::run_buggy),
+    });
+    targets.push(Target {
+        name: "rwlock-fixed",
+        group: "section8.1",
+        description: "reader-writer lock with correct orderings (control for §8.1)",
+        body: Body::Free(ds::rwlock_buggy::run_fixed),
+    });
+    for (a, name) in [
+        (AppBench::Silo, "silo"),
+        (AppBench::Gdax, "gdax"),
+        (AppBench::Mabain, "mabain"),
+        (AppBench::Iris, "iris"),
+        (AppBench::JsBench, "jsbench"),
+    ] {
+        targets.push(Target {
+            name,
+            group: "table1",
+            description: "application simulation (paper Table 1)",
+            body: Body::App(a),
+        });
+    }
+    targets
+}
+
+/// Looks a target up by its CLI name (case-insensitive).
+pub fn find(name: &str) -> Option<Target> {
+    all()
+        .into_iter()
+        .find(|t| t.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let targets = all();
+        let mut names: Vec<&str> = targets.iter().map(|t| t.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate target names");
+        for n in names {
+            assert!(find(n).is_some());
+            assert!(find(&n.to_uppercase()).is_some(), "lookup case-insensitive");
+        }
+    }
+
+    #[test]
+    fn covers_tables_and_injected_bugs() {
+        let targets = all();
+        let group_count = |g: &str| targets.iter().filter(|t| t.group == g).count();
+        assert_eq!(group_count("table2"), 7);
+        assert_eq!(group_count("section8.1"), 4);
+        assert_eq!(group_count("table1"), 5);
+    }
+
+    #[test]
+    fn targets_run_inside_a_campaign() {
+        use crate::{Campaign, CampaignBudget};
+        let target = find("seqlock-buggy").expect("target exists");
+        let report = Campaign::new(c11tester::Config::new().with_seed(1))
+            .with_workers(2)
+            .run(&CampaignBudget::executions(8), move || target.run());
+        assert_eq!(report.aggregate.executions, 8);
+    }
+}

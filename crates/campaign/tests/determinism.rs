@@ -1,0 +1,113 @@
+//! Campaign determinism contract (the tentpole acceptance tests):
+//!
+//! * same base seed → **byte-identical** aggregated `CampaignReport`
+//!   (canonical form) across 1, 4, and 8 workers;
+//! * a ≥ 1000-execution campaign on 8 workers produces the same
+//!   deduplicated race set and detection-rate counts as the serial
+//!   `Model::run_many` path with the same base seed;
+//! * stop-on-first-bug on `workloads::ds::rwlock_buggy` ends the
+//!   campaign early with the bug in hand;
+//! * any single execution replays by `(seed, execution_index)`.
+
+use c11tester::{Config, Model};
+use c11tester_campaign::{Campaign, CampaignBudget, StopReason};
+use c11tester_workloads::ds::rwlock_buggy;
+
+const SEED: u64 = 0xDE7EC7;
+
+fn racy() {
+    rwlock_buggy::run_buggy();
+}
+
+#[test]
+fn canonical_report_is_byte_identical_across_1_4_8_workers() {
+    let budget = CampaignBudget::executions(120);
+    let reports: Vec<_> = [1usize, 4, 8]
+        .into_iter()
+        .map(|w| {
+            Campaign::new(Config::new().with_seed(SEED))
+                .with_workers(w)
+                .run(&budget, racy)
+        })
+        .collect();
+    let canon: Vec<String> = reports.iter().map(|r| r.canonical_json()).collect();
+    assert_eq!(canon[0], canon[1], "1 vs 4 workers");
+    assert_eq!(canon[1], canon[2], "4 vs 8 workers");
+    // The aggregates are equal as values too, not just as JSON.
+    assert_eq!(reports[0].aggregate, reports[1].aggregate);
+    assert_eq!(reports[1].aggregate, reports[2].aggregate);
+    // And the campaign found real races to aggregate.
+    assert!(reports[0].aggregate.executions_with_race > 0);
+}
+
+#[test]
+fn thousand_execution_campaign_matches_serial_run_many() {
+    // The acceptance bar: >= 1000 executions, 8 workers, same dedup
+    // race set and detection-rate counts as Model::run_many.
+    let executions = 1000;
+    let campaign = Campaign::new(Config::new().with_seed(SEED))
+        .with_workers(8)
+        .run(&CampaignBudget::executions(executions), racy);
+    let serial = Model::new(Config::new().with_seed(SEED)).run_many(executions, racy);
+
+    assert_eq!(campaign.aggregate, serial, "full aggregate equality");
+    // Spelled out, the fields the acceptance criterion names:
+    assert_eq!(
+        campaign.aggregate.executions_with_race,
+        serial.executions_with_race
+    );
+    assert_eq!(
+        campaign.aggregate.executions_with_bug,
+        serial.executions_with_bug
+    );
+    assert_eq!(
+        campaign.aggregate.distinct_races(),
+        serial.distinct_races(),
+        "deduplicated race sets"
+    );
+    assert_eq!(campaign.aggregate.executions, executions);
+    assert!(serial.executions_with_race > 0, "workload must race");
+}
+
+#[test]
+fn stop_on_first_bug_ends_the_campaign_early() {
+    let budget = CampaignBudget::executions(1_000_000).with_stop_on_first_bug(true);
+    let report = Campaign::new(Config::new().with_seed(SEED))
+        .with_workers(4)
+        .run(&budget, racy);
+    assert_eq!(report.stop_reason, StopReason::FirstBug);
+    assert!(report.found_bug());
+    assert!(
+        report.aggregate.executions < 1000,
+        "stop-on-first-bug must cut the budget short (ran {})",
+        report.aggregate.executions
+    );
+    assert!(
+        !report.aggregate.races.is_empty(),
+        "the bug is in the report"
+    );
+}
+
+#[test]
+fn any_campaign_execution_replays_by_seed_and_index() {
+    // Pick the first racy execution a campaign found and replay it
+    // serially by (seed, index): same races, same stats.
+    let report = Campaign::new(Config::new().with_seed(SEED))
+        .with_workers(4)
+        .run(&CampaignBudget::executions(40), racy);
+    let (_, entry) = report
+        .aggregate
+        .races
+        .iter()
+        .next()
+        .expect("campaign found a race");
+    let index = entry.first_execution;
+
+    let mut model = Model::new(Config::new().with_seed(SEED));
+    let replayed = model.run_at(index, racy);
+    assert_eq!(replayed.execution_index, index);
+    assert!(
+        replayed.races.iter().any(|r| r.key() == entry.report.key()),
+        "replay of execution #{index} must reproduce the race"
+    );
+}

@@ -94,12 +94,18 @@ pub enum MemOrder {
 impl MemOrder {
     /// True for acquire, acq_rel, and seq_cst (paper §2 "acquire" category).
     pub fn is_acquire(self) -> bool {
-        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// True for release, acq_rel, and seq_cst (paper §2 "release" category).
     pub fn is_release(self) -> bool {
-        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// True only for seq_cst.

@@ -337,11 +337,13 @@ impl Execution {
         }
         match kind {
             StoreKind::Atomic => self.stats.atomic_stores += 1,
-            StoreKind::NonAtomic => self.stats.atomic_stores += 1,
+            // atomic_init-style initializing stores are plain memory
+            // accesses (paper §7.2) — Table 3 counts them as normal.
+            StoreKind::NonAtomic => self.stats.normal_accesses += 1,
             StoreKind::Volatile => self.stats.volatile_accesses += 1,
         }
-        let run = kind != StoreKind::NonAtomic
-            && matches!(order, MemOrder::Relaxed | MemOrder::Release);
+        let run =
+            kind != StoreKind::NonAtomic && matches!(order, MemOrder::Relaxed | MemOrder::Release);
         self.threads[t.index()].in_store_run = run;
         self.maybe_prune();
         idx
@@ -354,6 +356,7 @@ impl Execution {
     /// after the node exists, *before* the write-prior-set edges, so
     /// that edge migration and clock-vector propagation interleave
     /// correctly.
+    #[allow(clippy::too_many_arguments)]
     fn store_inner(
         &mut self,
         t: ThreadId,
@@ -414,10 +417,7 @@ impl Execution {
         // Restricted policies (tsan11 family): mo embeds in execution
         // order, realized as a chain edge from the previous store.
         if self.policy.restricts_mo() {
-            let prev = self
-                .locations
-                .get(&obj)
-                .and_then(|loc| loc.last_store_exec);
+            let prev = self.locations.get(&obj).and_then(|loc| loc.last_store_exec);
             if let Some(prev) = prev {
                 let np = self.node_of(prev);
                 let nn = self.node_of(idx);
@@ -540,13 +540,7 @@ impl Execution {
     ///
     /// Debug builds panic if `cand` is infeasible — callers must check
     /// first (the engine never rolls back, §4.3).
-    pub fn commit_load(
-        &mut self,
-        t: ThreadId,
-        obj: ObjId,
-        order: MemOrder,
-        cand: StoreIdx,
-    ) -> u64 {
+    pub fn commit_load(&mut self, t: ThreadId, obj: ObjId, order: MemOrder, cand: StoreIdx) -> u64 {
         let seq = self.next_event(t);
         let (pset, ok) = self.read_prior_set(t, obj, order, cand);
         debug_assert!(ok, "commit_load of an infeasible candidate");
@@ -572,7 +566,9 @@ impl Execution {
             );
         }
         let loc = self.locations.entry(obj).or_default();
-        loc.thread_mut(t.index()).accesses.push(AccessRef::Load(lidx));
+        loc.thread_mut(t.index())
+            .accesses
+            .push(AccessRef::Load(lidx));
         self.stats.atomic_loads += 1;
         self.threads[t.index()].in_store_run = false;
         self.maybe_prune();
@@ -629,7 +625,15 @@ impl Execution {
 
         // Store half (assigns the event's sequence number; installs the
         // rmw edge before the write-prior-set edges, per Fig. 11).
-        let idx = self.store_inner(t, obj, order, new_value, StoreKind::Atomic, true, Some(cand));
+        let idx = self.store_inner(
+            t,
+            obj,
+            order,
+            new_value,
+            StoreKind::Atomic,
+            true,
+            Some(cand),
+        );
         if Self::trace_enabled() {
             eprintln!(
                 "TRACE {t:?} rmw   #{:?} {obj:?} {order:?} read=#{:?}(val={old}) wrote={new_value} rf_cv={:?} cv={:?}",

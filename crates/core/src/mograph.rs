@@ -279,7 +279,10 @@ impl MoGraph {
         }
         let an = &self.nodes[a.index()];
         let bn = &self.nodes[b.index()];
-        debug_assert_eq!(an.obj, bn.obj, "CV reachability compares same-location nodes");
+        debug_assert_eq!(
+            an.obj, bn.obj,
+            "CV reachability compares same-location nodes"
+        );
         an.cv.leq(&bn.cv)
     }
 
@@ -328,8 +331,7 @@ impl MoGraph {
             mark[start] = Mark::Grey;
             while let Some(&(n, child)) = stack.last() {
                 let node = &self.nodes[n];
-                let succs: Vec<NodeId> =
-                    node.edges.iter().copied().chain(node.rmw).collect();
+                let succs: Vec<NodeId> = node.edges.iter().copied().chain(node.rmw).collect();
                 if child < succs.len() {
                     stack.last_mut().expect("stack non-empty").1 += 1;
                     let s = succs[child].index();

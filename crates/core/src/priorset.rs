@@ -101,14 +101,15 @@ impl Execution {
         hb_bound: u64,
     ) -> Option<StoreIdx> {
         let mut best: Option<(SeqNum, AccessRef)> = None;
-        let consider_store = |this: &Self, s: Option<StoreIdx>, best: &mut Option<(SeqNum, AccessRef)>| {
-            if let Some(s) = s {
-                let seq = this.store_seq(s);
-                if best.map_or(true, |(b, _)| seq > b) {
-                    *best = Some((seq, AccessRef::Store(s)));
+        let consider_store =
+            |this: &Self, s: Option<StoreIdx>, best: &mut Option<(SeqNum, AccessRef)>| {
+                if let Some(s) = s {
+                    let seq = this.store_seq(s);
+                    if best.is_none_or(|(b, _)| seq > b) {
+                        *best = Some((seq, AccessRef::Store(s)));
+                    }
                 }
-            }
-        };
+            };
         // S1: last store sb-before u's own last sc fence (only when the
         // operation is seq_cst). C++11 §29.3p4.
         if is_sc_op {
@@ -133,7 +134,7 @@ impl Execution {
         // write-read / read-read coherence term.
         if let Some(a) = self.last_access_at_or_before(&h.accesses, hb_bound) {
             let seq = self.access_seq(a);
-            if best.map_or(true, |(b, _)| seq > b) {
+            if best.is_none_or(|(b, _)| seq > b) {
                 best = Some((seq, a));
             }
         }
@@ -387,6 +388,9 @@ mod tests {
                 .expect("store of 2 exists");
             e.node_of(s2)
         };
-        assert!(e.mograph().reaches(n1, s2_node), "sc fences force s1 mo→ s2");
+        assert!(
+            e.mograph().reaches(n1, s2_node),
+            "sc fences force s1 mo→ s2"
+        );
     }
 }

@@ -95,7 +95,7 @@ impl Execution {
         if self.prune_cfg.mode == PruneMode::Disabled || self.prune_cfg.interval == 0 {
             return;
         }
-        if self.seq % self.prune_cfg.interval != 0 {
+        if !self.seq.is_multiple_of(self.prune_cfg.interval) {
             return;
         }
         self.prune_now();
@@ -256,8 +256,7 @@ impl Execution {
             for (uix, th) in threads.iter_mut().enumerate() {
                 let bound = cv_min.get(ThreadId::from_index(uix));
                 let before = th.sc_fences.len();
-                th.sc_fences
-                    .retain(|&f| fences[f.index()].seq.0 > bound);
+                th.sc_fences.retain(|&f| fences[f.index()].seq.0 > bound);
                 dropped += (before - th.sc_fences.len()) as u64;
             }
             self.stats.pruned_fences += dropped;
@@ -277,8 +276,7 @@ mod tests {
     /// conservative pass retires them.
     #[test]
     fn conservative_prunes_globally_known_history() {
-        let mut e =
-            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let mut e = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
         let main = ThreadId::MAIN;
         let x = e.new_object();
         for v in 0..100 {
@@ -298,8 +296,7 @@ mod tests {
     /// still read.
     #[test]
     fn conservative_keeps_stores_unknown_to_a_thread() {
-        let mut e =
-            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let mut e = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
         let main = ThreadId::MAIN;
         let x = e.new_object();
         e.atomic_store(main, x, MemOrder::Relaxed, 0, StoreKind::Atomic);
@@ -363,10 +360,7 @@ mod tests {
     /// synchronization.
     #[test]
     fn aggressive_prunes_outside_window() {
-        let mut e = Execution::with_pruning(
-            Policy::C11Tester,
-            PruneConfig::aggressive(0, 10),
-        );
+        let mut e = Execution::with_pruning(Policy::C11Tester, PruneConfig::aggressive(0, 10));
         let main = ThreadId::MAIN;
         let x = e.new_object();
         let _lagger = e.fork(main); // never synchronizes
@@ -385,10 +379,7 @@ mod tests {
     /// Pruned arena slots are recycled, bounding memory.
     #[test]
     fn arena_slots_are_recycled() {
-        let mut e = Execution::with_pruning(
-            Policy::C11Tester,
-            PruneConfig::conservative(16),
-        );
+        let mut e = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(16));
         let main = ThreadId::MAIN;
         let x = e.new_object();
         for v in 0..10_000 {
@@ -404,8 +395,7 @@ mod tests {
     /// Old seq_cst fences are retired once happens-before subsumes them.
     #[test]
     fn sc_fences_are_pruned() {
-        let mut e =
-            Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
+        let mut e = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(0));
         let main = ThreadId::MAIN;
         let x = e.new_object();
         for _ in 0..5 {

@@ -12,17 +12,47 @@
 //! * the restricted tsan11 fragment only produces a *subset* of the
 //!   full fragment's feasible reads;
 //! * conservative pruning never changes feasible read sets.
+//!
+//! The harness generates its cases with the workspace's deterministic
+//! `rand` shim (the offline environment has no proptest): each property
+//! replays a fixed number of seeded random programs, so failures
+//! reproduce exactly by seed.
 
-use c11tester_core::{Execution, MemOrder, ObjId, Policy, PruneConfig, StoreIdx, StoreKind, ThreadId};
-use proptest::prelude::*;
+use c11tester_core::{
+    Execution, MemOrder, ObjId, Policy, PruneConfig, StoreIdx, StoreKind, ThreadId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 256;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Store { t: u8, obj: u8, order: u8, val: u8 },
-    Load { t: u8, obj: u8, order: u8, choice: u8 },
-    Rmw { t: u8, obj: u8, order: u8, choice: u8 },
-    Fence { t: u8, order: u8 },
-    Fork { t: u8 },
+    Store {
+        t: u8,
+        obj: u8,
+        order: u8,
+        val: u8,
+    },
+    Load {
+        t: u8,
+        obj: u8,
+        order: u8,
+        choice: u8,
+    },
+    Rmw {
+        t: u8,
+        obj: u8,
+        order: u8,
+        choice: u8,
+    },
+    Fence {
+        t: u8,
+        order: u8,
+    },
+    Fork {
+        t: u8,
+    },
 }
 
 fn order_of(ix: u8) -> MemOrder {
@@ -35,22 +65,60 @@ fn order_of(ix: u8) -> MemOrder {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(t, obj, order, val)| Op::Store { t, obj, order, val }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(t, obj, order, choice)| Op::Load { t, obj, order, choice }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(t, obj, order, choice)| Op::Rmw { t, obj, order, choice }),
-        (any::<u8>(), any::<u8>()).prop_map(|(t, order)| Op::Fence { t, order }),
-        any::<u8>().prop_map(|t| Op::Fork { t }),
-    ]
+/// Draws a random program of `1..max_len` operations.
+fn gen_ops(rng: &mut StdRng, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..5u8) {
+            0 => Op::Store {
+                t: rng.gen_range(0..=255u8),
+                obj: rng.gen_range(0..=255u8),
+                order: rng.gen_range(0..=255u8),
+                val: rng.gen_range(0..=255u8),
+            },
+            1 => Op::Load {
+                t: rng.gen_range(0..=255u8),
+                obj: rng.gen_range(0..=255u8),
+                order: rng.gen_range(0..=255u8),
+                choice: rng.gen_range(0..=255u8),
+            },
+            2 => Op::Rmw {
+                t: rng.gen_range(0..=255u8),
+                obj: rng.gen_range(0..=255u8),
+                order: rng.gen_range(0..=255u8),
+                choice: rng.gen_range(0..=255u8),
+            },
+            3 => Op::Fence {
+                t: rng.gen_range(0..=255u8),
+                order: rng.gen_range(0..=255u8),
+            },
+            _ => Op::Fork {
+                t: rng.gen_range(0..=255u8),
+            },
+        })
+        .collect()
+}
+
+/// Runs `property` against `CASES` seeded random programs.
+fn for_random_programs(name: &str, max_len: usize, mut property: impl FnMut(&[Op])) {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC11_7E57);
+        let ops = gen_ops(&mut rng, max_len);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&ops)));
+        if let Err(payload) = result {
+            eprintln!("property `{name}` failed on seed {seed} with ops: {ops:?}");
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Replays `ops` on an execution, recording `(thread, obj, store)` for
 /// every committed read. Returns the execution and the read log.
-fn replay(policy: Policy, prune: PruneConfig, ops: &[Op]) -> (Execution, Vec<(ThreadId, ObjId, StoreIdx)>) {
+fn replay(
+    policy: Policy,
+    prune: PruneConfig,
+    ops: &[Op],
+) -> (Execution, Vec<(ThreadId, ObjId, StoreIdx)>) {
     let mut e = Execution::with_pruning(policy, prune);
     let mut threads = vec![ThreadId::MAIN];
     let objs: Vec<ObjId> = (0..3).map(|_| e.new_object()).collect();
@@ -62,7 +130,12 @@ fn replay(policy: Policy, prune: PruneConfig, ops: &[Op]) -> (Execution, Vec<(Th
                 let obj = objs[obj as usize % objs.len()];
                 e.atomic_store(t, obj, order_of(order), u64::from(val), StoreKind::Atomic);
             }
-            Op::Load { t, obj, order, choice } => {
+            Op::Load {
+                t,
+                obj,
+                order,
+                choice,
+            } => {
                 let t = threads[t as usize % threads.len()];
                 let obj = objs[obj as usize % objs.len()];
                 let cands = e.feasible_read_candidates(t, obj, order_of(order), false);
@@ -72,7 +145,12 @@ fn replay(policy: Policy, prune: PruneConfig, ops: &[Op]) -> (Execution, Vec<(Th
                     reads.push((t, obj, c));
                 }
             }
-            Op::Rmw { t, obj, order, choice } => {
+            Op::Rmw {
+                t,
+                obj,
+                order,
+                choice,
+            } => {
                 let t = threads[t as usize % threads.len()];
                 let obj = objs[obj as usize % objs.len()];
                 let cands = e.feasible_read_candidates(t, obj, order_of(order), true);
@@ -98,15 +176,13 @@ fn replay(policy: Policy, prune: PruneConfig, ops: &[Op]) -> (Execution, Vec<(Th
     (e, reads)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The mo-graph stays acyclic and Theorem 1 holds after any program.
-    #[test]
-    fn mograph_acyclic_and_theorem1(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (e, _) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+/// The mo-graph stays acyclic and Theorem 1 holds after any program.
+#[test]
+fn mograph_acyclic_and_theorem1() {
+    for_random_programs("mograph_acyclic_and_theorem1", 40, |ops| {
+        let (e, _) = replay(Policy::C11Tester, PruneConfig::disabled(), ops);
         let g = e.mograph();
-        prop_assert!(!g.has_cycle_slow(), "mo-graph acquired a cycle");
+        assert!(!g.has_cycle_slow(), "mo-graph acquired a cycle");
         // Theorem 1 on every same-location node pair.
         let nodes: Vec<_> = (0..g.len())
             .map(|i| c11tester_core::NodeId(i as u32))
@@ -117,30 +193,34 @@ proptest! {
                 if a == b || g.node(a).obj != g.node(b).obj {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     g.reaches(a, b),
                     g.reaches_slow(a, b),
-                    "Theorem 1 violated between {:?} and {:?}", a, b
+                    "Theorem 1 violated between {a:?} and {b:?}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Loads only ever read stores that already executed, so
-    /// `hb ∪ sc ∪ rf` is trivially acyclic (Lemma 4).
-    #[test]
-    fn reads_only_from_the_past(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+/// Loads only ever read stores that already executed, so
+/// `hb ∪ sc ∪ rf` is trivially acyclic (Lemma 4).
+#[test]
+fn reads_only_from_the_past() {
+    for_random_programs("reads_only_from_the_past", 40, |ops| {
+        let (e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), ops);
         for &(_, _, s) in &reads {
-            prop_assert!(e.store(s).seq <= e.now());
+            assert!(e.store(s).seq <= e.now());
         }
-    }
+    });
+}
 
-    /// Per-thread read-read coherence: two successive reads of the same
-    /// location by one thread never observe stores in anti-mo order.
-    #[test]
-    fn read_read_coherence(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (mut e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), &ops);
+/// Per-thread read-read coherence: two successive reads of the same
+/// location by one thread never observe stores in anti-mo order.
+#[test]
+fn read_read_coherence() {
+    for_random_programs("read_read_coherence", 40, |ops| {
+        let (mut e, reads) = replay(Policy::C11Tester, PruneConfig::disabled(), ops);
         for t_ix in 0..4 {
             let t = ThreadId::from_index(t_ix);
             for obj_ix in 0..3 {
@@ -156,33 +236,58 @@ proptest! {
                     }
                     let nx = e.node_of(x);
                     let ny = e.node_of(y);
-                    prop_assert!(
+                    assert!(
                         !e.mograph().reaches_slow(ny, nx),
                         "CoRR violated: later read saw mo-earlier store"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// The restricted fragment's feasible reads are a subset of the
-    /// full fragment's at every step (driving both with the restricted
-    /// choice, which must be legal in both).
-    #[test]
-    fn restricted_fragment_is_a_subset(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+/// The restricted fragment's feasible reads are a subset of the
+/// full fragment's at every step (driving both with the restricted
+/// choice, which must be legal in both).
+#[test]
+fn restricted_fragment_is_a_subset() {
+    for_random_programs("restricted_fragment_is_a_subset", 30, |ops| {
         let mut full = Execution::new(Policy::C11Tester);
         let mut restr = Execution::new(Policy::Tsan11);
         let mut threads = vec![ThreadId::MAIN];
         let objs_f: Vec<ObjId> = (0..3).map(|_| full.new_object()).collect();
         let objs_r: Vec<ObjId> = (0..3).map(|_| restr.new_object()).collect();
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Store { t, obj, order, val } => {
                     let t = threads[t as usize % threads.len()];
-                    full.atomic_store(t, objs_f[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
-                    restr.atomic_store(t, objs_r[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                    full.atomic_store(
+                        t,
+                        objs_f[obj as usize % 3],
+                        order_of(order),
+                        u64::from(val),
+                        StoreKind::Atomic,
+                    );
+                    restr.atomic_store(
+                        t,
+                        objs_r[obj as usize % 3],
+                        order_of(order),
+                        u64::from(val),
+                        StoreKind::Atomic,
+                    );
                 }
-                Op::Load { t, obj, order, choice } | Op::Rmw { t, obj, order, choice } => {
+                Op::Load {
+                    t,
+                    obj,
+                    order,
+                    choice,
+                }
+                | Op::Rmw {
+                    t,
+                    obj,
+                    order,
+                    choice,
+                } => {
                     let for_rmw = matches!(op, Op::Rmw { .. });
                     let t = threads[t as usize % threads.len()];
                     let of = objs_f[obj as usize % 3];
@@ -194,7 +299,7 @@ proptest! {
                     let key = |e: &Execution, s: StoreIdx| (e.store(s).tid, e.store(s).seq);
                     let kf: Vec<_> = cf.iter().map(|&s| key(&full, s)).collect();
                     for &s in &cr {
-                        prop_assert!(
+                        assert!(
                             kf.contains(&key(&restr, s)),
                             "restricted fragment allowed a read the full one forbids"
                         );
@@ -227,31 +332,50 @@ proptest! {
                         let parent = threads[t as usize % threads.len()];
                         let a = full.fork(parent);
                         let b = restr.fork(parent);
-                        prop_assert_eq!(a, b);
+                        assert_eq!(a, b);
                         threads.push(a);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Conservative pruning never changes the feasible read set of any
-    /// load (it only retires unreadable history).
-    #[test]
-    fn conservative_pruning_is_invisible(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+/// Conservative pruning never changes the feasible read set of any
+/// load (it only retires unreadable history).
+#[test]
+fn conservative_pruning_is_invisible() {
+    for_random_programs("conservative_pruning_is_invisible", 30, |ops| {
         let mut plain = Execution::new(Policy::C11Tester);
         let mut pruned = Execution::with_pruning(Policy::C11Tester, PruneConfig::conservative(8));
         let mut threads = vec![ThreadId::MAIN];
         let objs_a: Vec<ObjId> = (0..3).map(|_| plain.new_object()).collect();
         let objs_b: Vec<ObjId> = (0..3).map(|_| pruned.new_object()).collect();
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Store { t, obj, order, val } => {
                     let t = threads[t as usize % threads.len()];
-                    plain.atomic_store(t, objs_a[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
-                    pruned.atomic_store(t, objs_b[obj as usize % 3], order_of(order), u64::from(val), StoreKind::Atomic);
+                    plain.atomic_store(
+                        t,
+                        objs_a[obj as usize % 3],
+                        order_of(order),
+                        u64::from(val),
+                        StoreKind::Atomic,
+                    );
+                    pruned.atomic_store(
+                        t,
+                        objs_b[obj as usize % 3],
+                        order_of(order),
+                        u64::from(val),
+                        StoreKind::Atomic,
+                    );
                 }
-                Op::Load { t, obj, order, choice } => {
+                Op::Load {
+                    t,
+                    obj,
+                    order,
+                    choice,
+                } => {
                     let t = threads[t as usize % threads.len()];
                     let oa = objs_a[obj as usize % 3];
                     let ob = objs_b[obj as usize % 3];
@@ -262,16 +386,25 @@ proptest! {
                     let mut kb: Vec<_> = cb.iter().map(|&s| key(&pruned, s)).collect();
                     ka.sort_unstable();
                     kb.sort_unstable();
-                    prop_assert_eq!(&ka, &kb, "pruning changed a feasible read set");
+                    assert_eq!(&ka, &kb, "pruning changed a feasible read set");
                     if !ca.is_empty() {
                         let pa = ca[choice as usize % ca.len()];
                         let k = key(&plain, pa);
-                        let pb = cb.iter().copied().find(|&s| key(&pruned, s) == k).expect("equal sets");
+                        let pb = cb
+                            .iter()
+                            .copied()
+                            .find(|&s| key(&pruned, s) == k)
+                            .expect("equal sets");
                         plain.commit_load(t, oa, order_of(order), pa);
                         pruned.commit_load(t, ob, order_of(order), pb);
                     }
                 }
-                Op::Rmw { t, obj, order, choice } => {
+                Op::Rmw {
+                    t,
+                    obj,
+                    order,
+                    choice,
+                } => {
                     let t = threads[t as usize % threads.len()];
                     let oa = objs_a[obj as usize % 3];
                     let ob = objs_b[obj as usize % 3];
@@ -284,7 +417,7 @@ proptest! {
                     let k = key(&plain, pa);
                     let cb = pruned.feasible_read_candidates(t, ob, order_of(order), true);
                     let pb = cb.iter().copied().find(|&s| key(&pruned, s) == k);
-                    prop_assert!(pb.is_some(), "pruning lost an RMW candidate");
+                    assert!(pb.is_some(), "pruning lost an RMW candidate");
                     let old = plain.store_value(pa);
                     plain.commit_rmw(t, oa, order_of(order), pa, old + 1);
                     pruned.commit_rmw(t, ob, order_of(order), pb.expect("present"), old + 1);
@@ -299,11 +432,11 @@ proptest! {
                         let parent = threads[t as usize % threads.len()];
                         let a = plain.fork(parent);
                         let b = pruned.fork(parent);
-                        prop_assert_eq!(a, b);
+                        assert_eq!(a, b);
                         threads.push(a);
                     }
                 }
             }
         }
-    }
+    });
 }

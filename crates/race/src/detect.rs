@@ -11,6 +11,7 @@
 //! non-atomic histories, concurrent reader sets, and clock/tid overflow
 //! inflate to an expanded record, mirroring the paper's design.
 
+use crate::dedup::RaceKey;
 use crate::report::{AccessKind, RaceKind, RaceReport};
 use crate::shadow::{Epoch, PackedShadow, ShadowWord};
 use c11tester_core::{ClockVector, ObjId, ThreadId};
@@ -46,7 +47,7 @@ pub struct RaceDetector {
     shadow: HashMap<(ObjId, u32), u64>,
     expanded: Vec<Expanded>,
     meta: HashMap<ObjId, LocMeta>,
-    seen: HashSet<(String, RaceKind)>,
+    seen: HashSet<RaceKey>,
     reports: Vec<RaceReport>,
     /// Races detected but elided because they involve volatile cells.
     pub elided_volatile: u64,
@@ -109,6 +110,7 @@ impl RaceDetector {
         self.meta.get(&obj).map(|m| m.volatile).unwrap_or(false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &mut self,
         obj: ObjId,
@@ -127,7 +129,10 @@ impl RaceDetector {
             return;
         }
         let label = self.label_of(obj);
-        if !self.seen.insert((label.clone(), kind)) {
+        if !self.seen.insert(RaceKey {
+            label: label.clone(),
+            kind,
+        }) {
             return;
         }
         if std::env::var_os("C11TESTER_RACE_DEBUG").is_some() {
@@ -199,20 +204,28 @@ impl RaceDetector {
                 // at least one side non-atomic.
                 if p.write_clock > 0 {
                     let wt = ThreadId::from_index(p.write_tid as usize);
-                    if wt != tid
-                        && p.write_clock > cv.get(wt)
-                        && (!atomic || !p.write_atomic)
-                    {
+                    if wt != tid && p.write_clock > cv.get(wt) && (!atomic || !p.write_atomic) {
                         if std::env::var_os("C11TESTER_RACE_DEBUG").is_some() {
-                            eprintln!("  read-check: wclock={} cv[wt]={} reader cv={cv:?}", p.write_clock, cv.get(wt));
+                            eprintln!(
+                                "  read-check: wclock={} cv[wt]={} reader cv={cv:?}",
+                                p.write_clock,
+                                cv.get(wt)
+                            );
                         }
-                        self.emit(obj, offset, RaceKind::ReadAfterWrite, epoch, kind, wt, p.write_atomic);
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::ReadAfterWrite,
+                            epoch,
+                            kind,
+                            wt,
+                            p.write_atomic,
+                        );
                     }
                 }
                 // Record the read.
                 let rt = ThreadId::from_index(p.read_tid as usize);
-                let same_or_ordered =
-                    p.read_clock == 0 || rt == tid || p.read_clock <= cv.get(rt);
+                let same_or_ordered = p.read_clock == 0 || rt == tid || p.read_clock <= cv.get(rt);
                 if same_or_ordered && ShadowWord::read_epoch_fits(epoch) {
                     let mut np = p;
                     np.read_clock = epoch.clock;
@@ -240,7 +253,15 @@ impl RaceDetector {
                 };
                 if let Some(w) = write {
                     if w.tid != tid && w.clock > cv.get(w.tid) && (!atomic || !write_atomic) {
-                        self.emit(obj, offset, RaceKind::ReadAfterWrite, epoch, kind, w.tid, write_atomic);
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::ReadAfterWrite,
+                            epoch,
+                            kind,
+                            w.tid,
+                            write_atomic,
+                        );
                     }
                 }
                 let exp = &mut self.expanded[ix as usize];
@@ -281,20 +302,30 @@ impl RaceDetector {
             ShadowWord::Packed(p) => {
                 if p.write_clock > 0 {
                     let wt = ThreadId::from_index(p.write_tid as usize);
-                    if wt != tid
-                        && p.write_clock > cv.get(wt)
-                        && (!atomic || !p.write_atomic)
-                    {
-                        self.emit(obj, offset, RaceKind::WriteAfterWrite, epoch, kind, wt, p.write_atomic);
+                    if wt != tid && p.write_clock > cv.get(wt) && (!atomic || !p.write_atomic) {
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::WriteAfterWrite,
+                            epoch,
+                            kind,
+                            wt,
+                            p.write_atomic,
+                        );
                     }
                 }
                 if p.read_clock > 0 {
                     let rt = ThreadId::from_index(p.read_tid as usize);
-                    if rt != tid
-                        && p.read_clock > cv.get(rt)
-                        && (!atomic || !p.read_atomic)
-                    {
-                        self.emit(obj, offset, RaceKind::WriteAfterRead, epoch, kind, rt, p.read_atomic);
+                    if rt != tid && p.read_clock > cv.get(rt) && (!atomic || !p.read_atomic) {
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::WriteAfterRead,
+                            epoch,
+                            kind,
+                            rt,
+                            p.read_atomic,
+                        );
                     }
                 }
                 if ShadowWord::write_epoch_fits(epoch) {
@@ -331,12 +362,28 @@ impl RaceDetector {
                 };
                 if let Some(w) = write {
                     if w.tid != tid && w.clock > cv.get(w.tid) && (!atomic || !write_atomic) {
-                        self.emit(obj, offset, RaceKind::WriteAfterWrite, epoch, kind, w.tid, write_atomic);
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::WriteAfterWrite,
+                            epoch,
+                            kind,
+                            w.tid,
+                            write_atomic,
+                        );
                     }
                 }
                 for (rt, rc) in reads_na.iter_nonzero() {
                     if rt != tid && rc > cv.get(rt) {
-                        self.emit(obj, offset, RaceKind::WriteAfterRead, epoch, kind, rt, false);
+                        self.emit(
+                            obj,
+                            offset,
+                            RaceKind::WriteAfterRead,
+                            epoch,
+                            kind,
+                            rt,
+                            false,
+                        );
                     }
                 }
                 if !atomic {
@@ -474,13 +521,7 @@ mod tests {
         d.on_read(X, 0, t(0), &cv(&[(0, 1)]), AccessKind::NonAtomic);
         d.on_read(X, 0, t(1), &cv(&[(1, 2)]), AccessKind::NonAtomic);
         // Writer ordered after reader 0 but not reader 1: still a race.
-        assert!(d.on_write(
-            X,
-            0,
-            t(2),
-            &cv(&[(0, 1), (2, 3)]),
-            AccessKind::NonAtomic
-        ));
+        assert!(d.on_write(X, 0, t(2), &cv(&[(0, 1), (2, 3)]), AccessKind::NonAtomic));
         let r = &d.reports()[0];
         assert_eq!(r.prior_tid, t(1));
     }

@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dedup;
 pub mod detect;
 pub mod report;
 pub mod shadow;
 
+pub use dedup::{DedupEntry, DedupHistory, RaceKey};
 pub use detect::RaceDetector;
 pub use report::{AccessKind, RaceKind, RaceReport};
 pub use shadow::{Epoch, PackedShadow, ShadowWord};

@@ -68,7 +68,11 @@ impl fmt::Display for RaceReport {
             cur = self.current_tid,
             ck = self.current_kind,
             prev = self.prior_tid,
-            pk = if self.prior_atomic { "atomic" } else { "non-atomic" },
+            pk = if self.prior_atomic {
+                "atomic"
+            } else {
+                "non-atomic"
+            },
         )
     }
 }

@@ -240,7 +240,10 @@ mod tests {
         );
         rt.poison();
         rt.join_all();
-        assert!(!ran.load(Ordering::Acquire), "body must not run after abort");
+        assert!(
+            !ran.load(Ordering::Acquire),
+            "body must not run after abort"
+        );
     }
 
     /// park after poison returns the abort error immediately.

@@ -97,8 +97,14 @@ impl std::fmt::Debug for Notifier {
         let kind = match self.imp {
             Impl::Park { .. } => "Park",
             Impl::Condvar { .. } => "Condvar",
-            Impl::Spin { yield_between: false, .. } => "Spin",
-            Impl::Spin { yield_between: true, .. } => "SpinYield",
+            Impl::Spin {
+                yield_between: false,
+                ..
+            } => "Spin",
+            Impl::Spin {
+                yield_between: true,
+                ..
+            } => "SpinYield",
             Impl::Channel { .. } => "Channel",
         };
         write!(f, "Notifier({kind})")

@@ -53,8 +53,8 @@ impl Deque {
             return None;
         }
         let v = self.buf.get(t as usize % CAP); // reads the slot...
-        // Bug: must be SeqCst/AcqRel; relaxed means the owner can see
-        // the new `top` without synchronizing with the read above.
+                                                // Bug: must be SeqCst/AcqRel; relaxed means the owner can see
+                                                // the new `top` without synchronizing with the read above.
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::Relaxed, Ordering::Relaxed)

@@ -48,12 +48,9 @@ impl MsQueue {
             let t = self.tail.load(Ordering::Acquire);
             let tn = self.next[t as usize].load(Ordering::Acquire);
             if tn != NONE {
-                let _ = self.tail.compare_exchange(
-                    t,
-                    tn,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(t, tn, Ordering::AcqRel, Ordering::Relaxed);
                 continue;
             }
             if self.next[t as usize]

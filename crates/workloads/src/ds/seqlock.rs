@@ -51,7 +51,7 @@ pub fn run(fixed: bool) {
 
     for _ in 0..READS {
         let c1 = count.load(Ordering::Acquire);
-        if c1 % 2 != 0 {
+        if !c1.is_multiple_of(2) {
             c11tester::thread::yield_now();
             continue;
         }

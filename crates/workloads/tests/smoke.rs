@@ -35,7 +35,11 @@ fn all_apps_terminate() {
             "{}: unexpected failure {report}",
             app.name()
         );
-        assert!(report.stats.atomic_ops() > 0, "{} ran no atomics", app.name());
+        assert!(
+            report.stats.atomic_ops() > 0,
+            "{} ran no atomics",
+            app.name()
+        );
     }
 }
 
@@ -129,7 +133,12 @@ fn ms_queue_race_found_by_everyone() {
 
 #[test]
 fn barrier_and_locks_race_under_full_fragment() {
-    for bench in [DsBench::Barrier, DsBench::LinuxRwLocks, DsBench::McsLock, DsBench::MpmcQueue] {
+    for bench in [
+        DsBench::Barrier,
+        DsBench::LinuxRwLocks,
+        DsBench::McsLock,
+        DsBench::MpmcQueue,
+    ] {
         let mut m = model(Policy::C11Tester, 83);
         let report = m.check(100, || bench.run());
         assert!(
@@ -166,10 +175,8 @@ fn silo_invariant_depends_on_volatile_handling() {
         "relaxed volatiles must expose the Silo invariant violation: {report}"
     );
 
-    let fixed_cfg = cfg.with_volatile_orders(
-        c11tester::MemOrder::Acquire,
-        c11tester::MemOrder::Release,
-    );
+    let fixed_cfg =
+        cfg.with_volatile_orders(c11tester::MemOrder::Acquire, c11tester::MemOrder::Release);
     let mut acqrel = Model::new(fixed_cfg);
     let report = acqrel.check(150, || {
         apps::silo::run(apps::silo::SiloConfig::default());

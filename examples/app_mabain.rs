@@ -26,5 +26,8 @@ fn main() {
         .count();
     println!("lost-drain assertion fired in {lost} executions");
     assert!(lost > 0, "the lost-drain bug should fire");
-    assert!(report.executions_with_race > 0, "the stats counter race should fire");
+    assert!(
+        report.executions_with_race > 0,
+        "the stats counter race should fire"
+    );
 }

@@ -1,0 +1,15 @@
+//! Campaign quickstart: README's library example against the real
+//! workspace surface.
+
+use c11tester::Config;
+use c11tester_campaign::{Campaign, CampaignBudget};
+
+fn main() {
+    let report = Campaign::new(Config::new().with_seed(7))
+        .with_workers(4)
+        .run(&CampaignBudget::executions(200), || {
+            c11tester_workloads::ds::rwlock_buggy::run_buggy();
+        });
+    print!("{report}");
+    assert!(report.found_bug());
+}

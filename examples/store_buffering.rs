@@ -39,10 +39,7 @@ fn histogram(order: Ordering, runs: u64) -> BTreeMap<(u32, u32), u64> {
 
 fn main() {
     const RUNS: u64 = 300;
-    for (label, order) in [
-        ("Relaxed", Ordering::Relaxed),
-        ("SeqCst", Ordering::SeqCst),
-    ] {
+    for (label, order) in [("Relaxed", Ordering::Relaxed), ("SeqCst", Ordering::SeqCst)] {
         println!("store buffering with {label} atomics ({RUNS} executions):");
         let hist = histogram(order, RUNS);
         for ((r1, r2), n) in &hist {

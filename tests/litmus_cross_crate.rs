@@ -33,8 +33,11 @@ fn ds_suite_runs_under_every_policy() {
 #[test]
 fn pruning_preserves_bug_detection() {
     let run = |prune: PruneConfig| {
-        let mut model =
-            Model::new(Config::for_policy(Policy::C11Tester).with_seed(10).with_prune(prune));
+        let mut model = Model::new(
+            Config::for_policy(Policy::C11Tester)
+                .with_seed(10)
+                .with_prune(prune),
+        );
         let report = model.check(150, ds::seqlock::run_buggy);
         report.executions_with_bug > 0
     };
@@ -70,7 +73,7 @@ fn distinct_races_are_deduplicated_across_runs() {
     let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(12));
     let report = model.check(60, || DsBench::MsQueue.run());
     let mut labels: Vec<(String, c11tester::RaceKind)> = report
-        .distinct_races
+        .distinct_races()
         .iter()
         .map(|r| (r.label.clone(), r.kind))
         .collect();
