@@ -19,7 +19,7 @@
 //! cores the harness still validates determinism but cannot show the
 //! speedup — the core count is printed so the context is explicit.
 
-use c11tester::{Config, Model};
+use c11tester::{Config, Model, StrategyMix};
 use c11tester_bench::runs_from_env;
 use c11tester_campaign::{targets, Campaign, CampaignBudget};
 use std::time::Instant;
@@ -107,5 +107,37 @@ fn main() {
             "(only {cores} core(s) available: speedup not observable here; \
              determinism verified on every row)"
         ),
+    }
+
+    // Mixed-strategy determinism: the same contract must hold when a
+    // StrategyMix assigns each execution index its own strategy.
+    let mix = StrategyMix::parse("random:2,pct2:1,pct3:1").expect("valid mix");
+    let mixed_config = || Config::new().with_seed(seed).with_mix(mix.clone());
+    let mixed_execs = executions.min(500);
+    let mixed_serial = Model::new(mixed_config()).run_many(mixed_execs, move || target.run());
+    let mixed_campaign = Campaign::new(mixed_config())
+        .with_workers(4)
+        .run(&CampaignBudget::executions(mixed_execs), move || {
+            target.run()
+        });
+    assert_eq!(
+        mixed_campaign.aggregate, mixed_serial,
+        "mixed-strategy campaign aggregate diverged from serial"
+    );
+    assert_eq!(
+        mixed_campaign.per_strategy().total_executions(),
+        mixed_execs,
+        "per-strategy columns must tile the mixed budget"
+    );
+    println!(
+        "mixed-strategy check ({}, {mixed_execs} executions): campaign == serial; per-strategy:",
+        mix.spec()
+    );
+    for (name, b) in mixed_campaign.per_strategy().iter() {
+        println!(
+            "  {name:<10} {:>6} exec(s) {:>6.1}% race rate",
+            b.executions,
+            100.0 * b.race_detection_rate()
+        );
     }
 }

@@ -10,12 +10,20 @@
 //! into them.
 //!
 //! ```text
-//! cargo run --release -p c11tester-bench --bin table2 [-- --figure16]
+//! cargo run --release -p c11tester-bench --bin table2 [-- --figure16] [--strategies]
 //! ```
 //! Set `C11_BENCH_RUNS` to change the run count (paper: 500).
+//!
+//! `--strategies` adds a strategy-comparison table: one **mixed**
+//! campaign per benchmark (`random:1,pct2:1,pct3:1,burst:1`) whose
+//! per-strategy report columns show each scheduling strategy's race
+//! detection rate on the same workload — the statistical claim behind
+//! C11Tester's pluggable-strategy architecture (§3, §7.6).
 
-use c11tester::Policy;
-use c11tester_bench::{campaign_policy_runs, paper_model, rule, runs_from_env, summarize};
+use c11tester::{Policy, StrategyMix};
+use c11tester_bench::{
+    campaign_mixed_runs, campaign_policy_runs, paper_model, rule, runs_from_env, summarize,
+};
 use c11tester_workloads::DsBench;
 use std::time::Instant;
 
@@ -42,8 +50,54 @@ fn measure(bench: DsBench, policy: Policy, runs: u64) -> Cell {
     }
 }
 
+/// Strategy-comparison mode: per-strategy detection rates from one
+/// mixed campaign per benchmark.
+fn strategy_table(runs: u64) {
+    let mix = StrategyMix::parse("random:1,pct2:1,pct3:1,burst:1").expect("valid mix");
+    let specs: Vec<String> = mix.entries().iter().map(|(s, _)| s.spec()).collect();
+    println!();
+    println!(
+        "Strategy comparison: race detection rate per scheduling strategy \
+         (mixed campaign, {runs} executions per benchmark, mix {})",
+        mix.spec()
+    );
+    rule(78);
+    print!("{:<18}", "Test");
+    for s in &specs {
+        print!(" {:>8} {:>6}", s, "execs");
+    }
+    println!();
+    rule(78);
+    for bench in DsBench::all() {
+        let report =
+            campaign_mixed_runs(Policy::C11Tester, 0x7AB1E2, runs, None, &mix, move || {
+                bench.run()
+            });
+        print!("{:<18}", bench.name());
+        for s in &specs {
+            match report.per_strategy().get(s) {
+                Some(b) => print!(
+                    " {:>7.1}% {:>6}",
+                    100.0 * b.race_detection_rate(),
+                    b.executions
+                ),
+                None => print!(" {:>8} {:>6}", "-", 0),
+            }
+        }
+        println!();
+        // The per-strategy columns must tile the aggregate exactly.
+        assert_eq!(
+            report.per_strategy().total_executions(),
+            report.aggregate.executions,
+            "per-strategy columns must sum to the aggregate"
+        );
+    }
+    rule(78);
+}
+
 fn main() {
     let figure16 = std::env::args().any(|a| a == "--figure16");
+    let strategies = std::env::args().any(|a| a == "--strategies");
     let runs = u64::from(runs_from_env(500));
     let policies = [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11];
 
@@ -75,6 +129,10 @@ fn main() {
     }
     println!();
     println!("(paper averages: C11Tester 75.4%, tsan11rec 51.5%, tsan11 22.3%)");
+
+    if strategies {
+        strategy_table(runs);
+    }
 
     if figure16 {
         println!();

@@ -70,6 +70,34 @@ where
     campaign.run(&CampaignBudget::executions(executions), body)
 }
 
+/// Runs a fixed-budget **strategy-mixed** campaign: execution `i` is
+/// deterministically assigned a strategy from `(seed, i)` by `mix`
+/// (see [`c11tester::StrategyMix`]), and the report carries
+/// per-strategy detection columns alongside the aggregate. The same
+/// determinism contract as [`campaign_policy_runs`] applies: the
+/// aggregate is identical to the serial [`Model::run_many`] over the
+/// same mixed config, for any worker count.
+pub fn campaign_mixed_runs<F>(
+    policy: Policy,
+    seed: u64,
+    executions: u64,
+    workers: Option<usize>,
+    mix: &c11tester::StrategyMix,
+    body: F,
+) -> CampaignReport
+where
+    F: Fn() + Send + Sync,
+{
+    let config = Config::for_policy(policy)
+        .with_seed(seed)
+        .with_mix(mix.clone());
+    let mut campaign = Campaign::new(config);
+    if let Some(w) = workers {
+        campaign = campaign.with_workers(w);
+    }
+    campaign.run(&CampaignBudget::executions(executions), body)
+}
+
 /// Mean wall time per execution of a campaign, as a [`Timing`] (the
 /// campaign amortizes over all cores; `rsd` is not observable per
 /// execution and reported as 0).

@@ -26,6 +26,208 @@ pub enum Strategy {
     },
 }
 
+/// Default burst mean for the `burst` spec token (the tsan11 baseline
+/// value from [`Config::for_policy`]).
+pub const DEFAULT_BURST_MEAN: u32 = 400;
+
+/// Default change-point horizon for `pct<d>` spec tokens.
+pub const DEFAULT_PCT_OPS: u64 = 128;
+
+impl Strategy {
+    /// The canonical spec token for this strategy — the grammar
+    /// [`StrategyMix::parse`] accepts and campaign reports key their
+    /// per-strategy columns on:
+    ///
+    /// * `random`
+    /// * `burst` (mean [`DEFAULT_BURST_MEAN`]) or `burst@<mean>`
+    /// * `pct<depth>` (horizon [`DEFAULT_PCT_OPS`]) or
+    ///   `pct<depth>@<ops>`
+    pub fn spec(&self) -> String {
+        match *self {
+            Strategy::Random => "random".to_string(),
+            Strategy::Burst { mean } if mean == DEFAULT_BURST_MEAN => "burst".to_string(),
+            Strategy::Burst { mean } => format!("burst@{mean}"),
+            Strategy::Pct {
+                depth,
+                expected_ops,
+            } if expected_ops == DEFAULT_PCT_OPS => format!("pct{depth}"),
+            Strategy::Pct {
+                depth,
+                expected_ops,
+            } => format!("pct{depth}@{expected_ops}"),
+        }
+    }
+
+    /// Parses a spec token (the inverse of [`Strategy::spec`]).
+    /// Case-insensitive.
+    pub fn parse_spec(token: &str) -> Result<Strategy, String> {
+        let token = token.trim().to_ascii_lowercase();
+        let token = token.as_str();
+        if token == "random" {
+            return Ok(Strategy::Random);
+        }
+        if let Some(rest) = token.strip_prefix("burst") {
+            if rest.is_empty() {
+                return Ok(Strategy::Burst {
+                    mean: DEFAULT_BURST_MEAN,
+                });
+            }
+            if let Some(mean) = rest.strip_prefix('@') {
+                let mean: u32 = mean
+                    .parse()
+                    .map_err(|_| format!("bad burst mean in `{token}`"))?;
+                if mean == 0 {
+                    return Err(format!("burst mean must be positive in `{token}`"));
+                }
+                return Ok(Strategy::Burst { mean });
+            }
+            return Err(format!("unknown strategy spec `{token}`"));
+        }
+        if let Some(rest) = token.strip_prefix("pct") {
+            let (depth, ops) = match rest.split_once('@') {
+                Some((d, o)) => (
+                    d,
+                    Some(
+                        o.parse::<u64>()
+                            .map_err(|_| format!("bad pct horizon in `{token}`"))?,
+                    ),
+                ),
+                None => (rest, None),
+            };
+            let depth: u32 = depth
+                .parse()
+                .map_err(|_| format!("bad pct depth in `{token}`"))?;
+            if depth == 0 {
+                return Err(format!("pct depth must be ≥ 1 in `{token}`"));
+            }
+            let expected_ops = ops.unwrap_or(DEFAULT_PCT_OPS);
+            if expected_ops == 0 {
+                return Err(format!("pct horizon must be positive in `{token}`"));
+            }
+            return Ok(Strategy::Pct {
+                depth,
+                expected_ops,
+            });
+        }
+        Err(format!(
+            "unknown strategy spec `{token}` (expected random, burst[@mean], or pct<depth>[@ops])"
+        ))
+    }
+}
+
+/// A weighted set of strategies for campaign-level schedule
+/// diversification (ROADMAP; cf. the PCT line of work): each execution
+/// index is deterministically assigned one member strategy from
+/// `(seed, index)` alone, so replay-by-index and worker-count
+/// independent aggregation both survive mixing.
+///
+/// The textual grammar is a comma-separated list of
+/// `<spec>[:<weight>]` entries (weight defaults to 1), e.g.
+/// `random:4,pct2:2,pct3:1,burst:1`.
+///
+/// ```
+/// use c11tester::{Strategy, StrategyMix};
+///
+/// let mix = StrategyMix::parse("random:2,pct2:1").unwrap();
+/// assert_eq!(mix.spec(), "random:2,pct2:1");
+/// // The assignment is a pure function of (seed, index):
+/// assert_eq!(mix.strategy_at(7, 3), mix.strategy_at(7, 3));
+/// assert!(matches!(mix.strategy_at(7, 0), Strategy::Random | Strategy::Pct { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StrategyMix {
+    entries: Vec<(Strategy, u32)>,
+    total_weight: u64,
+}
+
+impl StrategyMix {
+    /// Builds a mix from `(strategy, weight)` entries.
+    ///
+    /// Returns an error if no entry has positive weight.
+    pub fn new(entries: Vec<(Strategy, u32)>) -> Result<Self, String> {
+        let entries: Vec<(Strategy, u32)> = entries.into_iter().filter(|(_, w)| *w > 0).collect();
+        let total_weight: u64 = entries.iter().map(|(_, w)| u64::from(*w)).sum();
+        if total_weight == 0 {
+            return Err("a strategy mix needs at least one positive-weight entry".to_string());
+        }
+        Ok(StrategyMix {
+            entries,
+            total_weight,
+        })
+    }
+
+    /// A single-strategy "mix" (weight 1) — handy for uniform APIs.
+    pub fn single(strategy: Strategy) -> Self {
+        StrategyMix {
+            entries: vec![(strategy, 1)],
+            total_weight: 1,
+        }
+    }
+
+    /// Parses the `<spec>[:<weight>],…` grammar.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (spec, weight) = match part.rsplit_once(':') {
+                Some((s, w)) => (
+                    s,
+                    w.parse::<u32>()
+                        .map_err(|_| format!("bad weight in `{part}`"))?,
+                ),
+                None => (part, 1),
+            };
+            if weight == 0 {
+                return Err(format!("weight must be positive in `{part}`"));
+            }
+            entries.push((Strategy::parse_spec(spec)?, weight));
+        }
+        StrategyMix::new(entries)
+    }
+
+    /// The canonical textual form (`spec:weight` for every entry, in
+    /// declaration order) — round-trips through [`StrategyMix::parse`].
+    pub fn spec(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(s, w)| format!("{}:{w}", s.spec()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The weighted entries.
+    pub fn entries(&self) -> &[(Strategy, u32)] {
+        &self.entries
+    }
+
+    /// The strategy assigned to execution `index` under base `seed` — a
+    /// pure function of `(seed, index)`, independent of worker count,
+    /// shard layout, or which model instance runs the execution.
+    /// The hash stream is distinct from every scheduler's own
+    /// per-execution stream (different mixing constants), so assignment
+    /// does not correlate with in-execution choices.
+    pub fn strategy_at(&self, seed: u64, index: u64) -> Strategy {
+        // splitmix64 finalizer over a seed/index combination.
+        let mut z = seed ^ 0x6A09_E667_F3BC_C909u64 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut slot = z % self.total_weight;
+        for (strategy, weight) in &self.entries {
+            let w = u64::from(*weight);
+            if slot < w {
+                return *strategy;
+            }
+            slot -= w;
+        }
+        // Unreachable: slot < total_weight = Σ weights.
+        self.entries[self.entries.len() - 1].0
+    }
+}
+
 /// Configuration for a [`crate::Model`].
 ///
 /// The defaults reproduce the C11Tester tool; [`Config::for_policy`]
@@ -49,8 +251,12 @@ pub struct Config {
     pub seed: u64,
     /// Run-token handover strategy (Figure 14 spectrum).
     pub handover: HandoverKind,
-    /// Testing strategy plugin.
+    /// Testing strategy plugin (used for every execution unless a
+    /// [`Config::mix`] overrides the assignment per index).
     pub strategy: Strategy,
+    /// Optional strategy mix: when set, execution `i` runs under
+    /// `mix.strategy_at(seed, i)` instead of [`Config::strategy`].
+    pub mix: Option<StrategyMix>,
     /// Execution-graph pruning (§7.1).
     pub prune: PruneConfig,
     /// Memory order applied to legacy volatile loads (§7.2; the paper's
@@ -71,6 +277,7 @@ impl Config {
             seed: 0xC11,
             handover: HandoverKind::Park,
             strategy: Strategy::Random,
+            mix: None,
             prune: PruneConfig::disabled(),
             volatile_load_order: MemOrder::Relaxed,
             volatile_store_order: MemOrder::Relaxed,
@@ -122,10 +329,39 @@ impl Config {
         self
     }
 
-    /// Sets the testing strategy.
+    /// Sets the testing strategy (and clears any mix).
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self.mix = None;
         self
+    }
+
+    /// Sets a strategy mix: execution `i` runs under
+    /// `mix.strategy_at(seed, i)`.
+    pub fn with_mix(mut self, mix: StrategyMix) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// The strategy assigned to execution `index`: the mix assignment
+    /// when a mix is set, the fixed [`Config::strategy`] otherwise.
+    /// A pure function of `(self.seed, self.strategy, self.mix,
+    /// index)` — the contract [`crate::Model::run_at`] replay and
+    /// campaign worker-count independence rest on.
+    pub fn strategy_for(&self, index: u64) -> Strategy {
+        match &self.mix {
+            Some(mix) => mix.strategy_at(self.seed, index),
+            None => self.strategy,
+        }
+    }
+
+    /// Canonical textual label of the execution-assignment policy: the
+    /// mix spec when mixing, the single strategy's spec otherwise.
+    pub fn strategy_label(&self) -> String {
+        match &self.mix {
+            Some(mix) => mix.spec(),
+            None => self.strategy.spec(),
+        }
     }
 
     /// Sets the pruning configuration.
@@ -169,6 +405,101 @@ mod tests {
         assert_eq!(r.strategy, Strategy::Random);
         let t = Config::for_policy(Policy::Tsan11);
         assert!(matches!(t.strategy, Strategy::Burst { .. }));
+    }
+
+    #[test]
+    fn strategy_spec_round_trips() {
+        let strategies = [
+            Strategy::Random,
+            Strategy::Burst {
+                mean: DEFAULT_BURST_MEAN,
+            },
+            Strategy::Burst { mean: 37 },
+            Strategy::Pct {
+                depth: 2,
+                expected_ops: DEFAULT_PCT_OPS,
+            },
+            Strategy::Pct {
+                depth: 3,
+                expected_ops: 64,
+            },
+        ];
+        for s in strategies {
+            assert_eq!(Strategy::parse_spec(&s.spec()), Ok(s), "spec {}", s.spec());
+        }
+        assert_eq!(Strategy::parse_spec("pct2").unwrap().spec(), "pct2");
+        assert_eq!(Strategy::parse_spec("burst").unwrap().spec(), "burst");
+        // Case-insensitive across all spellings.
+        assert_eq!(Strategy::parse_spec("Random").unwrap().spec(), "random");
+        assert_eq!(Strategy::parse_spec("Burst@37").unwrap().spec(), "burst@37");
+        assert_eq!(Strategy::parse_spec("PCT3@64").unwrap().spec(), "pct3@64");
+        assert!(Strategy::parse_spec("pct0").is_err());
+        assert!(Strategy::parse_spec("pctx").is_err());
+        assert!(Strategy::parse_spec("burst@0").is_err());
+        assert!(Strategy::parse_spec("quantum").is_err());
+    }
+
+    #[test]
+    fn mix_parse_round_trips_and_respects_weights() {
+        let mix = StrategyMix::parse("random:4,pct2:2,pct3:1,burst:1").unwrap();
+        assert_eq!(mix.spec(), "random:4,pct2:2,pct3:1,burst:1");
+        assert_eq!(mix.entries().len(), 4);
+        // Default weight is 1.
+        let mix = StrategyMix::parse("random,pct2").unwrap();
+        assert_eq!(mix.spec(), "random:1,pct2:1");
+        assert!(StrategyMix::parse("").is_err());
+        assert!(StrategyMix::parse("random:0").is_err());
+        assert!(StrategyMix::parse("random:x").is_err());
+        assert!(StrategyMix::parse("warp:1").is_err());
+    }
+
+    #[test]
+    fn mix_assignment_is_pure_and_covers_all_entries() {
+        let mix = StrategyMix::parse("random:2,pct2:1,pct3:1").unwrap();
+        let assigned: Vec<Strategy> = (0..64).map(|i| mix.strategy_at(9, i)).collect();
+        let again: Vec<Strategy> = (0..64).map(|i| mix.strategy_at(9, i)).collect();
+        assert_eq!(assigned, again, "pure function of (seed, index)");
+        for (strategy, _) in mix.entries() {
+            assert!(
+                assigned.contains(strategy),
+                "64 indices should hit every entry; missing {strategy:?}"
+            );
+        }
+        // A different seed permutes the assignment.
+        let other: Vec<Strategy> = (0..64).map(|i| mix.strategy_at(10, i)).collect();
+        assert_ne!(assigned, other);
+    }
+
+    #[test]
+    fn mix_weights_shape_the_empirical_distribution() {
+        let mix = StrategyMix::parse("random:3,pct2:1").unwrap();
+        let n = 4000u64;
+        let randoms = (0..n)
+            .filter(|&i| mix.strategy_at(0xC11, i) == Strategy::Random)
+            .count() as f64;
+        let frac = randoms / n as f64;
+        assert!(
+            (frac - 0.75).abs() < 0.05,
+            "random fraction {frac} should approximate weight 3/4"
+        );
+    }
+
+    #[test]
+    fn config_resolves_strategy_per_index() {
+        let single = Config::new().with_seed(5);
+        assert_eq!(single.strategy_for(0), Strategy::Random);
+        assert_eq!(single.strategy_for(999), Strategy::Random);
+        assert_eq!(single.strategy_label(), "random");
+
+        let mix = StrategyMix::parse("random:1,pct2:1").unwrap();
+        let mixed = Config::new().with_seed(5).with_mix(mix.clone());
+        assert_eq!(mixed.strategy_label(), "random:1,pct2:1");
+        for i in 0..32 {
+            assert_eq!(mixed.strategy_for(i), mix.strategy_at(5, i));
+        }
+        // with_strategy clears the mix.
+        let cleared = mixed.with_strategy(Strategy::Random);
+        assert!(cleared.mix.is_none());
     }
 
     #[test]

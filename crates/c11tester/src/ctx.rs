@@ -396,11 +396,14 @@ pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
     });
 }
 
-/// Explicit scheduling yield.
+/// Explicit scheduling yield. The strategy is told first
+/// ([`c11tester_runtime::Scheduler::perturb`]): PCT demotes the
+/// yielding thread's priority (how PCT treats `sched_yield` — without
+/// this a spin-wait loop whose owner outranks the lock holder would
+/// livelock once the change-point budget is spent), burst schedulers
+/// end their quantum, and the random strategy ignores the hint.
 pub(crate) fn yield_now() {
-    with_ctx(|ctx, tid| {
-        schedule_point(ctx, tid, OpClass::Other);
-    });
+    perturb();
 }
 
 /// Schedule-perturbation hint (the `sleep` the tsan11 benchmarks use,

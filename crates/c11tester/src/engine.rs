@@ -60,8 +60,12 @@ impl Engine {
         race: RaceDetector,
         scheduler: Option<Box<dyn Scheduler>>,
     ) -> Self {
+        // Built-in strategies are resolved *per execution index*
+        // (Config::strategy_for), so a strategy mix assigns each index
+        // its own scheduler kind while staying a pure function of
+        // (seed, index).
         let mut scheduler: Box<dyn Scheduler> =
-            scheduler.unwrap_or_else(|| match config.strategy {
+            scheduler.unwrap_or_else(|| match config.strategy_for(execution_index) {
                 Strategy::Random => Box::new(RandomScheduler::new(config.seed)),
                 Strategy::Burst { mean } => Box::new(BurstScheduler::new(config.seed, mean)),
                 Strategy::Pct {

@@ -58,16 +58,18 @@ pub mod thread;
 mod volatile;
 
 pub use cell::{Shared, SharedArray};
-pub use config::{Config, Strategy};
+pub use config::{Config, Strategy, StrategyMix, DEFAULT_BURST_MEAN, DEFAULT_PCT_OPS};
 pub use model::{Model, ModelParts};
 pub use report::{
     AccessKind, DedupEntry, DedupHistory, ExecutionReport, Failure, RaceKey, RaceKind, RaceReport,
-    TestReport,
+    StrategyBucket, StrategyLedger, TestReport,
 };
 pub use volatile::{VolatileBool, VolatileU32, VolatileU64, VolatileUsize};
 
 pub use c11tester_core::{ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId};
-pub use c11tester_runtime::{HandoverKind, Scheduler, ScriptedScheduler};
+pub use c11tester_runtime::{
+    BurstScheduler, HandoverKind, PctScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
+};
 
 /// Synchronization primitives (`std::sync` shaped).
 pub mod sync {

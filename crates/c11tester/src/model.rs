@@ -54,6 +54,10 @@ use std::sync::Arc;
 pub struct Model {
     config: Config,
     race: Option<RaceDetector>,
+    /// A custom strategy plugin installed via [`Model::with_scheduler`]
+    /// (persisted across executions). Built-in strategies are instead
+    /// constructed per execution from `config.strategy_for(index)`, so
+    /// a [`crate::StrategyMix`] can vary the scheduler kind per index.
     scheduler: Option<Box<dyn Scheduler>>,
     /// Global index the next `run` call executes.
     execution_index: u64,
@@ -211,7 +215,13 @@ impl Model {
     {
         let runtime = Runtime::new(self.config.handover);
         let race = self.race.take().expect("race detector present");
+        let custom = self.scheduler.is_some();
         let scheduler = self.scheduler.take();
+        let strategy = if custom {
+            "custom".to_string()
+        } else {
+            self.config.strategy_for(execution_index).spec()
+        };
         let engine = Engine::new(&self.config, execution_index, race, scheduler);
         let ctx = Arc::new(ModelCtx {
             engine: Mutex::new(engine),
@@ -253,12 +263,19 @@ impl Model {
         let mut race = std::mem::take(&mut eng.race);
         race.begin_execution(); // drop shadow state eagerly
         self.race = Some(race);
-        self.scheduler = Some(std::mem::replace(
-            &mut eng.scheduler,
-            Box::new(c11tester_runtime::RandomScheduler::new(0)),
-        ));
+        if custom {
+            // Only custom plugins persist across executions; built-in
+            // schedulers are rebuilt per index (they are pure functions
+            // of (seed, index) via begin_execution, so rebuilding is
+            // behavior-identical and lets a mix change the kind).
+            self.scheduler = Some(std::mem::replace(
+                &mut eng.scheduler,
+                Box::new(c11tester_runtime::RandomScheduler::new(0)),
+            ));
+        }
         let report = ExecutionReport {
             execution_index,
+            strategy,
             races,
             failure: eng.failure.clone(),
             stats: *eng.exec.stats(),

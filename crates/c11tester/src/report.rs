@@ -7,7 +7,10 @@
 //! and §8.1) while deduplicating the distinct reports.
 
 use c11tester_core::ExecStats;
-pub use c11tester_race::{AccessKind, DedupEntry, DedupHistory, RaceKey, RaceKind, RaceReport};
+pub use c11tester_race::{
+    AccessKind, DedupEntry, DedupHistory, RaceKey, RaceKind, RaceReport, StrategyBucket,
+    StrategyLedger,
+};
 use std::fmt;
 
 /// A fatal condition that ended an execution early.
@@ -38,6 +41,11 @@ impl fmt::Display for Failure {
 pub struct ExecutionReport {
     /// 0-based index of this execution within its [`crate::Model`].
     pub execution_index: u64,
+    /// Canonical spec of the strategy that drove this execution
+    /// ([`crate::Strategy::spec`]; `"custom"` for plugin schedulers).
+    /// Under a [`crate::StrategyMix`] this is the per-index assignment
+    /// `config.strategy_for(execution_index)`.
+    pub strategy: String,
     /// Data races detected during this execution (deduplicated within
     /// the execution).
     pub races: Vec<RaceReport>,
@@ -103,6 +111,11 @@ pub struct TestReport {
     /// Mergeable dedup history of race reports across all executions
     /// (each reported once, as the paper's fork-snapshot dedup does).
     pub races: DedupHistory,
+    /// Per-strategy detection accounting: one bucket per strategy spec
+    /// that drove at least one execution. Bucket counters always sum
+    /// to the aggregate counters above, and the union of the buckets'
+    /// dedup histories equals [`TestReport::races`].
+    pub per_strategy: StrategyLedger,
     /// Fatal conditions with the execution index they occurred in,
     /// sorted by execution index.
     pub failures: Vec<(u64, Failure)>,
@@ -153,6 +166,12 @@ impl TestReport {
         for race in &report.races {
             self.races.record(report.execution_index, race);
         }
+        self.per_strategy.record(
+            &report.strategy,
+            report.execution_index,
+            &report.races,
+            report.found_bug(),
+        );
         if let Some(f) = &report.failure {
             let at = self
                 .failures
@@ -173,6 +192,7 @@ impl TestReport {
         self.executions_with_race += other.executions_with_race;
         self.executions_with_bug += other.executions_with_bug;
         self.races.merge(&other.races);
+        self.per_strategy.merge(&other.per_strategy);
         // Merge two index-sorted failure lists, preserving the invariant.
         let mut merged = Vec::with_capacity(self.failures.len() + other.failures.len());
         let (mut a, mut b) = (
@@ -221,6 +241,21 @@ impl fmt::Display for TestReport {
         for (ix, fail) in &self.failures {
             writeln!(f, "  execution #{ix}: {fail}")?;
         }
+        // Per-strategy columns are only interesting once strategies mix.
+        if self.per_strategy.len() > 1 {
+            for (name, b) in self.per_strategy.iter() {
+                writeln!(
+                    f,
+                    "  strategy {name}: {} execution(s), {} with races ({:.1}%), {} with bugs ({:.1}%), {} distinct race(s)",
+                    b.executions,
+                    b.executions_with_race,
+                    100.0 * b.race_detection_rate(),
+                    b.executions_with_bug,
+                    100.0 * b.bug_detection_rate(),
+                    b.races.len(),
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -232,11 +267,38 @@ mod tests {
     fn empty_exec(ix: u64) -> ExecutionReport {
         ExecutionReport {
             execution_index: ix,
+            strategy: "random".to_string(),
             races: Vec::new(),
             failure: None,
             stats: ExecStats::default(),
             elided_volatile_races: 0,
         }
+    }
+
+    #[test]
+    fn per_strategy_buckets_sum_to_aggregate() {
+        let mut t = TestReport::default();
+        for ix in 0..6u64 {
+            let mut r = empty_exec(ix);
+            if ix % 2 == 1 {
+                r.strategy = "pct2".to_string();
+            }
+            if ix == 3 {
+                r.failure = Some(Failure::Deadlock);
+            }
+            t.absorb(&r);
+        }
+        assert_eq!(t.per_strategy.len(), 2);
+        assert_eq!(t.per_strategy.total_executions(), t.executions);
+        let bug_sum: u64 = t
+            .per_strategy
+            .iter()
+            .map(|(_, b)| b.executions_with_bug)
+            .sum();
+        assert_eq!(bug_sum, t.executions_with_bug);
+        assert_eq!(t.per_strategy.get("pct2").expect("bucket").executions, 3);
+        // Mixed buckets show up in the Display rendering.
+        assert!(t.to_string().contains("strategy pct2"));
     }
 
     #[test]

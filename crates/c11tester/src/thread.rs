@@ -102,15 +102,18 @@ where
     })
 }
 
-/// Yields the processor: a pure scheduling decision point.
+/// Yields the processor: a scheduling decision point that also
+/// perturbs the strategy — PCT demotes the yielding thread's priority
+/// (so spin-wait loops cannot starve the thread they wait on), the
+/// burst strategy ends its quantum, and the random strategy treats it
+/// as a plain decision point.
 pub fn yield_now() {
     ctx::yield_now();
 }
 
 /// Schedule-perturbation hint, standing in for the `sleep` calls the
 /// tsan11 data-structure benchmarks use to induce schedule variability
-/// (§8.3). Under controlled strategies it is a plain yield; under the
-/// burst strategy it also ends the current quantum.
+/// (§8.3). Equivalent to [`yield_now`].
 pub fn sleep_hint() {
     ctx::perturb();
 }

@@ -188,6 +188,181 @@ fn cowr_after_acquire() {
     assert!(seen.contains(&(true, 2)), "{seen:?}");
 }
 
+/// MP with release/acquire *fences* (C++11 §29.8): relaxed data and
+/// flag accesses, but a release fence before the flag store and an
+/// acquire fence after the flag load synchronize — the stale read
+/// {flag = 1 ∧ data = 0} is forbidden.
+#[test]
+fn mp_with_release_acquire_fences_forbids_stale_read() {
+    let seen = outcomes(300, 108, || {
+        let data = Arc::new(AtomicU32::new(0));
+        let flag = Arc::new(AtomicU32::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = c11tester::thread::spawn(move || {
+            d2.store(1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f2.store(1, Ordering::Relaxed);
+        });
+        let rf = flag.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let rd = data.load(Ordering::Relaxed);
+        t.join();
+        (rf, rd)
+    });
+    assert!(
+        !seen.contains(&(1, 0)),
+        "fence pair must forbid the stale read: {seen:?}"
+    );
+    assert!(seen.contains(&(1, 1)), "{seen:?}");
+    assert!(
+        seen.contains(&(0, 0)) || seen.contains(&(0, 1)),
+        "exploration should also miss the flag sometimes: {seen:?}"
+    );
+}
+
+/// The race-detector view of the same fence pair: with the fences in
+/// place a non-atomic publication is ordered and race-free.
+#[test]
+fn mp_fence_pair_synchronizes_nonatomic_data() {
+    let mut model = Model::new(Config::for_policy(Policy::C11Tester).with_seed(109));
+    let report = model.check(200, || {
+        let data = Arc::new(Shared::named("fence.mp.data", 0u32));
+        let flag = Arc::new(AtomicU32::named("fence.mp.flag", 0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = c11tester::thread::spawn(move || {
+            d2.set(1);
+            fence(Ordering::Release);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(data.get(), 1);
+        }
+        t.join();
+    });
+    assert_eq!(report.executions_with_race, 0, "{report}");
+    assert_eq!(report.executions_with_bug, 0, "{report}");
+}
+
+/// LB (load buffering) with seq_cst fences between each load and the
+/// subsequent store: the out-of-thin-air-ish {r1 = 1 ∧ r2 = 1} is
+/// forbidden.
+#[test]
+fn lb_with_sc_fences_forbids_both_one() {
+    let seen = outcomes(300, 110, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let y = Arc::new(AtomicU32::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = c11tester::thread::spawn(move || {
+            let r1 = x2.load(Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            y2.store(1, Ordering::Relaxed);
+            r1
+        });
+        let r2 = y.load(Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        x.store(1, Ordering::Relaxed);
+        let r1 = t.join();
+        (r1, r2)
+    });
+    assert!(
+        !seen.contains(&(1, 1)),
+        "LB with sc fences must forbid both-one: {seen:?}"
+    );
+    assert!(seen.len() >= 2, "exploration should vary: {seen:?}");
+}
+
+/// CoWW + CoRR coherence on one variable: a thread's two relaxed
+/// stores are mo-ordered, so a reader that saw the second store can
+/// never subsequently read the first.
+#[test]
+fn coww_same_thread_stores_stay_ordered() {
+    let seen = outcomes(300, 111, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let x2 = Arc::clone(&x);
+        let t = c11tester::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            x2.store(2, Ordering::Relaxed);
+        });
+        let r1 = x.load(Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        t.join();
+        (r1, r2)
+    });
+    assert!(
+        !seen.contains(&(2, 1)),
+        "CoWW/CoRR violation — read 1 after 2: {seen:?}"
+    );
+    assert!(seen.contains(&(2, 2)), "{seen:?}");
+    assert!(
+        seen.contains(&(0, 0)) || seen.contains(&(1, 1)) || seen.contains(&(1, 2)),
+        "weak-but-coherent outcomes should appear: {seen:?}"
+    );
+}
+
+/// CoWR coherence: a thread that stored to `x` can never read a value
+/// older than its own store, even with a concurrent writer in flight.
+#[test]
+fn cowr_own_store_hides_older_values() {
+    let seen = outcomes(300, 112, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let x2 = Arc::clone(&x);
+        let t = c11tester::thread::spawn(move || {
+            x2.store(2, Ordering::Relaxed);
+        });
+        x.store(1, Ordering::Relaxed);
+        let r = x.load(Ordering::Relaxed);
+        t.join();
+        r
+    });
+    assert!(
+        !seen.contains(&0),
+        "CoWR violation — read the initial value over own store: {seen:?}"
+    );
+    assert!(seen.contains(&1), "{seen:?}");
+    assert!(
+        seen.contains(&2),
+        "the concurrent store should be readable too: {seen:?}"
+    );
+}
+
+/// IRIW with acquire-only readers: without seq_cst the two readers may
+/// disagree on the order of the independent writes — the outcome
+/// {r1 = 1, r2 = 0, r3 = 1, r4 = 0} is *allowed* and must be
+/// reachable. (The seq_cst variant in `litmus.rs` forbids it.)
+#[test]
+fn iriw_acquire_only_readers_may_disagree() {
+    let seen = outcomes(600, 113, || {
+        let x = Arc::new(AtomicU32::new(0));
+        let y = Arc::new(AtomicU32::new(0));
+        let (xw, yw) = (Arc::clone(&x), Arc::clone(&y));
+        let (xa, ya) = (Arc::clone(&x), Arc::clone(&y));
+        let (xb, yb) = (Arc::clone(&x), Arc::clone(&y));
+        let w1 = c11tester::thread::spawn(move || xw.store(1, Ordering::Release));
+        let w2 = c11tester::thread::spawn(move || yw.store(1, Ordering::Release));
+        let ra = c11tester::thread::spawn(move || {
+            let r1 = xa.load(Ordering::Acquire);
+            let r2 = ya.load(Ordering::Acquire);
+            (r1, r2)
+        });
+        let rb = c11tester::thread::spawn(move || {
+            let r3 = yb.load(Ordering::Acquire);
+            let r4 = xb.load(Ordering::Acquire);
+            (r3, r4)
+        });
+        w1.join();
+        w2.join();
+        let (r1, r2) = ra.join();
+        let (r3, r4) = rb.join();
+        (r1, r2, r3, r4)
+    });
+    assert!(
+        seen.contains(&(1, 0, 1, 0)),
+        "acquire-only IRIW must allow disagreeing readers: {} outcomes seen",
+        seen.len()
+    );
+}
+
 /// The write-run rule does not change the set of legal outcomes — only
 /// the exploration bias (paper Fig. 4). Cross-check: every outcome seen
 /// with the burst scheduler (which interrupts stores) is also seen with

@@ -4,11 +4,12 @@
 //! ```text
 //! c11campaign --target seqlock-buggy --executions 1000 --workers 8 --seed 7
 //! c11campaign --target rwlock-buggy --stop-on-first-bug
+//! c11campaign --target rwlock-buggy --mix random:2,pct2:1,pct3:1
 //! c11campaign --target ms-queue --deadline-secs 10 --json
 //! c11campaign --list
 //! ```
 
-use c11tester::{Config, Policy};
+use c11tester::{Config, Policy, StrategyMix};
 use c11tester_campaign::{targets, Campaign, CampaignBudget};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -26,6 +27,12 @@ OPTIONS:
     --workers <N>           worker threads [default: all CPUs]
     --seed <N>              base seed (decimal or 0x-hex) [default: 0xC11]
     --policy <P>            c11tester | tsan11 | tsan11rec [default: c11tester]
+    --mix <SPEC>            strategy mix: comma-separated <strategy>[:<weight>]
+                            entries, where <strategy> is random, burst[@<mean>],
+                            or pct<depth>[@<ops>] (e.g. random:4,pct2:2,pct3:1,
+                            burst:1). Execution i runs under the strategy
+                            assigned from (seed, i); the report gains
+                            per-strategy detection columns.
     --stop-on-first-bug     stop all workers at the first bug
     --deadline-secs <SECS>  wall-clock deadline for the campaign
     --json                  emit the full JSON report instead of text
@@ -39,6 +46,7 @@ struct Args {
     workers: Option<usize>,
     seed: u64,
     policy: Policy,
+    mix: Option<StrategyMix>,
     stop_on_first_bug: bool,
     deadline_secs: Option<f64>,
     json: bool,
@@ -61,6 +69,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         workers: None,
         seed: 0xC11,
         policy: Policy::C11Tester,
+        mix: None,
         stop_on_first_bug: false,
         deadline_secs: None,
         json: false,
@@ -89,6 +98,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     _ => return Err(format!("unknown policy `{v}`")),
                 };
             }
+            "--mix" => args.mix = Some(StrategyMix::parse(&value()?)?),
             "--stop-on-first-bug" => args.stop_on_first_bug = true,
             "--deadline-secs" => {
                 let v = value()?;
@@ -162,7 +172,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let config = Config::for_policy(args.policy).with_seed(args.seed);
+    let mut config = Config::for_policy(args.policy).with_seed(args.seed);
+    if let Some(mix) = args.mix {
+        config = config.with_mix(mix);
+    }
     let mut campaign = Campaign::new(config);
     if let Some(w) = args.workers {
         campaign = campaign.with_workers(w);

@@ -77,9 +77,14 @@ fn stats(s: &ExecStats) -> String {
 }
 
 /// The canonical (worker-count independent) object.
+///
+/// Schema `c11campaign/v2` adds the `per_strategy` column array (one
+/// row per strategy spec that drove at least one execution, sorted by
+/// spec) on top of v1's aggregate; `strategy` became the canonical
+/// spec / mix label instead of a Debug rendering.
 pub(crate) fn canonical(r: &CampaignReport) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\"schema\":\"c11campaign/v1\"");
+    out.push_str("{\"schema\":\"c11campaign/v2\"");
     out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
     out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
     out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
@@ -111,6 +116,28 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
         ",\"bug_detection_rate\":{}",
         a.bug_detection_rate()
     ));
+    out.push_str(",\"per_strategy\":[");
+    for (i, (name, b)) in a.per_strategy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"strategy\":\"{}\",\"executions\":{},",
+                "\"executions_with_race\":{},\"executions_with_bug\":{},",
+                "\"race_detection_rate\":{},\"bug_detection_rate\":{},",
+                "\"distinct_races\":{}}}"
+            ),
+            esc(name),
+            b.executions,
+            b.executions_with_race,
+            b.executions_with_bug,
+            b.race_detection_rate(),
+            b.bug_detection_rate(),
+            b.races.len(),
+        ));
+    }
+    out.push(']');
     out.push_str(",\"distinct_races\":[");
     for (i, (_, entry)) in a.races.iter().enumerate() {
         if i > 0 {
@@ -184,8 +211,9 @@ mod tests {
         let full = report.to_json();
         // Structure smoke checks (no JSON parser in the offline env).
         assert!(canonical.starts_with('{') && canonical.ends_with('}'));
-        assert!(canonical.contains("\"schema\":\"c11campaign/v1\""));
+        assert!(canonical.contains("\"schema\":\"c11campaign/v2\""));
         assert!(canonical.contains("\"executions\":20"));
+        assert!(canonical.contains("\"per_strategy\":[{\"strategy\":\"random\""));
         assert!(canonical.contains("\"distinct_races\":["));
         assert!(!canonical.contains("wall_secs"));
         assert!(full.contains("\"campaign\":{"));

@@ -26,6 +26,15 @@
 //! Budgets ([`CampaignBudget`]) bound a campaign by execution count,
 //! wall-clock deadline, or first bug found.
 //!
+//! Campaigns can **mix strategies** (paper §3's pluggable framework,
+//! Tables 1–2's strategy-dependent detection rates): configure a
+//! [`c11tester::StrategyMix`] (e.g. `random:2,pct2:1,pct3:1`) via
+//! [`Config::with_mix`] and each execution index is deterministically
+//! assigned a strategy from `(seed, index)` alone — replay-by-index
+//! and byte-identical aggregation across worker counts are preserved,
+//! and the report gains per-strategy detection columns
+//! ([`CampaignReport::per_strategy`]).
+//!
 //! ```
 //! use c11tester_campaign::{Campaign, CampaignBudget};
 //! use c11tester::{Config, Model};
@@ -131,7 +140,9 @@ pub struct CampaignReport {
     pub base_seed: u64,
     /// Memory-model policy name (`C11Tester`, `tsan11`, `tsan11rec`).
     pub policy: &'static str,
-    /// Debug rendering of the testing strategy.
+    /// Canonical strategy label ([`Config::strategy_label`]): the mix
+    /// spec (e.g. `random:2,pct2:1,pct3:1`) when the campaign mixes
+    /// strategies, the single strategy's spec otherwise.
     pub strategy: String,
     /// The budget the campaign ran under.
     pub budget: CampaignBudget,
@@ -171,6 +182,13 @@ impl CampaignReport {
         self.aggregate.executions_with_bug > 0
     }
 
+    /// Per-strategy detection columns: one bucket per strategy that
+    /// drove at least one execution (a single bucket for unmixed
+    /// campaigns). Bucket counters sum to the aggregate's.
+    pub fn per_strategy(&self) -> &c11tester::StrategyLedger {
+        &self.aggregate.per_strategy
+    }
+
     /// The canonical (worker-count independent) JSON form: everything
     /// determined by `(config, budget)` alone. Two campaigns over the
     /// same configuration and fixed budget produce byte-identical
@@ -190,12 +208,13 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "campaign: {} executions on {} worker(s) in {:.2?} ({:.0} exec/s), seed {:#x}, {}",
+            "campaign: {} executions on {} worker(s) in {:.2?} ({:.0} exec/s), seed {:#x}, strategy {}, {}",
             self.aggregate.executions,
             self.workers,
             self.wall_time,
             self.throughput(),
             self.base_seed,
+            self.strategy,
             self.stop_reason.name(),
         )?;
         write!(f, "{}", self.aggregate)
@@ -314,7 +333,7 @@ impl Campaign {
         CampaignReport {
             base_seed: self.config.seed,
             policy: self.config.policy.name(),
-            strategy: format!("{:?}", self.config.strategy),
+            strategy: self.config.strategy_label(),
             budget: budget.clone(),
             stop_reason,
             aggregate,

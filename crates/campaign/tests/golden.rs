@@ -1,0 +1,83 @@
+//! Golden-schema test for the canonical `CampaignReport` JSON.
+//!
+//! A fixed `(seed, target, mix, budget)` campaign must reproduce the
+//! checked-in report **byte for byte**: executions are pure functions
+//! of `(seed, index)`, the canonical form excludes timing/worker
+//! count, and the emitter is deterministic. Any change to the report
+//! schema or to the model's execution streams fails loudly here —
+//! regenerate the golden file (instructions below) only when the
+//! change is intentional, and bump the schema version when the shape
+//! changes (this file pins `c11campaign/v2`).
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo test -p c11tester-campaign --test golden -- --ignored regenerate
+//! ```
+//!
+//! which overwrites `tests/golden/rwlock_buggy_mixed.json` with the
+//! current canonical output.
+
+use c11tester::{Config, StrategyMix};
+use c11tester_campaign::{Campaign, CampaignBudget, CampaignReport};
+use c11tester_workloads::ds::rwlock_buggy;
+
+const SEED: u64 = 0xC0FFEE;
+const MIX: &str = "random:2,pct2:1,pct3:1";
+const EXECUTIONS: u64 = 48;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/rwlock_buggy_mixed.json")
+}
+
+fn golden_campaign() -> CampaignReport {
+    let config = Config::new()
+        .with_seed(SEED)
+        .with_mix(StrategyMix::parse(MIX).expect("valid mix"));
+    Campaign::new(config)
+        .with_workers(4)
+        .run(&CampaignBudget::executions(EXECUTIONS), || {
+            rwlock_buggy::run_buggy()
+        })
+}
+
+#[test]
+fn canonical_json_matches_the_checked_in_golden_report() {
+    let expected = std::fs::read_to_string(golden_path())
+        .expect("golden file present (regenerate with the ignored `regenerate` test)");
+    let actual = golden_campaign().canonical_json();
+    assert_eq!(
+        actual,
+        expected.trim_end(),
+        "canonical campaign JSON diverged from the golden report; \
+         if the schema change is intentional, regenerate the golden \
+         file and review the diff"
+    );
+}
+
+#[test]
+fn golden_report_pins_the_schema_and_columns() {
+    // Belt-and-braces over the raw file, so a regeneration that
+    // accidentally drops columns is caught even if both sides agree.
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    for needle in [
+        "\"schema\":\"c11campaign/v2\"",
+        &format!("\"base_seed\":{SEED}"),
+        &format!("\"strategy\":\"{MIX}\""),
+        &format!("\"executions\":{EXECUTIONS}"),
+        "\"per_strategy\":[{\"strategy\":\"pct2\"",
+        "\"distinct_races\":[",
+        "\"race_detection_rate\":",
+        "\"stats\":{",
+    ] {
+        assert!(golden.contains(needle), "golden report lost `{needle}`");
+    }
+}
+
+/// Not a test: rewrites the golden file from the current output.
+#[test]
+#[ignore = "golden-file regeneration helper"]
+fn regenerate() {
+    let json = golden_campaign().canonical_json();
+    std::fs::write(golden_path(), format!("{json}\n")).expect("write golden file");
+}

@@ -16,10 +16,12 @@
 
 pub mod dedup;
 pub mod detect;
+pub mod ledger;
 pub mod report;
 pub mod shadow;
 
 pub use dedup::{DedupEntry, DedupHistory, RaceKey};
 pub use detect::RaceDetector;
+pub use ledger::{StrategyBucket, StrategyLedger};
 pub use report::{AccessKind, RaceKind, RaceReport};
 pub use shadow::{Epoch, PackedShadow, ShadowWord};

@@ -160,8 +160,27 @@ pub struct PctScheduler {
     /// Visible-operation indices at which a priority drop fires.
     change_points: Vec<u64>,
     steps: u64,
+    /// Change-point demotions count *up* from [`CHANGE_BAND`]: the
+    /// `k`-th demoted thread sits above the `k−1`-th (PCT's priority
+    /// values `1..d` for change points), but below every high-band
+    /// thread.
     next_low: u64,
+    /// Yield demotions count *down* from [`CHANGE_BAND`]: the most
+    /// recent yielder goes to the very bottom. Counting up here would
+    /// livelock spin-wait loops — a spinner re-yielding would forever
+    /// outrank the demoted lock holder it is waiting on.
+    next_bottom: u64,
+    /// A perturb (program yield) demotes `current` at the next
+    /// scheduling decision.
+    yield_pending: bool,
 }
+
+/// Fresh threads draw priorities in `[HIGH_BAND, u64::MAX)`; demoted
+/// threads live strictly below `CHANGE_BAND + #change-points`.
+const HIGH_BAND: u64 = 1 << 32;
+/// Boundary between change-point demotions (counting up from here) and
+/// yield demotions (counting down from here).
+const CHANGE_BAND: u64 = 1 << 31;
 
 impl PctScheduler {
     /// Creates a PCT strategy with the given bug depth (`d ≥ 1`) and an
@@ -176,7 +195,9 @@ impl PctScheduler {
             priorities: Vec::new(),
             change_points: Vec::new(),
             steps: 0,
-            next_low: 0,
+            next_low: CHANGE_BAND,
+            next_bottom: CHANGE_BAND,
+            yield_pending: false,
         };
         s.reset();
         s
@@ -185,7 +206,9 @@ impl PctScheduler {
     fn reset(&mut self) {
         self.priorities.clear();
         self.steps = 0;
-        self.next_low = 0;
+        self.next_low = CHANGE_BAND;
+        self.next_bottom = CHANGE_BAND;
+        self.yield_pending = false;
         let expected = self.expected_ops;
         self.change_points = (1..self.depth)
             .map(|_| self.rng.gen_range(0..expected))
@@ -196,7 +219,7 @@ impl PctScheduler {
     fn priority_of(&mut self, t: ThreadId) -> u64 {
         while self.priorities.len() <= t.index() {
             // New threads draw a fresh high-band priority.
-            let p = self.rng.gen_range(1_000_000..u64::MAX);
+            let p = self.rng.gen_range(HIGH_BAND..u64::MAX);
             self.priorities.push(p);
         }
         self.priorities[t.index()]
@@ -206,13 +229,21 @@ impl PctScheduler {
 impl Scheduler for PctScheduler {
     fn next_thread(&mut self, enabled: &[ThreadId], current: ThreadId) -> ThreadId {
         self.steps += 1;
-        if self
+        if self.yield_pending {
+            // Program yield: the yielder goes to the very bottom (below
+            // all previously demoted threads), so a spin-wait loop can
+            // never starve the thread it is waiting on.
+            self.yield_pending = false;
+            let _ = self.priority_of(current);
+            self.next_bottom -= 1;
+            self.priorities[current.index()] = self.next_bottom;
+        } else if self
             .change_points
             .first()
             .is_some_and(|&cp| self.steps >= cp)
         {
             self.change_points.remove(0);
-            // Drop the current thread below every other priority.
+            // Drop the current thread below every high-band priority.
             let _ = self.priority_of(current);
             self.next_low += 1;
             self.priorities[current.index()] = self.next_low;
@@ -243,8 +274,10 @@ impl Scheduler for PctScheduler {
     }
 
     fn perturb(&mut self) {
-        // Treat a sleep hint as an immediate change point.
-        self.change_points.insert(0, 0);
+        // A yield/sleep hint demotes the running thread at the next
+        // scheduling decision (to the bottom band — see
+        // `yield_pending`).
+        self.yield_pending = true;
     }
 }
 
