@@ -1,15 +1,20 @@
-//! `c11campaign` — run a parallel exploration campaign on a built-in
-//! workload.
+//! `c11campaign` — run a (plain or adaptive) exploration campaign on a
+//! built-in workload.
 //!
 //! ```text
 //! c11campaign --target seqlock-buggy --executions 1000 --workers 8 --seed 7
 //! c11campaign --target rwlock-buggy --stop-on-first-bug
 //! c11campaign --target rwlock-buggy --mix random:2,pct2:1,pct3:1
+//! c11campaign --target rwlock-buggy --adaptive ucb1 --epoch 100
+//! c11campaign --target rwlock-buggy --canonical > baseline.json
+//! c11campaign --target rwlock-buggy --baseline baseline.json
 //! c11campaign --target ms-queue --deadline-secs 10 --json
 //! c11campaign --list
 //! ```
 
 use c11tester::{Config, Policy, StrategyMix};
+use c11tester_adaptive::AdaptiveCampaign;
+use c11tester_campaign::baseline::{BaselineDiff, BaselineSummary};
 use c11tester_campaign::{targets, Campaign, CampaignBudget};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,12 +38,31 @@ OPTIONS:
                             burst:1). Execution i runs under the strategy
                             assigned from (seed, i); the report gains
                             per-strategy detection columns.
+    --adaptive <POLICY>     close the loop: split the budget into epochs and
+                            reweight the mix between epochs from the
+                            per-strategy detection columns. POLICY is fixed,
+                            ucb1[@<c>], or exp3[@<eta>]. Without --mix the
+                            default arm set random:1,pct2:1,pct3:1,burst:1 is
+                            used; the report becomes a c11campaign/v3 epoch
+                            trace.
+    --epoch <N>             epoch length in executions [default: 64;
+                            requires --adaptive]
+    --baseline <FILE>       diff this run's detection rates against a saved
+                            canonical/full JSON report (v2 or v3); exits 3
+                            when a rate regressed beyond the threshold
+    --baseline-threshold <R> absolute rate drop tolerated by --baseline
+                            [default: 0.05]
     --stop-on-first-bug     stop all workers at the first bug
     --deadline-secs <SECS>  wall-clock deadline for the campaign
     --json                  emit the full JSON report instead of text
+    --canonical             emit the canonical (worker-count independent)
+                            JSON report — the format --baseline consumes
     --list                  list available targets
     --help                  show this help
 ";
+
+/// Arm set used by `--adaptive` when no `--mix` is given.
+const DEFAULT_ADAPTIVE_MIX: &str = "random:1,pct2:1,pct3:1,burst:1";
 
 struct Args {
     target: Option<String>,
@@ -47,9 +71,14 @@ struct Args {
     seed: u64,
     policy: Policy,
     mix: Option<StrategyMix>,
+    adaptive: Option<String>,
+    epoch: Option<u64>,
+    baseline: Option<String>,
+    baseline_threshold: f64,
     stop_on_first_bug: bool,
     deadline_secs: Option<f64>,
     json: bool,
+    canonical: bool,
     list: bool,
 }
 
@@ -70,9 +99,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         seed: 0xC11,
         policy: Policy::C11Tester,
         mix: None,
+        adaptive: None,
+        epoch: None,
+        baseline: None,
+        baseline_threshold: 0.05,
         stop_on_first_bug: false,
         deadline_secs: None,
         json: false,
+        canonical: false,
         list: false,
     };
     while let Some(flag) = argv.next() {
@@ -99,6 +133,28 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 };
             }
             "--mix" => args.mix = Some(StrategyMix::parse(&value()?)?),
+            "--adaptive" => {
+                let v = value()?;
+                // Validate eagerly for a parse-time error message.
+                c11tester_adaptive::parse_policy(&v)?;
+                args.adaptive = Some(v);
+            }
+            "--epoch" => {
+                let n = parse_u64(&value()?)?;
+                if n == 0 {
+                    return Err("--epoch must be at least 1".into());
+                }
+                args.epoch = Some(n);
+            }
+            "--baseline" => args.baseline = Some(value()?),
+            "--baseline-threshold" => {
+                let v = value()?;
+                let t: f64 = v.parse().map_err(|_| format!("not a number: `{v}`"))?;
+                if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                    return Err("--baseline-threshold must be a rate in [0, 1]".into());
+                }
+                args.baseline_threshold = t;
+            }
             "--stop-on-first-bug" => args.stop_on_first_bug = true,
             "--deadline-secs" => {
                 let v = value()?;
@@ -111,10 +167,17 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.deadline_secs = Some(secs);
             }
             "--json" => args.json = true,
+            "--canonical" => args.canonical = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.epoch.is_some() && args.adaptive.is_none() {
+        return Err("--epoch requires --adaptive".into());
+    }
+    if args.json && args.canonical {
+        return Err("--json and --canonical are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -145,6 +208,44 @@ fn reset_sigpipe() {
 #[cfg(not(unix))]
 fn reset_sigpipe() {}
 
+/// Diffs the current run against the saved baseline; returns the exit
+/// code (0 clean, 3 regressed, 2 on load/parse errors).
+fn diff_against_baseline(current_canonical: &str, baseline_path: &str, threshold: f64) -> ExitCode {
+    let current = match BaselineSummary::parse(current_canonical) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: current report unreadable: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline `{baseline_path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match BaselineSummary::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: baseline `{baseline_path}` unreadable: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = BaselineDiff::compare(&current, &baseline, threshold);
+    eprintln!(
+        "baseline: {} (seed {:#x}, {} executions, strategy {})",
+        baseline.schema, baseline.base_seed, baseline.executions, baseline.strategy,
+    );
+    eprintln!("{diff}");
+    if diff.regressed() {
+        eprintln!("error: detection rate regressed beyond {threshold} vs `{baseline_path}`");
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     reset_sigpipe();
     let args = match parse_args(std::env::args().skip(1)) {
@@ -173,12 +274,10 @@ fn main() -> ExitCode {
     };
 
     let mut config = Config::for_policy(args.policy).with_seed(args.seed);
-    if let Some(mix) = args.mix {
+    if let Some(mix) = args.mix.clone() {
         config = config.with_mix(mix);
-    }
-    let mut campaign = Campaign::new(config);
-    if let Some(w) = args.workers {
-        campaign = campaign.with_workers(w);
+    } else if args.adaptive.is_some() {
+        config = config.with_mix(StrategyMix::parse(DEFAULT_ADAPTIVE_MIX).expect("valid default"));
     }
     let mut budget =
         CampaignBudget::executions(args.executions).with_stop_on_first_bug(args.stop_on_first_bug);
@@ -186,12 +285,51 @@ fn main() -> ExitCode {
         budget = budget.with_deadline(Duration::from_secs_f64(secs));
     }
 
-    let report = campaign.run(&budget, move || target.run());
-    if args.json {
-        println!("{}", report.to_json());
+    // Run the campaign (adaptive or plain) and collect the output
+    // forms the tail of main needs.
+    let (text, full_json, canonical_json) = if let Some(policy) = args.adaptive.as_deref() {
+        let mut campaign = AdaptiveCampaign::new(config)
+            .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
+        campaign = match campaign.with_policy(policy) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(w) = args.workers {
+            campaign = campaign.with_workers(w);
+        }
+        let report = campaign.run(&budget, move || target.run());
+        (
+            report.to_string(),
+            report.to_json(),
+            report.canonical_json(),
+        )
+    } else {
+        let mut campaign = Campaign::new(config);
+        if let Some(w) = args.workers {
+            campaign = campaign.with_workers(w);
+        }
+        let report = campaign.run(&budget, move || target.run());
+        (
+            report.to_string(),
+            report.to_json(),
+            report.canonical_json(),
+        )
+    };
+
+    if args.canonical {
+        println!("{canonical_json}");
+    } else if args.json {
+        println!("{full_json}");
     } else {
         println!("target: {} ({})", target.name, target.group);
-        print!("{report}");
+        print!("{text}");
+    }
+
+    if let Some(path) = args.baseline.as_deref() {
+        return diff_against_baseline(&canonical_json, path, args.baseline_threshold);
     }
     ExitCode::SUCCESS
 }

@@ -19,12 +19,21 @@
 //! per-strategy report columns show each scheduling strategy's race
 //! detection rate on the same workload — the statistical claim behind
 //! C11Tester's pluggable-strategy architecture (§3, §7.6).
+//!
+//! `--adaptive` adds a fixed-vs-adaptive comparison on the seeded-bug
+//! workloads (§8.1): for each buggy benchmark, the bug detection rate
+//! and executions-to-first-bug of every fixed single-strategy
+//! campaign, of the fixed uniform mix, and of UCB1/EXP3 adaptive
+//! campaigns over the same arms at the same seed — the closed loop
+//! must reach first-bug no later than the **worst** fixed arm.
 
-use c11tester::{Policy, StrategyMix};
+use c11tester::{Config, Policy, Strategy, StrategyMix};
 use c11tester_bench::{
-    campaign_mixed_runs, campaign_policy_runs, paper_model, rule, runs_from_env, summarize,
+    campaign_adaptive_runs, campaign_mixed_runs, campaign_policy_runs, paper_model, rule,
+    runs_from_env, summarize,
 };
-use c11tester_workloads::DsBench;
+use c11tester_campaign::{Campaign, CampaignBudget};
+use c11tester_workloads::{ds, DsBench};
 use std::time::Instant;
 
 struct Cell {
@@ -95,9 +104,96 @@ fn strategy_table(runs: u64) {
     rule(78);
 }
 
+/// One cell of the adaptive comparison: bug rate and first-bug index.
+fn fmt_first_bug(first: Option<u64>) -> String {
+    match first {
+        Some(ix) => format!("#{ix}"),
+        None => "never".to_string(),
+    }
+}
+
+/// Adaptive-comparison mode: fixed single strategies and the fixed
+/// uniform mix vs UCB1/EXP3 adaptive campaigns on the §8.1 seeded-bug
+/// workloads.
+fn adaptive_table(runs: u64) {
+    const SEED: u64 = 0x7AB1E2;
+    let mix = StrategyMix::parse("random:1,pct2:1,pct3:1,burst:1").expect("valid mix");
+    let epoch_len = (runs / 8).max(1);
+    let workloads: &[(&str, fn())] = &[
+        ("rwlock-buggy", ds::rwlock_buggy::run_buggy),
+        ("seqlock-buggy", ds::seqlock::run_buggy),
+    ];
+    println!();
+    println!(
+        "Adaptive comparison: bug detection rate / executions-to-first-bug \
+         ({runs} executions per campaign, epoch {epoch_len}, arms {})",
+        mix.spec()
+    );
+    rule(100);
+    for (name, body) in workloads {
+        println!("{name}:");
+        let mut worst_fixed = 0u64;
+        for (strategy, _) in mix.entries() {
+            let config = Config::for_policy(Policy::C11Tester)
+                .with_seed(SEED)
+                .with_strategy(*strategy);
+            let report = Campaign::new(config).run(&CampaignBudget::executions(runs), body);
+            let first = report.aggregate.first_bug_execution();
+            worst_fixed = worst_fixed.max(first.unwrap_or(u64::MAX));
+            println!(
+                "  {:<22} {:>6.1}%  first bug {}",
+                format!("fixed {}", Strategy::spec(strategy)),
+                100.0 * report.bug_detection_rate(),
+                fmt_first_bug(first),
+            );
+        }
+        let mixed = campaign_mixed_runs(Policy::C11Tester, SEED, runs, None, &mix, body);
+        println!(
+            "  {:<22} {:>6.1}%  first bug {}",
+            "fixed mix",
+            100.0 * mixed.bug_detection_rate(),
+            fmt_first_bug(mixed.aggregate.first_bug_execution()),
+        );
+        for policy in ["ucb1", "exp3"] {
+            let report = campaign_adaptive_runs(
+                Policy::C11Tester,
+                SEED,
+                runs,
+                epoch_len,
+                None,
+                &mix,
+                policy,
+                body,
+            );
+            let first = report.first_bug_execution();
+            let verdict = if first.unwrap_or(u64::MAX) <= worst_fixed {
+                "<= worst fixed"
+            } else {
+                "SLOWER than worst fixed"
+            };
+            println!(
+                "  {:<22} {:>6.1}%  first bug {}  ({} epochs, final mix {}, {})",
+                format!("adaptive {policy}"),
+                100.0 * report.bug_detection_rate(),
+                fmt_first_bug(first),
+                report.trace.epochs(),
+                report
+                    .trace
+                    .records
+                    .last()
+                    .map(|r| r.mix.as_str())
+                    .unwrap_or("-"),
+                verdict,
+            );
+        }
+    }
+    rule(100);
+}
+
 fn main() {
     let figure16 = std::env::args().any(|a| a == "--figure16");
     let strategies = std::env::args().any(|a| a == "--strategies");
+    let adaptive = std::env::args().any(|a| a == "--adaptive");
     let runs = u64::from(runs_from_env(500));
     let policies = [Policy::C11Tester, Policy::Tsan11Rec, Policy::Tsan11];
 
@@ -132,6 +228,10 @@ fn main() {
 
     if strategies {
         strategy_table(runs);
+    }
+
+    if adaptive {
+        adaptive_table(runs);
     }
 
     if figure16 {

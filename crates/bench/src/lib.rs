@@ -98,6 +98,39 @@ where
     campaign.run(&CampaignBudget::executions(executions), body)
 }
 
+/// Runs a fixed-budget **adaptive** campaign: the budget is split into
+/// `epoch_len`-execution epochs, each epoch runs sharded under the
+/// current mix, and `policy` (`fixed`, `ucb1[@c]`, `exp3[@eta]`)
+/// reweights the mix between epochs from the per-strategy detection
+/// columns. Deterministic and worker-count independent like every
+/// fixed-budget campaign (see `c11tester-adaptive`).
+#[allow(clippy::too_many_arguments)]
+pub fn campaign_adaptive_runs<F>(
+    policy: Policy,
+    seed: u64,
+    executions: u64,
+    epoch_len: u64,
+    workers: Option<usize>,
+    mix: &c11tester::StrategyMix,
+    reweighter: &str,
+    body: F,
+) -> c11tester_adaptive::AdaptiveReport
+where
+    F: Fn() + Send + Sync,
+{
+    let config = Config::for_policy(policy)
+        .with_seed(seed)
+        .with_mix(mix.clone());
+    let mut campaign = c11tester_adaptive::AdaptiveCampaign::new(config)
+        .with_epoch_len(epoch_len)
+        .with_policy(reweighter)
+        .expect("valid reweighting policy");
+    if let Some(w) = workers {
+        campaign = campaign.with_workers(w);
+    }
+    campaign.run(&CampaignBudget::executions(executions), body)
+}
+
 /// Mean wall time per execution of a campaign, as a [`Timing`] (the
 /// campaign amortizes over all cores; `rsd` is not observable per
 /// execution and reported as 0).

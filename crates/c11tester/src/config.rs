@@ -140,16 +140,32 @@ pub struct StrategyMix {
     total_weight: u64,
 }
 
+/// Largest weight [`StrategyMix::normalize`] leaves in a mix: adaptive
+/// reweighting runs for arbitrarily many epochs, so weights must stay
+/// bounded no matter how skewed the detection columns become.
+pub const MAX_NORMAL_WEIGHT: u32 = 1024;
+
 impl StrategyMix {
     /// Builds a mix from `(strategy, weight)` entries.
     ///
-    /// Returns an error if no entry has positive weight.
+    /// Rejects empty entry lists, zero weights, and duplicate strategy
+    /// specs — each with a precise error naming the offending entry.
     pub fn new(entries: Vec<(Strategy, u32)>) -> Result<Self, String> {
-        let entries: Vec<(Strategy, u32)> = entries.into_iter().filter(|(_, w)| *w > 0).collect();
-        let total_weight: u64 = entries.iter().map(|(_, w)| u64::from(*w)).sum();
-        if total_weight == 0 {
-            return Err("a strategy mix needs at least one positive-weight entry".to_string());
+        if entries.is_empty() {
+            return Err("a strategy mix needs at least one entry".to_string());
         }
+        let mut seen: Vec<String> = Vec::with_capacity(entries.len());
+        for (strategy, weight) in &entries {
+            let spec = strategy.spec();
+            if *weight == 0 {
+                return Err(format!("strategy `{spec}` has zero weight"));
+            }
+            if seen.contains(&spec) {
+                return Err(format!("duplicate strategy `{spec}` in mix"));
+            }
+            seen.push(spec);
+        }
+        let total_weight: u64 = entries.iter().map(|(_, w)| u64::from(*w)).sum();
         Ok(StrategyMix {
             entries,
             total_weight,
@@ -173,17 +189,25 @@ impl StrategyMix {
                 continue;
             }
             let (spec, weight) = match part.rsplit_once(':') {
-                Some((s, w)) => (
-                    s,
-                    w.parse::<u32>()
-                        .map_err(|_| format!("bad weight in `{part}`"))?,
-                ),
+                Some((s, w)) => {
+                    let weight = w.parse::<u32>().map_err(|_| {
+                        if !w.is_empty() && w.bytes().all(|b| b.is_ascii_digit()) {
+                            format!("weight overflows u32 in `{part}` (max {})", u32::MAX)
+                        } else {
+                            format!("bad weight in `{part}` (expected a positive integer)")
+                        }
+                    })?;
+                    (s, weight)
+                }
                 None => (part, 1),
             };
             if weight == 0 {
                 return Err(format!("weight must be positive in `{part}`"));
             }
             entries.push((Strategy::parse_spec(spec)?, weight));
+        }
+        if entries.is_empty() {
+            return Err("a strategy mix needs at least one entry".to_string());
         }
         StrategyMix::new(entries)
     }
@@ -201,6 +225,57 @@ impl StrategyMix {
     /// The weighted entries.
     pub fn entries(&self) -> &[(Strategy, u32)] {
         &self.entries
+    }
+
+    /// Total weight across all entries.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The canonical bounded form of this mix: weights divided by their
+    /// greatest common divisor, then — if the largest weight still
+    /// exceeds [`MAX_NORMAL_WEIGHT`] — proportionally rescaled so the
+    /// largest equals [`MAX_NORMAL_WEIGHT`] (every entry keeps weight
+    /// ≥ 1). Strategy order is preserved; the result is a pure function
+    /// of the input weights, which is what lets adaptive reweighters
+    /// emit fresh weights every epoch without the totals growing
+    /// without bound.
+    ///
+    /// Note that normalization changes `total_weight`, and
+    /// [`StrategyMix::strategy_at`] reduces its hash modulo the total —
+    /// so a normalized mix is an equivalent *distribution*, not an
+    /// identical per-index assignment.
+    pub fn normalize(&self) -> StrategyMix {
+        fn gcd(a: u32, b: u32) -> u32 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let g = self
+            .entries
+            .iter()
+            .fold(0u32, |g, (_, w)| gcd(g, *w))
+            .max(1);
+        let mut weights: Vec<u32> = self.entries.iter().map(|(_, w)| w / g).collect();
+        let max = weights.iter().copied().max().unwrap_or(1);
+        if max > MAX_NORMAL_WEIGHT {
+            for w in &mut weights {
+                // Round-to-nearest proportional rescale, floored at 1 so
+                // no arm ever drops out of the mix entirely.
+                *w = ((u64::from(*w) * u64::from(MAX_NORMAL_WEIGHT) + u64::from(max) / 2)
+                    / u64::from(max))
+                .max(1) as u32;
+            }
+        }
+        let entries: Vec<(Strategy, u32)> = self
+            .entries
+            .iter()
+            .zip(weights)
+            .map(|(&(s, _), w)| (s, w))
+            .collect();
+        StrategyMix::new(entries).expect("normalize preserves validity")
     }
 
     /// The strategy assigned to execution `index` under base `seed` — a
@@ -451,6 +526,58 @@ mod tests {
         assert!(StrategyMix::parse("random:0").is_err());
         assert!(StrategyMix::parse("random:x").is_err());
         assert!(StrategyMix::parse("warp:1").is_err());
+    }
+
+    #[test]
+    fn mix_rejects_duplicates_zero_and_overflowing_weights_precisely() {
+        // Duplicate specs are rejected with the offending spec named —
+        // both spelled identically and via equivalent default forms.
+        let err = StrategyMix::parse("random:2,pct2:1,random:1").unwrap_err();
+        assert!(err.contains("duplicate strategy `random`"), "{err}");
+        let err = StrategyMix::parse("pct2,pct2@128").unwrap_err();
+        assert!(err.contains("duplicate strategy `pct2`"), "{err}");
+        // Overflowing weights get their own message (not a generic
+        // parse failure).
+        let err = StrategyMix::parse("random:4294967296").unwrap_err();
+        assert!(err.contains("overflows u32"), "{err}");
+        let err = StrategyMix::parse("random:-3").unwrap_err();
+        assert!(err.contains("bad weight"), "{err}");
+        // Constructor-level checks mirror the parser.
+        let err = StrategyMix::new(vec![(Strategy::Random, 0)]).unwrap_err();
+        assert!(err.contains("zero weight"), "{err}");
+        let err = StrategyMix::new(vec![(Strategy::Random, 1), (Strategy::Random, 2)]).unwrap_err();
+        assert!(err.contains("duplicate strategy"), "{err}");
+        assert!(StrategyMix::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn normalize_bounds_weights_and_preserves_ratios() {
+        // gcd reduction.
+        let mix = StrategyMix::parse("random:4,pct2:2,pct3:2").unwrap();
+        assert_eq!(mix.normalize().spec(), "random:2,pct2:1,pct3:1");
+        // Already-canonical mixes are untouched.
+        let mix = StrategyMix::parse("random:2,pct2:1").unwrap();
+        assert_eq!(mix.normalize().spec(), "random:2,pct2:1");
+        // Huge weights are rescaled so the max is MAX_NORMAL_WEIGHT and
+        // tiny arms survive with weight >= 1.
+        let mix = StrategyMix::new(vec![
+            (Strategy::Random, 3_000_000),
+            (
+                Strategy::Pct {
+                    depth: 2,
+                    expected_ops: DEFAULT_PCT_OPS,
+                },
+                1,
+            ),
+        ])
+        .unwrap();
+        let norm = mix.normalize();
+        let weights: Vec<u32> = norm.entries().iter().map(|(_, w)| *w).collect();
+        assert_eq!(weights[0], MAX_NORMAL_WEIGHT);
+        assert_eq!(weights[1], 1);
+        // Normalization is idempotent.
+        assert_eq!(norm.normalize().spec(), norm.spec());
+        assert!(norm.total_weight() <= u64::from(MAX_NORMAL_WEIGHT) * 2);
     }
 
     #[test]

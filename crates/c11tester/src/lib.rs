@@ -58,7 +58,9 @@ pub mod thread;
 mod volatile;
 
 pub use cell::{Shared, SharedArray};
-pub use config::{Config, Strategy, StrategyMix, DEFAULT_BURST_MEAN, DEFAULT_PCT_OPS};
+pub use config::{
+    Config, Strategy, StrategyMix, DEFAULT_BURST_MEAN, DEFAULT_PCT_OPS, MAX_NORMAL_WEIGHT,
+};
 pub use model::{Model, ModelParts};
 pub use report::{
     AccessKind, DedupEntry, DedupHistory, ExecutionReport, Failure, RaceKey, RaceKind, RaceReport,

@@ -121,16 +121,30 @@ impl Model {
     ///
     /// Panics if `stride == 0` or `shard >= stride`.
     pub fn for_shard(config: Config, shard: u64, stride: u64) -> Self {
-        assert!(stride > 0, "shard stride must be positive");
         assert!(
             shard < stride,
             "shard index {shard} out of range for stride {stride}"
         );
+        Model::for_shard_from(config, shard, stride)
+    }
+
+    /// Creates a model that executes the index progression
+    /// `first_index, first_index + stride, …` — [`Model::for_shard`]
+    /// with an arbitrary starting index instead of one below `stride`.
+    /// Epoch-granular campaigns use this to walk a *range* of the
+    /// global execution stream: epoch `e` of length `L` gives worker
+    /// `w` of `N` the progression starting at `e·L + w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn for_shard_from(config: Config, first_index: u64, stride: u64) -> Self {
+        assert!(stride > 0, "shard stride must be positive");
         Model {
             config,
             race: Some(RaceDetector::new()),
             scheduler: None,
-            execution_index: shard,
+            execution_index: first_index,
             stride,
             runs: 0,
         }

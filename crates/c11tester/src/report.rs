@@ -154,6 +154,21 @@ impl TestReport {
         }
     }
 
+    /// Lowest execution index that exhibited any bug (race, assertion
+    /// violation, or deadlock), if one did — the "executions to first
+    /// bug" metric adaptive campaigns compare strategies on. Derived
+    /// from the dedup history's lowest-index exemplars and the sorted
+    /// failure list, so it is order-independent like every other
+    /// aggregate field.
+    pub fn first_bug_execution(&self) -> Option<u64> {
+        let race = self.races.iter().map(|(_, e)| e.first_execution).min();
+        let failure = self.failures.first().map(|(ix, _)| *ix);
+        match (race, failure) {
+            (Some(r), Some(f)) => Some(r.min(f)),
+            (r, f) => r.or(f),
+        }
+    }
+
     /// Folds one execution's report into the aggregate.
     pub fn absorb(&mut self, report: &ExecutionReport) {
         self.executions += 1;
@@ -362,6 +377,31 @@ mod tests {
             2,
             "x deduped across executions"
         );
+    }
+
+    #[test]
+    fn first_bug_execution_is_the_minimum_over_races_and_failures() {
+        use c11tester_core::{ObjId, ThreadId};
+        let race = RaceReport {
+            label: "x".into(),
+            obj: ObjId(1),
+            offset: 0,
+            kind: RaceKind::WriteAfterWrite,
+            current_tid: ThreadId::from_index(1),
+            current_kind: AccessKind::NonAtomic,
+            prior_tid: ThreadId::from_index(0),
+            prior_atomic: false,
+        };
+        let mut t = TestReport::default();
+        assert_eq!(t.first_bug_execution(), None);
+        let mut deadlocked = empty_exec(7);
+        deadlocked.failure = Some(Failure::Deadlock);
+        t.absorb(&deadlocked);
+        assert_eq!(t.first_bug_execution(), Some(7));
+        let mut racy = empty_exec(4);
+        racy.races.push(race);
+        t.absorb(&racy);
+        assert_eq!(t.first_bug_execution(), Some(4));
     }
 
     #[test]

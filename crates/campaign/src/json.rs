@@ -8,8 +8,9 @@
 //! byte-identity contract of [`CampaignReport::canonical_json`] rests
 //! on.
 
-use crate::CampaignReport;
-use c11tester::{AccessKind, Failure};
+use crate::epoch::EpochTrace;
+use crate::{CampaignBudget, CampaignReport};
+use c11tester::{AccessKind, DedupHistory, Failure, StrategyLedger, TestReport};
 use c11tester_core::ExecStats;
 
 /// Escapes a string per RFC 8259.
@@ -76,29 +77,22 @@ fn stats(s: &ExecStats) -> String {
     )
 }
 
-/// The canonical (worker-count independent) object.
-///
-/// Schema `c11campaign/v2` adds the `per_strategy` column array (one
-/// row per strategy spec that drove at least one execution, sorted by
-/// spec) on top of v1's aggregate; `strategy` became the canonical
-/// spec / mix label instead of a Debug rendering.
-pub(crate) fn canonical(r: &CampaignReport) -> String {
-    let mut out = String::with_capacity(1024);
-    out.push_str("{\"schema\":\"c11campaign/v2\"");
-    out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
-    out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
-    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
+/// Emits `,"budget":{…}`.
+fn push_budget(out: &mut String, budget: &CampaignBudget) {
     out.push_str(&format!(
         ",\"budget\":{{\"max_executions\":{},\"deadline_secs\":{},\"stop_on_first_bug\":{}}}",
-        r.budget.max_executions,
-        r.budget
+        budget.max_executions,
+        budget
             .deadline
             .map(|d| d.as_secs_f64().to_string())
             .unwrap_or_else(|| "null".to_string()),
-        r.budget.stop_on_first_bug,
+        budget.stop_on_first_bug,
     ));
-    out.push_str(&format!(",\"stop_reason\":\"{}\"", r.stop_reason.name()));
-    let a = &r.aggregate;
+}
+
+/// Emits the aggregate's scalar detection block:
+/// `,"executions":…,…,"bug_detection_rate":…`.
+fn push_detection_scalars(out: &mut String, a: &TestReport) {
     out.push_str(&format!(",\"executions\":{}", a.executions));
     out.push_str(&format!(
         ",\"executions_with_race\":{}",
@@ -116,8 +110,12 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
         ",\"bug_detection_rate\":{}",
         a.bug_detection_rate()
     ));
+}
+
+/// Emits `,"per_strategy":[…]` — one column row per strategy spec.
+fn push_per_strategy(out: &mut String, ledger: &StrategyLedger) {
     out.push_str(",\"per_strategy\":[");
-    for (i, (name, b)) in a.per_strategy.iter().enumerate() {
+    for (i, (name, b)) in ledger.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -138,8 +136,12 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
         ));
     }
     out.push(']');
+}
+
+/// Emits `,"distinct_races":[…]`.
+fn push_distinct_races(out: &mut String, races: &DedupHistory) {
     out.push_str(",\"distinct_races\":[");
-    for (i, (_, entry)) in a.races.iter().enumerate() {
+    for (i, (_, entry)) in races.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -163,8 +165,12 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
         ));
     }
     out.push(']');
+}
+
+/// Emits `,"failures":[…]`.
+fn push_failures(out: &mut String, failures: &[(u64, Failure)]) {
     out.push_str(",\"failures\":[");
-    for (i, (ix, f)) in a.failures.iter().enumerate() {
+    for (i, (ix, f)) in failures.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -175,11 +181,110 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
         ));
     }
     out.push(']');
+}
+
+/// Emits the shared aggregate tail: races, failures, elisions, stats.
+fn push_aggregate_tail(out: &mut String, a: &TestReport) {
+    push_distinct_races(out, &a.races);
+    push_failures(out, &a.failures);
     out.push_str(&format!(
         ",\"elided_volatile_races\":{}",
         a.elided_volatile_races
     ));
     out.push_str(&format!(",\"stats\":{}", stats(&a.total_stats)));
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map(|n| n.to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
+/// The canonical (worker-count independent) object.
+///
+/// Schema `c11campaign/v2` adds the `per_strategy` column array (one
+/// row per strategy spec that drove at least one execution, sorted by
+/// spec) on top of v1's aggregate; `strategy` became the canonical
+/// spec / mix label instead of a Debug rendering.
+pub(crate) fn canonical(r: &CampaignReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"c11campaign/v2\"");
+    out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
+    out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
+    push_budget(&mut out, &r.budget);
+    out.push_str(&format!(",\"stop_reason\":\"{}\"", r.stop_reason.name()));
+    let a = &r.aggregate;
+    push_detection_scalars(&mut out, a);
+    push_per_strategy(&mut out, &a.per_strategy);
+    push_aggregate_tail(&mut out, a);
+    out.push('}');
+    out
+}
+
+/// The canonical epoch-trace object for adaptive campaigns.
+///
+/// Schema `c11campaign/v3` keeps every v2 aggregate field (same names,
+/// same order — a v2 reader sees a superset) and adds:
+///
+/// * an `adaptive` header (`policy`, `epoch_len`, `initial_mix`,
+///   `epochs`);
+/// * a top-level `first_bug_execution` (the executions-to-first-bug
+///   metric, `null` when no bug was found);
+/// * an `epochs` array — per epoch: the mix that drove it, its
+///   detection scalars, its per-strategy columns, and the running
+///   `cumulative` totals after the epoch.
+pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"c11campaign/v3\"");
+    out.push_str(&format!(",\"base_seed\":{}", t.base_seed));
+    out.push_str(&format!(",\"policy\":\"{}\"", esc(t.policy)));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&t.initial_mix)));
+    out.push_str(&format!(
+        ",\"adaptive\":{{\"policy\":\"{}\",\"epoch_len\":{},\"initial_mix\":\"{}\",\"epochs\":{}}}",
+        esc(&t.adaptive_policy),
+        t.epoch_len,
+        esc(&t.initial_mix),
+        t.records.len(),
+    ));
+    push_budget(&mut out, &t.budget);
+    out.push_str(&format!(",\"stop_reason\":\"{}\"", t.stop_reason.name()));
+    push_detection_scalars(&mut out, &t.aggregate);
+    out.push_str(&format!(
+        ",\"first_bug_execution\":{}",
+        json_opt_u64(t.aggregate.first_bug_execution())
+    ));
+    out.push_str(",\"epochs\":[");
+    let mut cumulative = TestReport::default();
+    for (i, rec) in t.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        cumulative.merge(&rec.aggregate);
+        out.push_str(&format!(
+            "{{\"epoch\":{},\"start_index\":{},\"mix\":\"{}\"",
+            rec.epoch,
+            rec.start_index,
+            esc(&rec.mix)
+        ));
+        push_detection_scalars(&mut out, &rec.aggregate);
+        push_per_strategy(&mut out, &rec.aggregate.per_strategy);
+        out.push_str(&format!(
+            concat!(
+                ",\"cumulative\":{{\"executions\":{},\"executions_with_race\":{},",
+                "\"executions_with_bug\":{},\"distinct_races\":{},",
+                "\"first_bug_execution\":{}}}"
+            ),
+            cumulative.executions,
+            cumulative.executions_with_race,
+            cumulative.executions_with_bug,
+            cumulative.races.len(),
+            json_opt_u64(cumulative.first_bug_execution()),
+        ));
+        out.push('}');
+    }
+    out.push(']');
+    push_per_strategy(&mut out, &t.aggregate.per_strategy);
+    push_aggregate_tail(&mut out, &t.aggregate);
     out.push('}');
     out
 }
@@ -223,6 +328,59 @@ mod tests {
         // neither, so a raw count suffices).
         let opens = canonical.matches('{').count();
         let closes = canonical.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn v3_trace_json_carries_adaptive_header_epochs_and_cumulatives() {
+        use crate::{EpochRecord, EpochTrace, StopReason};
+        use c11tester::StrategyMix;
+        let mix = StrategyMix::parse("random:1,pct2:1").expect("valid mix");
+        let config = Config::new().with_seed(9).with_mix(mix);
+        let campaign = crate::Campaign::new(config).with_workers(2);
+        let racy = || c11tester_workloads::ds::rwlock_buggy::run_buggy();
+        let e0 = campaign.run_range(0, &CampaignBudget::executions(10), racy);
+        let e1 = campaign.run_range(10, &CampaignBudget::executions(10), racy);
+        let mut aggregate = e0.aggregate.clone();
+        aggregate.merge(&e1.aggregate);
+        let trace = EpochTrace {
+            base_seed: 9,
+            policy: "C11Tester",
+            adaptive_policy: "ucb1".to_string(),
+            epoch_len: 10,
+            initial_mix: "random:1,pct2:1".to_string(),
+            budget: CampaignBudget::executions(20),
+            stop_reason: StopReason::BudgetExhausted,
+            records: vec![
+                EpochRecord {
+                    epoch: 0,
+                    start_index: 0,
+                    mix: "random:1,pct2:1".to_string(),
+                    aggregate: e0.aggregate,
+                },
+                EpochRecord {
+                    epoch: 1,
+                    start_index: 10,
+                    mix: "random:1,pct2:3".to_string(),
+                    aggregate: e1.aggregate,
+                },
+            ],
+            aggregate,
+        };
+        let json = trace.canonical_json();
+        assert!(json.starts_with("{\"schema\":\"c11campaign/v3\""));
+        assert!(json.contains(
+            "\"adaptive\":{\"policy\":\"ucb1\",\"epoch_len\":10,\
+             \"initial_mix\":\"random:1,pct2:1\",\"epochs\":2}"
+        ));
+        assert!(json.contains("\"epochs\":[{\"epoch\":0,\"start_index\":0,\"mix\":"));
+        assert!(json.contains("\"mix\":\"random:1,pct2:3\""));
+        assert!(json.contains("\"cumulative\":{\"executions\":10,"));
+        assert!(json.contains("\"cumulative\":{\"executions\":20,"));
+        assert!(json.contains("\"first_bug_execution\":"));
+        assert!(json.contains("\"executions\":20"));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
         assert_eq!(opens, closes);
     }
 

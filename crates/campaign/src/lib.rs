@@ -56,8 +56,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
+mod epoch;
 mod json;
 pub mod targets;
+
+pub use epoch::{EpochRecord, EpochTrace};
 
 use c11tester::{Config, ExecutionReport, Model, TestReport};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -268,9 +272,31 @@ impl Campaign {
     where
         F: Fn() + Send + Sync,
     {
+        self.run_range(0, budget, program)
+    }
+
+    /// Runs the campaign over the global execution-index range
+    /// `first_index .. first_index + budget.max_executions` — the
+    /// epoch-granular entry point. Epoch `e` of an adaptive campaign
+    /// with epoch length `L` runs `run_range(e·L, …)` so every epoch
+    /// keeps walking the *same* global index stream: an execution is
+    /// still reproducible by `(config, global index)` alone, and a
+    /// fixed-budget range aggregates byte-identically for any worker
+    /// count, exactly like [`Campaign::run`] (which is
+    /// `run_range(0, …)`).
+    pub fn run_range<F>(
+        &self,
+        first_index: u64,
+        budget: &CampaignBudget,
+        program: F,
+    ) -> CampaignReport
+    where
+        F: Fn() + Send + Sync,
+    {
         let start = Instant::now();
+        let end_index = first_index.saturating_add(budget.max_executions);
         // Never spin up more workers than executions: shard `w` of `N`
-        // would walk `w, w + N, …`, all ≥ max_executions.
+        // would walk `first + w, first + w + N, …`, all ≥ end_index.
         let workers = self
             .workers
             .min(budget.max_executions.max(1).min(usize::MAX as u64) as usize)
@@ -289,8 +315,9 @@ impl Campaign {
                 let builder = std::thread::Builder::new().name(format!("c11campaign-{w}"));
                 builder
                     .spawn_scoped(scope, move || {
-                        let mut model = Model::for_shard(config, w as u64, workers as u64);
-                        while model.next_execution_index() < budget.max_executions
+                        let mut model =
+                            Model::for_shard_from(config, first_index + w as u64, workers as u64);
+                        while model.next_execution_index() < end_index
                             && !stop.load(Ordering::Relaxed)
                         {
                             if let Some(deadline) = budget.deadline {
@@ -369,6 +396,28 @@ mod tests {
             .run(&CampaignBudget::executions(2), || {});
         assert_eq!(report.workers, 2);
         assert_eq!(report.aggregate.executions, 2);
+    }
+
+    #[test]
+    fn run_range_partitions_the_global_stream() {
+        // Epoch-granular runs over [0,20) + [20,60) must merge to the
+        // single campaign over [0,60): same config, same global
+        // indices, order-independent aggregation.
+        let config = Config::new().with_seed(0xE9);
+        let campaign = Campaign::new(config.clone()).with_workers(3);
+        let whole = campaign.run(&CampaignBudget::executions(60), racy_program);
+        let mut merged = TestReport::default();
+        merged.merge(
+            &campaign
+                .run_range(0, &CampaignBudget::executions(20), racy_program)
+                .aggregate,
+        );
+        merged.merge(
+            &campaign
+                .run_range(20, &CampaignBudget::executions(40), racy_program)
+                .aggregate,
+        );
+        assert_eq!(merged, whole.aggregate);
     }
 
     #[test]

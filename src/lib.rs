@@ -16,7 +16,11 @@
 //!   the per-execution [`model::Model`] driver;
 //! * [`campaign`] (`c11tester-campaign`) — parallel exploration
 //!   campaigns that shard thousands of executions across worker
-//!   threads with deterministic per-execution seeds.
+//!   threads with deterministic per-execution seeds;
+//! * [`adaptive`] (`c11tester-adaptive`) — adaptive epoch-driven
+//!   campaigns: deterministic bandit controllers (UCB1, EXP3-style)
+//!   that reweight the strategy mix between epochs from the live
+//!   per-strategy detection columns.
 //!
 //! This crate re-exports them under one roof and hosts the repository's
 //! `examples/` and cross-crate integration tests.
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub use c11tester as model;
+pub use c11tester_adaptive as adaptive;
 pub use c11tester_campaign as campaign;
 pub use c11tester_core as core;
 pub use c11tester_race as race;
