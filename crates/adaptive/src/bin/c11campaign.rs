@@ -6,6 +6,8 @@
 //! c11campaign --target rwlock-buggy --stop-on-first-bug
 //! c11campaign --target rwlock-buggy --mix random:2,pct2:1,pct3:1
 //! c11campaign --target rwlock-buggy --adaptive ucb1 --epoch 100
+//! c11campaign --target null-deref-buggy --isolate
+//! c11campaign --target spin-forever --isolate --exec-timeout 2
 //! c11campaign --target rwlock-buggy --canonical > baseline.json
 //! c11campaign --target rwlock-buggy --baseline baseline.json
 //! c11campaign --target ms-queue --deadline-secs 10 --json
@@ -16,6 +18,7 @@ use c11tester::{Config, Policy, StrategyMix};
 use c11tester_adaptive::AdaptiveCampaign;
 use c11tester_campaign::baseline::{BaselineDiff, BaselineSummary};
 use c11tester_campaign::{targets, Campaign, CampaignBudget};
+use c11tester_isolation::ForkServer;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -47,9 +50,20 @@ OPTIONS:
                             trace.
     --epoch <N>             epoch length in executions [default: 64;
                             requires --adaptive]
+    --isolate               run executions in child worker processes (fork
+                            server): a target that segfaults, aborts, or hangs
+                            kills one child, is recorded in the report's
+                            crashes column, and the campaign continues. The
+                            aggregate is byte-identical to an in-process run
+                            on healthy targets.
+    --exec-timeout <SECS>   with --isolate: kill a child that spends longer
+                            than SECS wall-clock on a single execution and
+                            record a timeout crash
+    --batch <N>             with --isolate: executions per child process
+                            [default: 64]
     --baseline <FILE>       diff this run's detection rates against a saved
-                            canonical/full JSON report (v2 or v3); exits 3
-                            when a rate regressed beyond the threshold
+                            canonical/full JSON report (v2, v3, or v4); exits
+                            3 when a rate regressed beyond the threshold
     --baseline-threshold <R> absolute rate drop tolerated by --baseline
                             [default: 0.05]
     --stop-on-first-bug     stop all workers at the first bug
@@ -73,6 +87,9 @@ struct Args {
     mix: Option<StrategyMix>,
     adaptive: Option<String>,
     epoch: Option<u64>,
+    isolate: bool,
+    exec_timeout_secs: Option<f64>,
+    batch: Option<u64>,
     baseline: Option<String>,
     baseline_threshold: f64,
     stop_on_first_bug: bool,
@@ -101,6 +118,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         mix: None,
         adaptive: None,
         epoch: None,
+        isolate: false,
+        exec_timeout_secs: None,
+        batch: None,
         baseline: None,
         baseline_threshold: 0.05,
         stop_on_first_bug: false,
@@ -146,6 +166,22 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 args.epoch = Some(n);
             }
+            "--isolate" => args.isolate = true,
+            "--exec-timeout" => {
+                let v = value()?;
+                let secs: f64 = v.parse().map_err(|_| format!("not a number: `{v}`"))?;
+                if !secs.is_finite() || secs <= 0.0 || secs > 1e9 {
+                    return Err("--exec-timeout must be a positive number of seconds".into());
+                }
+                args.exec_timeout_secs = Some(secs);
+            }
+            "--batch" => {
+                let n = parse_u64(&value()?)?;
+                if n == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                args.batch = Some(n);
+            }
             "--baseline" => args.baseline = Some(value()?),
             "--baseline-threshold" => {
                 let v = value()?;
@@ -175,6 +211,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.epoch.is_some() && args.adaptive.is_none() {
         return Err("--epoch requires --adaptive".into());
+    }
+    if args.exec_timeout_secs.is_some() && !args.isolate {
+        return Err("--exec-timeout requires --isolate".into());
+    }
+    if args.batch.is_some() && !args.isolate {
+        return Err("--batch requires --isolate".into());
     }
     if args.json && args.canonical {
         return Err("--json and --canonical are mutually exclusive".into());
@@ -248,7 +290,16 @@ fn diff_against_baseline(current_canonical: &str, baseline_path: &str, threshold
 
 fn main() -> ExitCode {
     reset_sigpipe();
-    let args = match parse_args(std::env::args().skip(1)) {
+    // Hidden fork-server re-entry: `c11campaign --worker …` runs one
+    // batch of executions serially and streams length-prefixed JSON
+    // frames to stdout (see `c11tester_isolation::worker`). Must be
+    // the first argument — the fork server always puts it there.
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("--worker") {
+        argv.next();
+        return c11tester_isolation::worker_main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(args) => args,
         Err(msg) => {
             if msg.is_empty() {
@@ -285,8 +336,28 @@ fn main() -> ExitCode {
         budget = budget.with_deadline(Duration::from_secs_f64(secs));
     }
 
-    // Run the campaign (adaptive or plain) and collect the output
-    // forms the tail of main needs.
+    // With --isolate, executions run in child processes that re-enter
+    // this binary in --worker mode.
+    let fork = if args.isolate {
+        match ForkServer::current_exe() {
+            Ok(fork) => {
+                let fork = match args.batch {
+                    Some(n) => fork.with_batch_size(n),
+                    None => fork,
+                };
+                Some(fork.with_exec_timeout(args.exec_timeout_secs.map(Duration::from_secs_f64)))
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    // Run the campaign (adaptive or plain, in-process or isolated) and
+    // collect the output forms the tail of main needs.
     let (text, full_json, canonical_json) = if let Some(policy) = args.adaptive.as_deref() {
         let mut campaign = AdaptiveCampaign::new(config)
             .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
@@ -300,7 +371,17 @@ fn main() -> ExitCode {
         if let Some(w) = args.workers {
             campaign = campaign.with_workers(w);
         }
-        let report = campaign.run(&budget, move || target.run());
+        let report = if let Some(fork) = &fork {
+            match campaign.run_target(fork, &target, &budget) {
+                Ok(report) => report,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            campaign.run(&budget, move || target.run())
+        };
         (
             report.to_string(),
             report.to_json(),
@@ -311,7 +392,17 @@ fn main() -> ExitCode {
         if let Some(w) = args.workers {
             campaign = campaign.with_workers(w);
         }
-        let report = campaign.run(&budget, move || target.run());
+        let report = if let Some(fork) = &fork {
+            match campaign.run_target(fork, &target, &budget) {
+                Ok(report) => report,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            campaign.run(&budget, move || target.run())
+        };
         (
             report.to_string(),
             report.to_json(),

@@ -50,7 +50,7 @@
 //! assert_eq!(report.aggregate().executions, 36);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod reweight;
@@ -58,7 +58,8 @@ pub mod reweight;
 pub use reweight::{parse_policy, ExpWeights, Fixed, ReweightCtx, Reweighter, Ucb1};
 
 use c11tester::{Config, ExecutionReport, Model, StrategyMix, TestReport};
-use c11tester_campaign::{Campaign, CampaignBudget, EpochRecord, EpochTrace, StopReason};
+use c11tester_campaign::targets::Target;
+use c11tester_campaign::{Campaign, CampaignBudget, EpochRecord, EpochTrace, Executor, StopReason};
 use std::time::{Duration, Instant};
 
 /// Default epoch length (executions per epoch) when none is set.
@@ -160,10 +161,63 @@ impl AdaptiveCampaign {
     where
         F: Fn() + Send + Sync,
     {
+        self.run_epochs(budget, |config, first_index, epoch_budget| {
+            let report = Campaign::new(config.clone())
+                .with_workers(self.workers)
+                .run_range(first_index, epoch_budget, &program);
+            Ok((report.aggregate, Vec::new(), report.stop_reason))
+        })
+        .expect("in-process epochs are infallible")
+    }
+
+    /// Runs the adaptive campaign on a *named* target through an
+    /// [`Executor`] — the process-isolation entry point, mirroring
+    /// [`c11tester_campaign::Campaign::run_target`]. Epochs behave
+    /// exactly as in [`AdaptiveCampaign::run`]; under a fork server,
+    /// crashing executions land in their epoch's
+    /// [`EpochRecord::crashes`] and the reweighter's reward signal
+    /// counts each crash as a found bug for the strategy that drove
+    /// the crashing index (a segfault is the strongest detection
+    /// signal a strategy can produce).
+    pub fn run_target(
+        &self,
+        executor: &dyn Executor,
+        target: &Target,
+        budget: &CampaignBudget,
+    ) -> Result<AdaptiveReport, String> {
+        self.run_epochs(budget, |config, first_index, epoch_budget| {
+            let outcome =
+                executor.run_range(config, self.workers, target, first_index, epoch_budget)?;
+            Ok((outcome.aggregate, outcome.crashes, outcome.stop_reason))
+        })
+    }
+
+    /// The shared epoch loop: `run_range` produces each epoch's
+    /// `(aggregate, crashes, stop reason)` for a contiguous global
+    /// index range; reweighting between epochs is a pure function of
+    /// the completed-epoch records plus the crash-aware reward ledger.
+    fn run_epochs<R>(
+        &self,
+        budget: &CampaignBudget,
+        mut run_range: R,
+    ) -> Result<AdaptiveReport, String>
+    where
+        R: FnMut(
+            &Config,
+            u64,
+            &CampaignBudget,
+        )
+            -> Result<(TestReport, Vec<c11tester_campaign::CrashRecord>, StopReason), String>,
+    {
         let start = Instant::now();
         let mut mix = self.initial_mix.clone();
         let mut records: Vec<EpochRecord> = Vec::new();
         let mut aggregate = TestReport::default();
+        // The reward signal: the merged per-strategy ledger, with every
+        // crash booked as a bugged execution for its strategy. Kept
+        // separate from `aggregate.per_strategy` so report invariants
+        // (bucket counters sum to completed executions) still hold.
+        let mut reward_ledger = c11tester::StrategyLedger::new();
         let mut stop_reason = StopReason::BudgetExhausted;
         let mut next_index = 0u64;
         let mut epoch = 0u64;
@@ -180,20 +234,22 @@ impl AdaptiveCampaign {
                 epoch_budget = epoch_budget.with_deadline(deadline - elapsed);
             }
             let config = self.config.clone().with_mix(mix.clone());
-            let report = Campaign::new(config).with_workers(self.workers).run_range(
-                next_index,
-                &epoch_budget,
-                &program,
-            );
-            aggregate.merge(&report.aggregate);
+            let (epoch_aggregate, crashes, epoch_stop) =
+                run_range(&config, next_index, &epoch_budget)?;
+            aggregate.merge(&epoch_aggregate);
+            reward_ledger.merge(&epoch_aggregate.per_strategy);
+            for crash in &crashes {
+                reward_ledger.record(&crash.strategy, crash.index, &[], true);
+            }
             records.push(EpochRecord {
                 epoch,
                 start_index: next_index,
                 mix: mix.spec(),
-                aggregate: report.aggregate,
+                aggregate: epoch_aggregate,
+                crashes,
             });
-            if report.stop_reason != StopReason::BudgetExhausted {
-                stop_reason = report.stop_reason;
+            if epoch_stop != StopReason::BudgetExhausted {
+                stop_reason = epoch_stop;
                 break;
             }
             next_index += len;
@@ -206,11 +262,11 @@ impl AdaptiveCampaign {
                 next_epoch: epoch,
                 initial_mix: &self.initial_mix,
                 epochs: &records,
-                cumulative: &aggregate.per_strategy,
+                cumulative: &reward_ledger,
             };
             mix = self.policy.reweight(&ctx);
         }
-        AdaptiveReport {
+        Ok(AdaptiveReport {
             trace: EpochTrace {
                 base_seed: self.config.seed,
                 policy: self.config.policy.name(),
@@ -224,7 +280,7 @@ impl AdaptiveCampaign {
             },
             workers: self.workers,
             wall_time: start.elapsed(),
-        }
+        })
     }
 
     /// Replays execution `offset` of epoch `epoch` from a trace this

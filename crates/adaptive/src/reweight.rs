@@ -326,6 +326,7 @@ mod tests {
             start_index: 0,
             mix: "synthetic".to_string(),
             aggregate,
+            crashes: Vec::new(),
         };
         (ledger, vec![record])
     }

@@ -2,7 +2,7 @@
 //! campaigns (the acceptance tests of the adaptive tentpole):
 //!
 //! * an adaptive UCB1 campaign produces **byte-identical**
-//!   `c11campaign/v3` canonical JSON for 1, 4, and 8 workers;
+//!   canonical JSON for 1, 4, and 8 workers;
 //! * adaptive with the `Fixed` (no-op) policy equals the plain mixed
 //!   campaign over the same budget — the closed loop degenerates to
 //!   the open loop exactly;
@@ -67,7 +67,7 @@ fn adaptive_trace_json_is_byte_identical_across_1_4_8_workers() {
         .collect();
     assert_eq!(traces[0], traces[1], "1 vs 4 workers");
     assert_eq!(traces[1], traces[2], "4 vs 8 workers");
-    assert!(traces[0].contains("\"schema\":\"c11campaign/v3\""));
+    assert!(traces[0].contains("\"schema\":\"c11campaign/v4\""));
     assert!(traces[0].contains("\"adaptive\":{\"policy\":\"ucb1\",\"epoch_len\":12"));
     assert!(traces[0].contains("\"epochs\":[{\"epoch\":0,"));
     // Exp3 holds to the same contract.

@@ -1,4 +1,5 @@
-//! Golden-schema test for the canonical `c11campaign/v3` epoch trace.
+//! Golden-schema test for the canonical epoch trace (`c11campaign/v4`,
+//! historically introduced as v3 — hence this file's name).
 //!
 //! A fixed `(seed, target, mix, policy, epoch, budget)` adaptive
 //! campaign must reproduce the checked-in trace **byte for byte** —
@@ -65,7 +66,9 @@ fn canonical_trace_matches_the_checked_in_golden_report() {
 fn golden_trace_pins_the_schema_and_columns() {
     let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
     for needle in [
-        "\"schema\":\"c11campaign/v3\"",
+        "\"schema\":\"c11campaign/v4\"",
+        "\"crashes\":0",
+        "\"crash_records\":[]",
         &format!("\"base_seed\":{SEED}"),
         &format!(
             "\"adaptive\":{{\"policy\":\"ucb1\",\"epoch_len\":{EPOCH_LEN},\
@@ -82,9 +85,10 @@ fn golden_trace_pins_the_schema_and_columns() {
     ] {
         assert!(golden.contains(needle), "golden trace lost `{needle}`");
     }
-    // The baseline reader must accept the golden v3 trace.
-    let summary = c11tester_campaign::baseline::BaselineSummary::parse(&golden).expect("v3 parses");
-    assert_eq!(summary.schema, "c11campaign/v3");
+    // The baseline reader must accept the golden trace.
+    let summary =
+        c11tester_campaign::baseline::BaselineSummary::parse(&golden).expect("trace parses");
+    assert_eq!(summary.schema, "c11campaign/v4");
     assert_eq!(summary.executions, EXECUTIONS);
     assert!(!summary.per_strategy.is_empty());
 }

@@ -26,6 +26,18 @@ pub enum Failure {
     TooManyEvents(u64),
 }
 
+impl Failure {
+    /// Stable machine-readable kind name — the single source for every
+    /// JSON emitter (campaign reports, the isolation wire protocol).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Failure::Deadlock => "deadlock",
+            Failure::Panic(_) => "panic",
+            Failure::TooManyEvents(_) => "too-many-events",
+        }
+    }
+}
+
 impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -13,10 +13,11 @@
 //! recursive-descent JSON reader — enough to load the reports this
 //! workspace's own emitter produces (any conforming RFC 8259 document
 //! parses). [`BaselineSummary`] extracts the comparable surface from
-//! `c11campaign/v2` **and** `/v3` canonical documents (and the
+//! `c11campaign/v2`, `/v3`, **and** `/v4` canonical documents (and the
 //! `--json` full form, which wraps the canonical object under a
-//! `"campaign"` key): aggregate detection rates plus the per-strategy
-//! columns.
+//! `"campaign"` key): aggregate detection rates, the per-strategy
+//! columns, and — for v4 — the crash count. The schema family is
+//! documented field-by-field in `docs/SCHEMA.md`.
 
 use std::collections::BTreeMap;
 
@@ -282,7 +283,8 @@ pub struct StrategyRates {
 /// diffs between two runs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BaselineSummary {
-    /// Schema of the source document (`c11campaign/v2` or `/v3`).
+    /// Schema of the source document (`c11campaign/v2`, `/v3`, or
+    /// `/v4`).
     pub schema: String,
     /// Base seed of the campaign.
     pub base_seed: u64,
@@ -294,14 +296,17 @@ pub struct BaselineSummary {
     pub race_detection_rate: f64,
     /// Aggregate bug detection rate.
     pub bug_detection_rate: f64,
+    /// Executions that crashed their worker process (v4; `0` for v2/v3
+    /// documents, which predate crash accounting).
+    pub crashes: u64,
     /// Per-strategy columns keyed by strategy spec.
     pub per_strategy: BTreeMap<String, StrategyRates>,
 }
 
 impl BaselineSummary {
-    /// Extracts the summary from a canonical `c11campaign/v2` or `/v3`
-    /// JSON document, or from the `--json` full form (which wraps the
-    /// canonical object under a `"campaign"` key).
+    /// Extracts the summary from a canonical `c11campaign/v2`, `/v3`,
+    /// or `/v4` JSON document, or from the `--json` full form (which
+    /// wraps the canonical object under a `"campaign"` key).
     pub fn parse(text: &str) -> Result<BaselineSummary, String> {
         let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
         // Unwrap the full form's {"campaign": {...}, "timing": {...}}.
@@ -310,9 +315,12 @@ impl BaselineSummary {
             .get("schema")
             .and_then(JsonValue::as_str)
             .ok_or("missing `schema` field")?;
-        if !matches!(schema, "c11campaign/v2" | "c11campaign/v3") {
+        if !matches!(
+            schema,
+            "c11campaign/v2" | "c11campaign/v3" | "c11campaign/v4"
+        ) {
             return Err(format!(
-                "unsupported schema `{schema}` (expected c11campaign/v2 or c11campaign/v3)"
+                "unsupported schema `{schema}` (expected c11campaign/v2, v3, or v4)"
             ));
         }
         let u64_field = |key: &str| {
@@ -362,6 +370,8 @@ impl BaselineSummary {
             executions: u64_field("executions")?,
             race_detection_rate: f64_field("race_detection_rate")?,
             bug_detection_rate: f64_field("bug_detection_rate")?,
+            // v2/v3 documents predate crash accounting: default 0.
+            crashes: doc.get("crashes").and_then(JsonValue::as_u64).unwrap_or(0),
             per_strategy,
         })
     }
@@ -438,6 +448,12 @@ impl BaselineDiff {
                 "execution budgets differ (baseline {}, current {}): rates are \
                  compared, not counts",
                 baseline.executions, current.executions
+            ));
+        }
+        if current.crashes != baseline.crashes {
+            notes.push(format!(
+                "crash counts differ (baseline {}, current {})",
+                baseline.crashes, current.crashes
             ));
         }
         for (spec, base) in &baseline.per_strategy {
@@ -548,7 +564,8 @@ mod tests {
                 c11tester_workloads::ds::rwlock_buggy::run_buggy()
             });
         let canonical = BaselineSummary::parse(&report.canonical_json()).expect("parses");
-        assert_eq!(canonical.schema, "c11campaign/v2");
+        assert_eq!(canonical.schema, "c11campaign/v4");
+        assert_eq!(canonical.crashes, 0);
         assert_eq!(canonical.base_seed, 0xB5);
         assert_eq!(canonical.executions, 24);
         assert_eq!(canonical.strategy, "random:1,pct2:1");
@@ -574,6 +591,7 @@ mod tests {
             executions: 100,
             race_detection_rate: 0.8,
             bug_detection_rate: 0.8,
+            crashes: 0,
             per_strategy: [
                 (
                     "random".to_string(),
@@ -630,5 +648,33 @@ mod tests {
         assert!(err.contains("unsupported schema"), "{err}");
         let err = BaselineSummary::parse(r#"{"executions":3}"#).unwrap_err();
         assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn pre_crash_schemas_still_parse_with_zero_crashes() {
+        // A literal v2 document (the pre-v4 canonical shape, no
+        // `crashes` scalar): saved baselines from older runs must keep
+        // loading after the v4 bump.
+        let v2 = r#"{"schema":"c11campaign/v2","base_seed":7,"policy":"C11Tester",
+            "strategy":"random:1","budget":{"max_executions":4,"deadline_secs":null,
+            "stop_on_first_bug":false},"stop_reason":"budget-exhausted",
+            "executions":4,"executions_with_race":2,"executions_with_bug":2,
+            "race_detection_rate":0.5,"bug_detection_rate":0.5,
+            "per_strategy":[{"strategy":"random","executions":4,
+            "executions_with_race":2,"executions_with_bug":2,
+            "race_detection_rate":0.5,"bug_detection_rate":0.5,
+            "distinct_races":1}],"distinct_races":[],"failures":[]}"#;
+        let summary = BaselineSummary::parse(v2).expect("v2 documents stay readable");
+        assert_eq!(summary.schema, "c11campaign/v2");
+        assert_eq!(summary.crashes, 0);
+        assert_eq!(summary.executions, 4);
+        // And a crash-count mismatch is surfaced as a note, not a
+        // regression.
+        let mut v4 = summary.clone();
+        v4.schema = "c11campaign/v4".to_string();
+        v4.crashes = 3;
+        let diff = BaselineDiff::compare(&v4, &summary, 0.05);
+        assert!(!diff.regressed());
+        assert!(diff.notes.iter().any(|n| n.contains("crash counts differ")));
     }
 }

@@ -21,6 +21,7 @@
 //! whole trace (and its canonical JSON) is byte-identical across
 //! worker counts.
 
+use crate::exec::CrashRecord;
 use crate::json;
 use crate::{CampaignBudget, StopReason};
 use c11tester::TestReport;
@@ -39,6 +40,9 @@ pub struct EpochRecord {
     /// The epoch's aggregate (including its per-strategy ledger),
     /// identical to a serial run of the same index range.
     pub aggregate: TestReport,
+    /// Executions of this epoch that killed their worker process,
+    /// sorted by index. Always empty for in-process epochs.
+    pub crashes: Vec<CrashRecord>,
 }
 
 impl EpochRecord {
@@ -110,6 +114,16 @@ impl EpochTrace {
     pub fn mix_trajectory(&self) -> Vec<&str> {
         self.records.iter().map(|r| r.mix.as_str()).collect()
     }
+
+    /// Every crash record across all epochs, in index order (epochs
+    /// cover disjoint ascending index ranges, so concatenation is
+    /// already sorted).
+    pub fn crash_records(&self) -> Vec<CrashRecord> {
+        self.records
+            .iter()
+            .flat_map(|r| r.crashes.iter().cloned())
+            .collect()
+    }
 }
 
 impl std::fmt::Display for EpochTrace {
@@ -128,7 +142,7 @@ impl std::fmt::Display for EpochTrace {
             cumulative_bugs += r.aggregate.executions_with_bug;
             writeln!(
                 f,
-                "  epoch {:>3} [{}..{}): mix {} — {}/{} with bugs (cum {})",
+                "  epoch {:>3} [{}..{}): mix {} — {}/{} with bugs (cum {}){}",
                 r.epoch,
                 r.start_index,
                 r.end_index(),
@@ -136,6 +150,11 @@ impl std::fmt::Display for EpochTrace {
                 r.aggregate.executions_with_bug,
                 r.aggregate.executions,
                 cumulative_bugs,
+                if r.crashes.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} crash(es)", r.crashes.len())
+                },
             )?;
         }
         write!(f, "{}", self.aggregate)
@@ -157,6 +176,7 @@ mod tests {
             start_index: 32,
             mix: "random:1".to_string(),
             aggregate,
+            crashes: Vec::new(),
         };
         assert_eq!(record.executions(), 16);
         assert_eq!(record.end_index(), 48);
@@ -169,6 +189,7 @@ mod tests {
             start_index: epoch * 8,
             mix: mix.to_string(),
             aggregate: TestReport::default(),
+            crashes: Vec::new(),
         };
         let trace = EpochTrace {
             base_seed: 7,

@@ -9,41 +9,19 @@
 //! on.
 
 use crate::epoch::EpochTrace;
+use crate::exec::CrashRecord;
+use crate::wire::{access_kind_name, esc, race_kind_name};
 use crate::{CampaignBudget, CampaignReport};
-use c11tester::{AccessKind, DedupHistory, Failure, StrategyLedger, TestReport};
+use c11tester::{DedupHistory, Failure, StrategyLedger, TestReport};
 use c11tester_core::ExecStats;
 
-/// Escapes a string per RFC 8259.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn access_kind(kind: AccessKind) -> &'static str {
-    match kind {
-        AccessKind::NonAtomic => "non-atomic",
-        AccessKind::Atomic => "atomic",
-        AccessKind::Volatile => "volatile",
-    }
-}
-
 fn failure(f: &Failure) -> (&'static str, String) {
-    match f {
-        Failure::Deadlock => ("deadlock", "all live threads blocked".to_string()),
-        Failure::Panic(msg) => ("panic", msg.clone()),
-        Failure::TooManyEvents(n) => ("too-many-events", format!("{n} events")),
-    }
+    let msg = match f {
+        Failure::Deadlock => "all live threads blocked".to_string(),
+        Failure::Panic(msg) => msg.clone(),
+        Failure::TooManyEvents(n) => format!("{n} events"),
+    };
+    (f.kind_name(), msg)
 }
 
 fn stats(s: &ExecStats) -> String {
@@ -91,8 +69,8 @@ fn push_budget(out: &mut String, budget: &CampaignBudget) {
 }
 
 /// Emits the aggregate's scalar detection block:
-/// `,"executions":…,…,"bug_detection_rate":…`.
-fn push_detection_scalars(out: &mut String, a: &TestReport) {
+/// `,"executions":…,…,"bug_detection_rate":…,"crashes":…`.
+fn push_detection_scalars(out: &mut String, a: &TestReport, crashes: usize) {
     out.push_str(&format!(",\"executions\":{}", a.executions));
     out.push_str(&format!(
         ",\"executions_with_race\":{}",
@@ -110,6 +88,29 @@ fn push_detection_scalars(out: &mut String, a: &TestReport) {
         ",\"bug_detection_rate\":{}",
         a.bug_detection_rate()
     ));
+    out.push_str(&format!(",\"crashes\":{crashes}"));
+}
+
+/// Emits `,"crash_records":[…]` — one row per execution that killed
+/// its worker process (v4).
+fn push_crash_records(out: &mut String, crashes: &[CrashRecord]) {
+    out.push_str(",\"crash_records\":[");
+    for (i, c) in crashes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"execution\":{},\"strategy\":\"{}\",\"kind\":\"{}\",\"code\":{}}}",
+            c.index,
+            esc(&c.strategy),
+            c.kind.name(),
+            c.kind
+                .code()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        ));
+    }
+    out.push(']');
 }
 
 /// Emits `,"per_strategy":[…]` — one column row per strategy spec.
@@ -153,11 +154,11 @@ fn push_distinct_races(out: &mut String, races: &DedupHistory) {
                 "\"prior_atomic\":{},\"first_execution\":{},\"occurrences\":{}}}"
             ),
             esc(&rep.label),
-            rep.kind,
+            race_kind_name(rep.kind),
             rep.obj.0,
             rep.offset,
             rep.current_tid.index(),
-            access_kind(rep.current_kind),
+            access_kind_name(rep.current_kind),
             rep.prior_tid.index(),
             rep.prior_atomic,
             entry.first_execution,
@@ -201,21 +202,25 @@ fn json_opt_u64(v: Option<u64>) -> String {
 
 /// The canonical (worker-count independent) object.
 ///
-/// Schema `c11campaign/v2` adds the `per_strategy` column array (one
-/// row per strategy spec that drove at least one execution, sorted by
-/// spec) on top of v1's aggregate; `strategy` became the canonical
-/// spec / mix label instead of a Debug rendering.
+/// Schema history: `c11campaign/v2` added the `per_strategy` column
+/// array (one row per strategy spec that drove at least one execution,
+/// sorted by spec) on top of v1's aggregate, and made `strategy` the
+/// canonical spec / mix label instead of a Debug rendering.
+/// `c11campaign/v4` adds the `crashes` scalar and the `crash_records`
+/// array (fork-isolated campaigns record a worker-process death per
+/// crashing execution; in-process campaigns always emit `0` / `[]`).
 pub(crate) fn canonical(r: &CampaignReport) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\"schema\":\"c11campaign/v2\"");
+    out.push_str("{\"schema\":\"c11campaign/v4\"");
     out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
     out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
     out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
     push_budget(&mut out, &r.budget);
     out.push_str(&format!(",\"stop_reason\":\"{}\"", r.stop_reason.name()));
     let a = &r.aggregate;
-    push_detection_scalars(&mut out, a);
+    push_detection_scalars(&mut out, a, r.crashes.len());
     push_per_strategy(&mut out, &a.per_strategy);
+    push_crash_records(&mut out, &r.crashes);
     push_aggregate_tail(&mut out, a);
     out.push('}');
     out
@@ -223,8 +228,8 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
 
 /// The canonical epoch-trace object for adaptive campaigns.
 ///
-/// Schema `c11campaign/v3` keeps every v2 aggregate field (same names,
-/// same order — a v2 reader sees a superset) and adds:
+/// Schema `c11campaign/v3` kept every v2 aggregate field (same names,
+/// same order — a v2 reader sees a superset) and added:
 ///
 /// * an `adaptive` header (`policy`, `epoch_len`, `initial_mix`,
 ///   `epochs`);
@@ -233,9 +238,14 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
 /// * an `epochs` array — per epoch: the mix that drove it, its
 ///   detection scalars, its per-strategy columns, and the running
 ///   `cumulative` totals after the epoch.
+///
+/// `c11campaign/v4` adds crash accounting exactly as in the plain
+/// report: a `crashes` scalar per epoch row and at the top level, plus
+/// the top-level `crash_records` array (the epochs' records
+/// concatenated in index order).
 pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\"schema\":\"c11campaign/v3\"");
+    out.push_str("{\"schema\":\"c11campaign/v4\"");
     out.push_str(&format!(",\"base_seed\":{}", t.base_seed));
     out.push_str(&format!(",\"policy\":\"{}\"", esc(t.policy)));
     out.push_str(&format!(",\"strategy\":\"{}\"", esc(&t.initial_mix)));
@@ -248,7 +258,8 @@ pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
     ));
     push_budget(&mut out, &t.budget);
     out.push_str(&format!(",\"stop_reason\":\"{}\"", t.stop_reason.name()));
-    push_detection_scalars(&mut out, &t.aggregate);
+    let all_crashes = t.crash_records();
+    push_detection_scalars(&mut out, &t.aggregate, all_crashes.len());
     out.push_str(&format!(
         ",\"first_bug_execution\":{}",
         json_opt_u64(t.aggregate.first_bug_execution())
@@ -266,7 +277,7 @@ pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
             rec.start_index,
             esc(&rec.mix)
         ));
-        push_detection_scalars(&mut out, &rec.aggregate);
+        push_detection_scalars(&mut out, &rec.aggregate, rec.crashes.len());
         push_per_strategy(&mut out, &rec.aggregate.per_strategy);
         out.push_str(&format!(
             concat!(
@@ -284,6 +295,7 @@ pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
     }
     out.push(']');
     push_per_strategy(&mut out, &t.aggregate.per_strategy);
+    push_crash_records(&mut out, &all_crashes);
     push_aggregate_tail(&mut out, &t.aggregate);
     out.push('}');
     out
@@ -316,9 +328,11 @@ mod tests {
         let full = report.to_json();
         // Structure smoke checks (no JSON parser in the offline env).
         assert!(canonical.starts_with('{') && canonical.ends_with('}'));
-        assert!(canonical.contains("\"schema\":\"c11campaign/v2\""));
+        assert!(canonical.contains("\"schema\":\"c11campaign/v4\""));
         assert!(canonical.contains("\"executions\":20"));
         assert!(canonical.contains("\"per_strategy\":[{\"strategy\":\"random\""));
+        assert!(canonical.contains("\"crashes\":0"));
+        assert!(canonical.contains("\"crash_records\":[]"));
         assert!(canonical.contains("\"distinct_races\":["));
         assert!(!canonical.contains("wall_secs"));
         assert!(full.contains("\"campaign\":{"));
@@ -357,18 +371,29 @@ mod tests {
                     start_index: 0,
                     mix: "random:1,pct2:1".to_string(),
                     aggregate: e0.aggregate,
+                    crashes: Vec::new(),
                 },
                 EpochRecord {
                     epoch: 1,
                     start_index: 10,
                     mix: "random:1,pct2:3".to_string(),
                     aggregate: e1.aggregate,
+                    crashes: vec![crate::CrashRecord {
+                        index: 13,
+                        strategy: "pct2".to_string(),
+                        kind: crate::CrashKind::Signal(11),
+                    }],
                 },
             ],
             aggregate,
         };
         let json = trace.canonical_json();
-        assert!(json.starts_with("{\"schema\":\"c11campaign/v3\""));
+        assert!(json.starts_with("{\"schema\":\"c11campaign/v4\""));
+        assert!(json.contains(
+            "\"crash_records\":[{\"execution\":13,\"strategy\":\"pct2\",\
+             \"kind\":\"signal\",\"code\":11}]"
+        ));
+        assert!(json.contains("\"crashes\":1"));
         assert!(json.contains(
             "\"adaptive\":{\"policy\":\"ucb1\",\"epoch_len\":10,\
              \"initial_mix\":\"random:1,pct2:1\",\"epochs\":2}"
@@ -382,11 +407,5 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
-    }
-
-    #[test]
-    fn escaping_handles_quotes_and_control_chars() {
-        assert_eq!(super::esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(super::esc("\u{1}"), "\\u0001");
     }
 }

@@ -35,6 +35,14 @@
 //! and the report gains per-strategy detection columns
 //! ([`CampaignReport::per_strategy`]).
 //!
+//! Campaigns can also run **fork-isolated**: the [`Executor`]
+//! abstraction separates what to explore from where executions run.
+//! [`InProcess`] is the thread-pool backend above; the fork server in
+//! the `c11tester-isolation` crate runs batches in child processes so
+//! a segfaulting program under test becomes a [`CrashRecord`] in
+//! [`CampaignReport::crashes`] instead of killing the campaign
+//! (canonical JSON schema `c11campaign/v4`; see `docs/SCHEMA.md`).
+//!
 //! ```
 //! use c11tester_campaign::{Campaign, CampaignBudget};
 //! use c11tester::{Config, Model};
@@ -53,15 +61,18 @@
 //! assert_eq!(report.aggregate, serial);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
 mod epoch;
+mod exec;
 mod json;
 pub mod targets;
+pub mod wire;
 
 pub use epoch::{EpochRecord, EpochTrace};
+pub use exec::{CrashKind, CrashRecord, Executor, InProcess, RangeOutcome};
 
 use c11tester::{Config, ExecutionReport, Model, TestReport};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -154,6 +165,11 @@ pub struct CampaignReport {
     pub stop_reason: StopReason,
     /// Order-independent aggregate over all completed executions.
     pub aggregate: TestReport,
+    /// Executions that killed their worker process instead of
+    /// completing, sorted by index. Always empty for in-process
+    /// campaigns; populated by fork-isolated runs
+    /// ([`Campaign::run_target`] with a fork-server [`Executor`]).
+    pub crashes: Vec<CrashRecord>,
     /// Number of worker threads used (not part of the canonical form).
     pub workers: usize,
     /// Wall-clock duration (not part of the canonical form).
@@ -221,6 +237,16 @@ impl std::fmt::Display for CampaignReport {
             self.strategy,
             self.stop_reason.name(),
         )?;
+        if !self.crashes.is_empty() {
+            writeln!(
+                f,
+                "crashes: {} execution(s) killed their worker",
+                self.crashes.len()
+            )?;
+            for c in &self.crashes {
+                writeln!(f, "  {c}")?;
+            }
+        }
         write!(f, "{}", self.aggregate)
     }
 }
@@ -364,6 +390,7 @@ impl Campaign {
             budget: budget.clone(),
             stop_reason,
             aggregate,
+            crashes: Vec::new(),
             workers,
             wall_time: start.elapsed(),
         }

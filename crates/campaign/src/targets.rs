@@ -2,8 +2,13 @@
 //! `c11tester-workloads`, addressable by CLI-friendly names.
 //!
 //! Covers the Table-2 data-structure suite, the §8.1 injected-bug
-//! benchmarks (buggy *and* fixed variants), and the Table-1 application
-//! simulations.
+//! benchmarks (buggy *and* fixed variants), the Table-1 application
+//! simulations, and the crash-prone isolation targets (group `crash`
+//! — run those under `--isolate` only; see `c11tester-isolation`).
+//!
+//! Named targets are also the unit of **process isolation**: a fork
+//! server child cannot be handed a closure, so `c11campaign --worker`
+//! re-resolves the target by name in the child via [`find`].
 
 use c11tester_workloads::{ds, AppBench, DsBench};
 
@@ -74,6 +79,20 @@ pub fn all() -> Vec<Target> {
         description: "reader-writer lock with correct orderings (control for §8.1)",
         body: Body::Free(ds::rwlock_buggy::run_fixed),
     });
+    targets.push(Target {
+        name: "null-deref-buggy",
+        group: "crash",
+        description: "relaxed message passing that segfaults when the race manifests \
+                      (run under --isolate)",
+        body: Body::Free(ds::crashy::run_null_deref),
+    });
+    targets.push(Target {
+        name: "spin-forever",
+        group: "crash",
+        description: "execution that wedges forever without model ops \
+                      (run under --isolate --exec-timeout)",
+        body: Body::Free(ds::crashy::run_spin_forever),
+    });
     for (a, name) in [
         (AppBench::Silo, "silo"),
         (AppBench::Gdax, "gdax"),
@@ -122,6 +141,7 @@ mod tests {
         let group_count = |g: &str| targets.iter().filter(|t| t.group == g).count();
         assert_eq!(group_count("table2"), 7);
         assert_eq!(group_count("section8.1"), 4);
+        assert_eq!(group_count("crash"), 2);
         assert_eq!(group_count("table1"), 5);
     }
 

@@ -7,7 +7,8 @@
 //! schema or to the model's execution streams fails loudly here —
 //! regenerate the golden file (instructions below) only when the
 //! change is intentional, and bump the schema version when the shape
-//! changes (this file pins `c11campaign/v2`).
+//! changes (this file pins `c11campaign/v4`; see `docs/SCHEMA.md` for
+//! the full version history).
 //!
 //! Regenerate with:
 //!
@@ -61,11 +62,13 @@ fn golden_report_pins_the_schema_and_columns() {
     // accidentally drops columns is caught even if both sides agree.
     let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
     for needle in [
-        "\"schema\":\"c11campaign/v2\"",
+        "\"schema\":\"c11campaign/v4\"",
         &format!("\"base_seed\":{SEED}"),
         &format!("\"strategy\":\"{MIX}\""),
         &format!("\"executions\":{EXECUTIONS}"),
         "\"per_strategy\":[{\"strategy\":\"pct2\"",
+        "\"crashes\":0",
+        "\"crash_records\":[]",
         "\"distinct_races\":[",
         "\"race_detection_rate\":",
         "\"stats\":{",

@@ -1,0 +1,377 @@
+//! The parent↔child wire protocol: length-prefixed canonical JSON
+//! frames.
+//!
+//! A fork-server child streams one frame per completed execution plus
+//! a terminal `done` frame over its stdout pipe. Frames are
+//! **length-prefixed** (`<decimal byte length>\n<payload>\n`) so the
+//! parent can distinguish a cleanly terminated stream from one cut
+//! mid-write by a dying child, and **canonical** — objects are emitted
+//! in fixed field order by a hand-rolled emitter, exactly like the
+//! campaign report JSON (the offline build has no serde).
+//!
+//! The `exec` frame is a *lossless* encoding of
+//! [`c11tester::ExecutionReport`]: every field that feeds
+//! [`c11tester::TestReport::absorb`] round-trips bit-for-bit, which is
+//! what makes a fork-isolated campaign aggregate byte-identical to an
+//! in-process one. The parent parses frames with the dependency-free
+//! [`JsonValue`] reader from `c11tester_campaign::baseline`, and the
+//! string tables (escaping, enum names) are shared with the canonical
+//! report emitter via [`c11tester_campaign::wire`] so the two can
+//! never drift apart.
+//!
+//! **Caveat**: frames travel on the child's **stdout**. The built-in
+//! workloads never write to stdout (the model API has no output
+//! surface), but a target that did would corrupt the framing; the
+//! parent surfaces that as a protocol-violation error (bounded by
+//! [`MAX_FRAME_LEN`]) rather than silently mis-aggregating.
+
+use c11tester::{ExecutionReport, Failure, RaceReport};
+use c11tester_campaign::baseline::JsonValue;
+use c11tester_campaign::wire::{
+    access_kind_name, esc, parse_access_kind, parse_race_kind, race_kind_name,
+};
+use c11tester_campaign::StopReason;
+use c11tester_core::{ExecStats, MoGraphStats, ObjId, ThreadId};
+use std::io::{BufRead, Write};
+
+/// Upper bound on a single frame's payload. Real exec frames are a
+/// few KB; the cap keeps a corrupted length line (e.g. a target that
+/// wrote to the shared stdout) from triggering a huge allocation in
+/// the parent.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame and flushes, so the parent sees
+/// every completed execution even if the *next* one kills the child.
+pub fn write_frame(out: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    write!(out, "{}\n{}\n", payload.len(), payload)?;
+    out.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (the
+/// child closed its pipe *between* frames); a stream cut mid-frame is
+/// an error, which the pool treats like the crash it accompanies.
+pub fn read_frame(input: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut len_line = String::new();
+    if input.read_line(&mut len_line)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = len_line
+        .trim_end()
+        .parse()
+        .map_err(|_| bad_data(format!("bad frame length line {len_line:?}")))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad_data(format!(
+            "frame length {len} exceeds {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len + 1]; // + trailing newline
+    std::io::Read::read_exact(input, &mut payload)?;
+    if payload.pop() != Some(b'\n') {
+        return Err(bad_data("frame missing trailing newline".to_string()));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| bad_data("frame payload is not UTF-8".to_string()))
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------
+// Frame payloads
+// ---------------------------------------------------------------------
+
+/// One decoded frame from a worker child.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A completed execution's full report (boxed: a report is two
+    /// orders of magnitude larger than the `done` variant).
+    Exec(Box<ExecutionReport>),
+    /// The batch finished; no further frames follow.
+    Done(StopReason),
+}
+
+/// Encodes an `exec` frame payload.
+pub fn exec_payload(report: &ExecutionReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"frame\":\"exec\"");
+    out.push_str(&format!(",\"execution\":{}", report.execution_index));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&report.strategy)));
+    out.push_str(",\"races\":[");
+    for (i, r) in report.races.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"kind\":\"{}\",\"obj\":{},\"offset\":{},",
+                "\"current_tid\":{},\"current_kind\":\"{}\",\"prior_tid\":{},",
+                "\"prior_atomic\":{}}}"
+            ),
+            esc(&r.label),
+            race_kind_name(r.kind),
+            r.obj.0,
+            r.offset,
+            r.current_tid.index(),
+            access_kind_name(r.current_kind),
+            r.prior_tid.index(),
+            r.prior_atomic,
+        ));
+    }
+    out.push(']');
+    match &report.failure {
+        None => out.push_str(",\"failure\":null"),
+        Some(f) => {
+            let (message, events) = match f {
+                Failure::Deadlock => (String::new(), String::from("null")),
+                Failure::Panic(msg) => (esc(msg), String::from("null")),
+                Failure::TooManyEvents(n) => (String::new(), n.to_string()),
+            };
+            out.push_str(&format!(
+                ",\"failure\":{{\"kind\":\"{}\",\"message\":\"{message}\",\"events\":{events}}}",
+                f.kind_name(),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        ",\"elided_volatile_races\":{}",
+        report.elided_volatile_races
+    ));
+    let s = &report.stats;
+    out.push_str(&format!(
+        concat!(
+            ",\"stats\":{{\"atomic_loads\":{},\"atomic_stores\":{},\"rmws\":{},",
+            "\"fences\":{},\"sync_ops\":{},\"normal_accesses\":{},",
+            "\"volatile_accesses\":{},\"candidates_rejected\":{},",
+            "\"pruned_stores\":{},\"pruned_loads\":{},\"pruned_fences\":{},",
+            "\"prune_passes\":{},",
+            "\"mograph\":{{\"edges_added\":{},\"edges_redundant\":{},",
+            "\"merges\":{},\"rmw_edges\":{}}}}}"
+        ),
+        s.atomic_loads,
+        s.atomic_stores,
+        s.rmws,
+        s.fences,
+        s.sync_ops,
+        s.normal_accesses,
+        s.volatile_accesses,
+        s.candidates_rejected,
+        s.pruned_stores,
+        s.pruned_loads,
+        s.pruned_fences,
+        s.prune_passes,
+        s.mograph.edges_added,
+        s.mograph.edges_redundant,
+        s.mograph.merges,
+        s.mograph.rmw_edges,
+    ));
+    out.push('}');
+    out
+}
+
+/// Encodes a `done` frame payload.
+pub fn done_payload(stop_reason: StopReason) -> String {
+    format!(
+        "{{\"frame\":\"done\",\"stop_reason\":\"{}\"}}",
+        stop_reason.name()
+    )
+}
+
+fn parse_stop_reason(name: &str) -> Result<StopReason, String> {
+    match name {
+        "budget-exhausted" => Ok(StopReason::BudgetExhausted),
+        "first-bug" => Ok(StopReason::FirstBug),
+        "deadline" => Ok(StopReason::Deadline),
+        other => Err(format!("unknown stop reason `{other}`")),
+    }
+}
+
+fn str_field<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or(format!("missing string `{key}`"))
+}
+
+fn u64_field(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or(format!("missing number `{key}`"))
+}
+
+fn bool_field(doc: &JsonValue, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool `{key}`")),
+    }
+}
+
+fn parse_stats(doc: &JsonValue) -> Result<ExecStats, String> {
+    let mg = doc.get("mograph").ok_or("missing `mograph`")?;
+    Ok(ExecStats {
+        atomic_loads: u64_field(doc, "atomic_loads")?,
+        atomic_stores: u64_field(doc, "atomic_stores")?,
+        rmws: u64_field(doc, "rmws")?,
+        fences: u64_field(doc, "fences")?,
+        sync_ops: u64_field(doc, "sync_ops")?,
+        normal_accesses: u64_field(doc, "normal_accesses")?,
+        volatile_accesses: u64_field(doc, "volatile_accesses")?,
+        candidates_rejected: u64_field(doc, "candidates_rejected")?,
+        pruned_stores: u64_field(doc, "pruned_stores")?,
+        pruned_loads: u64_field(doc, "pruned_loads")?,
+        pruned_fences: u64_field(doc, "pruned_fences")?,
+        prune_passes: u64_field(doc, "prune_passes")?,
+        mograph: MoGraphStats {
+            edges_added: u64_field(mg, "edges_added")?,
+            edges_redundant: u64_field(mg, "edges_redundant")?,
+            merges: u64_field(mg, "merges")?,
+            rmw_edges: u64_field(mg, "rmw_edges")?,
+        },
+    })
+}
+
+fn parse_failure(doc: &JsonValue) -> Result<Option<Failure>, String> {
+    let failure = doc.get("failure").ok_or("missing `failure`")?;
+    if *failure == JsonValue::Null {
+        return Ok(None);
+    }
+    let kind = str_field(failure, "kind")?;
+    Ok(Some(match kind {
+        "deadlock" => Failure::Deadlock,
+        "panic" => Failure::Panic(str_field(failure, "message")?.to_string()),
+        "too-many-events" => Failure::TooManyEvents(u64_field(failure, "events")?),
+        other => return Err(format!("unknown failure kind `{other}`")),
+    }))
+}
+
+/// Decodes one frame payload.
+pub fn parse_frame(payload: &str) -> Result<Frame, String> {
+    let doc = JsonValue::parse(payload).map_err(|e| format!("invalid frame JSON: {e}"))?;
+    match str_field(&doc, "frame")? {
+        "done" => Ok(Frame::Done(parse_stop_reason(str_field(
+            &doc,
+            "stop_reason",
+        )?)?)),
+        "exec" => {
+            let mut races = Vec::new();
+            for row in doc
+                .get("races")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing `races` array")?
+            {
+                races.push(RaceReport {
+                    label: str_field(row, "label")?.to_string(),
+                    obj: ObjId(u64_field(row, "obj")?),
+                    offset: u64_field(row, "offset")? as u32,
+                    kind: parse_race_kind(str_field(row, "kind")?)?,
+                    current_tid: ThreadId::from_index(u64_field(row, "current_tid")? as usize),
+                    current_kind: parse_access_kind(str_field(row, "current_kind")?)?,
+                    prior_tid: ThreadId::from_index(u64_field(row, "prior_tid")? as usize),
+                    prior_atomic: bool_field(row, "prior_atomic")?,
+                });
+            }
+            Ok(Frame::Exec(Box::new(ExecutionReport {
+                execution_index: u64_field(&doc, "execution")?,
+                strategy: str_field(&doc, "strategy")?.to_string(),
+                races,
+                failure: parse_failure(&doc)?,
+                stats: parse_stats(doc.get("stats").ok_or("missing `stats`")?)?,
+                elided_volatile_races: u64_field(&doc, "elided_volatile_races")?,
+            })))
+        }
+        other => Err(format!("unknown frame type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11tester::{Config, Model, TestReport};
+
+    #[test]
+    fn framing_round_trips_and_detects_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").expect("write");
+        write_frame(&mut buf, "x").expect("write");
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).expect("frame"), Some("{\"a\":1}".into()));
+        assert_eq!(read_frame(&mut r).expect("frame"), Some("x".into()));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+        // A stream cut mid-frame errors instead of returning a frame.
+        let cut = &buf[..buf.len() - 3];
+        let mut r = std::io::BufReader::new(cut);
+        assert!(read_frame(&mut r).is_ok());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn exec_frames_round_trip_real_reports_losslessly() {
+        // Run real executions (some racy) and require the decoded
+        // report to absorb identically to the original — the exact
+        // property fork-isolated byte-identity rests on.
+        let mut model = Model::new(Config::new().with_seed(0xF0));
+        let mut direct = TestReport::default();
+        let mut wired = TestReport::default();
+        for _ in 0..10 {
+            let report = model.run(|| {
+                c11tester_workloads::ds::rwlock_buggy::run_buggy();
+            });
+            let payload = exec_payload(&report);
+            let Frame::Exec(decoded) = parse_frame(&payload).expect("parses") else {
+                panic!("exec frame decoded as done");
+            };
+            assert_eq!(decoded.execution_index, report.execution_index);
+            assert_eq!(decoded.strategy, report.strategy);
+            assert_eq!(decoded.races, report.races);
+            assert_eq!(decoded.failure, report.failure);
+            assert_eq!(decoded.stats, report.stats);
+            direct.absorb(&report);
+            wired.absorb(&decoded);
+        }
+        assert_eq!(direct, wired);
+        assert!(direct.executions_with_race > 0, "workload should race");
+    }
+
+    #[test]
+    fn failure_variants_round_trip() {
+        for failure in [
+            Failure::Deadlock,
+            Failure::Panic("assert \"x\" failed\n".to_string()),
+            Failure::TooManyEvents(12345),
+        ] {
+            let report = ExecutionReport {
+                execution_index: 9,
+                strategy: "pct2".to_string(),
+                races: Vec::new(),
+                failure: Some(failure.clone()),
+                stats: Default::default(),
+                elided_volatile_races: 2,
+            };
+            let Frame::Exec(decoded) = parse_frame(&exec_payload(&report)).expect("parses") else {
+                panic!("wrong frame type");
+            };
+            assert_eq!(decoded.failure, Some(failure));
+            assert_eq!(decoded.elided_volatile_races, 2);
+        }
+    }
+
+    #[test]
+    fn done_frames_round_trip_every_stop_reason() {
+        for reason in [
+            StopReason::BudgetExhausted,
+            StopReason::FirstBug,
+            StopReason::Deadline,
+        ] {
+            let Frame::Done(decoded) = parse_frame(&done_payload(reason)).expect("parses") else {
+                panic!("wrong frame type");
+            };
+            assert_eq!(decoded, reason);
+        }
+        assert!(parse_frame("{\"frame\":\"nope\"}").is_err());
+        assert!(parse_frame("not json").is_err());
+    }
+}

@@ -117,7 +117,7 @@ impl SampleRange<f64> for Range<f64> {
     }
 }
 
-/// Named generators (subset: only [`StdRng`]).
+/// Named generators (subset: only [`rngs::StdRng`]).
 pub mod rngs {
     use super::{splitmix64, RngCore, SeedableRng};
 

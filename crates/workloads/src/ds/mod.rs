@@ -1,8 +1,10 @@
-//! Data-structure benchmarks: the CDSChecker suite used in Table 2 and
-//! the §8.1 injected-bug benchmarks.
+//! Data-structure benchmarks: the CDSChecker suite used in Table 2,
+//! the §8.1 injected-bug benchmarks, and the deliberately crash-prone
+//! isolation targets ([`crashy`]).
 
 pub mod barrier;
 pub mod chase_lev;
+pub mod crashy;
 pub mod dekker;
 pub mod linuxrwlocks;
 pub mod mcs_lock;
