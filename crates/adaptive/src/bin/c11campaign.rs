@@ -71,6 +71,14 @@ OPTIONS:
     --json                  emit the full JSON report instead of text
     --canonical             emit the canonical (worker-count independent)
                             JSON report — the format --baseline consumes
+    --alloc-stats           with --canonical: include the allocation
+                            diagnostics block (recycled-vs-fresh execution
+                            provisioning, clock-vector spills) inside
+                            stats. Off by default — the block depends on
+                            worker count and recycling, so it is excluded
+                            from the byte-identity contract and goldens.
+                            In-process campaigns only (rejected with
+                            --isolate: children do not report it)
     --list                  list available targets
     --help                  show this help
 ";
@@ -96,6 +104,7 @@ struct Args {
     deadline_secs: Option<f64>,
     json: bool,
     canonical: bool,
+    alloc_stats: bool,
     list: bool,
 }
 
@@ -127,6 +136,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         deadline_secs: None,
         json: false,
         canonical: false,
+        alloc_stats: false,
         list: false,
     };
     while let Some(flag) = argv.next() {
@@ -204,6 +214,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--canonical" => args.canonical = true,
+            "--alloc-stats" => args.alloc_stats = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -220,6 +231,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.json && args.canonical {
         return Err("--json and --canonical are mutually exclusive".into());
+    }
+    if args.alloc_stats && !args.canonical {
+        return Err("--alloc-stats requires --canonical".into());
+    }
+    if args.alloc_stats && args.isolate {
+        // The fork-isolation wire protocol deliberately does not carry
+        // the per-process provisioning diagnostics; emitting an
+        // all-zero block would be misleading.
+        return Err(
+            "--alloc-stats is in-process only (child workers do not report \
+             provisioning diagnostics over the wire)"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -382,11 +406,12 @@ fn main() -> ExitCode {
         } else {
             campaign.run(&budget, move || target.run())
         };
-        (
-            report.to_string(),
-            report.to_json(),
-            report.canonical_json(),
-        )
+        let canonical = if args.alloc_stats {
+            report.canonical_json_with_alloc_stats()
+        } else {
+            report.canonical_json()
+        };
+        (report.to_string(), report.to_json(), canonical)
     } else {
         let mut campaign = Campaign::new(config);
         if let Some(w) = args.workers {
@@ -403,11 +428,12 @@ fn main() -> ExitCode {
         } else {
             campaign.run(&budget, move || target.run())
         };
-        (
-            report.to_string(),
-            report.to_json(),
-            report.canonical_json(),
-        )
+        let canonical = if args.alloc_stats {
+            report.canonical_json_with_alloc_stats()
+        } else {
+            report.canonical_json()
+        };
+        (report.to_string(), report.to_json(), canonical)
     };
 
     if args.canonical {

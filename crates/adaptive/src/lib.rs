@@ -362,6 +362,13 @@ impl AdaptiveReport {
         self.trace.canonical_json()
     }
 
+    /// The canonical trace plus the opt-in `alloc` diagnostics block
+    /// (`c11campaign --alloc-stats`); not covered by the byte-identity
+    /// contract.
+    pub fn canonical_json_with_alloc_stats(&self) -> String {
+        self.trace.canonical_json_with_alloc_stats()
+    }
+
     /// The full JSON form: the canonical trace plus campaign timing.
     pub fn to_json(&self) -> String {
         let secs = self.wall_time.as_secs_f64();

@@ -1,0 +1,96 @@
+//! End-to-end recycling determinism, driven through the real
+//! `c11campaign` binary.
+//!
+//! An in-process campaign worker recycles one `Execution` along its
+//! whole shard; a fork-isolated campaign with `--batch 1` puts every
+//! execution in a brand-new child process — maximally *fresh* state.
+//! Byte-identical canonical JSON between the two proves the recycled
+//! hot path is observationally invisible through the entire stack
+//! (engine, wire protocol, aggregation), at several worker counts.
+
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_c11campaign");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("c11campaign binary runs")
+}
+
+fn canonical(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "c11campaign {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("canonical JSON is UTF-8")
+}
+
+#[test]
+fn recycled_in_process_matches_fresh_per_execution_children() {
+    let base = [
+        "--target",
+        "rwlock-buggy",
+        "--executions",
+        "32",
+        "--seed",
+        "0xA110C",
+        "--canonical",
+    ];
+    // One in-process worker: executions 1..31 run on recycled state.
+    let mut recycled = base.to_vec();
+    recycled.extend(["--workers", "1"]);
+    let recycled = canonical(&recycled);
+    // --batch 1 forks a fresh child per execution: nothing recycled.
+    for workers in ["1", "4", "8"] {
+        let mut fresh = base.to_vec();
+        fresh.extend(["--isolate", "--batch", "1", "--workers", workers]);
+        assert_eq!(
+            canonical(&fresh),
+            recycled,
+            "fresh-per-execution children diverged from the recycled \
+             in-process campaign at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn alloc_stats_flag_requires_canonical_and_emits_block() {
+    let out = run(&["--target", "rwlock-buggy", "--alloc-stats"]);
+    assert!(
+        !out.status.success(),
+        "--alloc-stats without --canonical must be rejected"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--alloc-stats requires --canonical"));
+
+    // The wire protocol does not carry provisioning diagnostics, so
+    // the isolated combination is rejected instead of emitting an
+    // all-zero block.
+    let out = run(&[
+        "--target",
+        "rwlock-buggy",
+        "--isolate",
+        "--canonical",
+        "--alloc-stats",
+    ]);
+    assert!(
+        !out.status.success(),
+        "--alloc-stats with --isolate must be rejected"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("in-process only"));
+
+    let with = canonical(&[
+        "--target",
+        "rwlock-buggy",
+        "--executions",
+        "8",
+        "--workers",
+        "1",
+        "--canonical",
+        "--alloc-stats",
+    ]);
+    assert!(with.contains("\"alloc\":{\"fresh_executions\":1,\"recycled_executions\":7,"));
+}

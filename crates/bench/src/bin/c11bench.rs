@@ -1,0 +1,209 @@
+//! `c11bench` — the in-tree statistical benchmark harness.
+//!
+//! Measures campaign throughput (median ± IQR executions/second over
+//! repeated fixed-seed trials) on representative workload targets and
+//! writes the `c11bench/v1` report to `BENCH_campaign.json` at the
+//! repository root, establishing the performance trajectory future PRs
+//! are compared against. Every trial re-runs the identical campaign,
+//! so the harness simultaneously verifies the recycling determinism
+//! contract (byte-identical canonical JSON per trial).
+//!
+//! ```text
+//! c11bench                               # full run, writes BENCH_campaign.json
+//! c11bench --baseline-file old.json      # adds per-target speedup columns
+//! c11bench --smoke                       # tiny budget + schema/sanity gate (CI)
+//! c11bench --targets ms-queue,silo --trials 9
+//! ```
+
+use c11tester_bench::statbench::{
+    bench_target, parse_baseline_medians, render_json, validate, BenchConfig, DEFAULT_BENCH_TARGETS,
+};
+use c11tester_campaign::targets;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+c11bench — in-tree statistical benchmark harness (median + IQR execs/sec)
+
+USAGE:
+    c11bench [OPTIONS]
+
+OPTIONS:
+    --targets <a,b,c>       comma-separated target names (see `c11campaign
+                            --list`) [default: a representative litmus/ds/
+                            locks/app mix]
+    --executions <N>        executions per timed trial [default: 300]
+    --trials <N>            timed trials per target [default: 7]
+    --warmup <N>            untimed warmup trials per target [default: 2]
+    --workers <N>           campaign worker threads [default: 1 — fixed so
+                            numbers are comparable across hosts]
+    --seed <N>              base seed (decimal or 0x-hex) [default: 0xC11]
+    --out <FILE>            output path [default: BENCH_campaign.json]
+    --baseline-file <FILE>  previous c11bench/v1 JSON; adds baseline and
+                            speedup columns per target
+    --smoke                 quick schema/sanity gate for CI: tiny budget
+                            (20 execs × 3 trials), validates the report
+                            (positive medians, full trial vectors, the
+                            determinism self-check) and exits non-zero on
+                            violation. No absolute-time assertions — safe
+                            on slow single-core runners.
+    --help                  show this help
+";
+
+struct Args {
+    targets: Option<Vec<String>>,
+    cfg: BenchConfig,
+    out: String,
+    baseline_file: Option<String>,
+    smoke: bool,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("not a number: `{s}`"))
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        targets: None,
+        cfg: BenchConfig::default(),
+        out: "BENCH_campaign.json".to_string(),
+        baseline_file: None,
+        smoke: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--targets" => {
+                args.targets = Some(
+                    value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--executions" => args.cfg.executions = parse_u64(&value()?)?.max(1),
+            "--trials" => args.cfg.trials = parse_u64(&value()?)?.clamp(1, 1000) as u32,
+            "--warmup" => args.cfg.warmup = parse_u64(&value()?)?.min(1000) as u32,
+            "--workers" => args.cfg.workers = parse_u64(&value()?)?.max(1) as usize,
+            "--seed" => args.cfg.seed = parse_u64(&value()?)?,
+            "--out" => args.out = value()?,
+            "--baseline-file" => args.baseline_file = Some(value()?),
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.smoke {
+        // Small fixed budget: the smoke gate checks schema and
+        // determinism, not performance.
+        args.cfg.executions = args.cfg.executions.min(20);
+        args.cfg.trials = args.cfg.trials.min(3);
+        args.cfg.warmup = args.cfg.warmup.min(1);
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline = match args.baseline_file.as_deref() {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("error: cannot read baseline `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(text) => match parse_baseline_medians(&text) {
+                Err(msg) => {
+                    eprintln!("error: baseline `{path}`: {msg}");
+                    return ExitCode::from(2);
+                }
+                Ok(medians) => Some(medians),
+            },
+        },
+    };
+
+    let names: Vec<String> = match &args.targets {
+        Some(list) => list.clone(),
+        None => DEFAULT_BENCH_TARGETS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let mut resolved = Vec::with_capacity(names.len());
+    for name in &names {
+        match targets::find(name) {
+            Some(t) => resolved.push(t),
+            None => {
+                eprintln!("error: unknown target `{name}` (see `c11campaign --list`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = &args.cfg;
+    eprintln!(
+        "c11bench: {} target(s), {} execs/trial, {} trial(s) (+{} warmup), \
+         {} worker(s), seed {:#x}",
+        resolved.len(),
+        cfg.executions,
+        cfg.trials,
+        cfg.warmup,
+        cfg.workers,
+        cfg.seed,
+    );
+    println!(
+        "{:<18} {:>14} {:>12} {:>12} {:>9}",
+        "TARGET", "MEDIAN exec/s", "IQR", "BASELINE", "SPEEDUP"
+    );
+    let mut results = Vec::with_capacity(resolved.len());
+    for target in &resolved {
+        let base = baseline.as_ref().and_then(|m| m.get(target.name)).copied();
+        let r = bench_target(target, cfg, base);
+        println!(
+            "{:<18} {:>14.1} {:>12.1} {:>12} {:>9}",
+            r.name,
+            r.median,
+            r.iqr,
+            r.baseline_median
+                .map(|b| format!("{b:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.speedup()
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        results.push(r);
+    }
+
+    let json = render_json(cfg, &results);
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("error: cannot write `{}`: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("c11bench: wrote {}", args.out);
+
+    if let Err(msg) = validate(&results, cfg) {
+        eprintln!("c11bench: VALIDATION FAILED: {msg}");
+        return ExitCode::from(3);
+    }
+    if args.smoke {
+        eprintln!("c11bench: smoke validation passed");
+    }
+    ExitCode::SUCCESS
+}

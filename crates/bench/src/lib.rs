@@ -13,6 +13,8 @@ use c11tester::{Config, Model, Policy};
 use c11tester_campaign::{Campaign, CampaignBudget, CampaignReport};
 use std::time::{Duration, Instant};
 
+pub mod statbench;
+
 /// Measurement of repeated model executions.
 #[derive(Clone, Copy, Debug)]
 pub struct Timing {

@@ -122,12 +122,15 @@ pub(crate) fn schedule_point(ctx: &Arc<ModelCtx>, tid: ThreadId, class: OpClass)
                 return;
             }
         }
-        let enabled = eng.enabled();
+        // The announcing thread is running, so it must be Runnable —
+        // a Blocked/Finished thread reaching a schedule point is an
+        // engine state-machine bug.
         debug_assert!(
-            enabled.contains(&tid),
+            eng.is_runnable(tid),
             "scheduling thread {tid:?} must be runnable"
         );
-        eng.scheduler.next_thread(&enabled, tid)
+        eng.next_runnable(tid)
+            .expect("schedule point with no runnable thread")
     };
     if next != tid {
         ctx.runtime.wake(next.index());
@@ -154,12 +157,12 @@ pub(crate) fn block_and_yield(ctx: &Arc<ModelCtx>, tid: ThreadId, reason: WaitRe
     let next = {
         let mut eng = ctx.engine.lock();
         eng.block(tid, reason);
-        let enabled = eng.enabled();
-        if enabled.is_empty() {
-            eng.fail(Failure::Deadlock);
-            None
-        } else {
-            Some(eng.scheduler.next_thread(&enabled, tid))
+        match eng.next_runnable(tid) {
+            Some(next) => Some(next),
+            None => {
+                eng.fail(Failure::Deadlock);
+                None
+            }
         }
     };
     match next {
@@ -193,17 +196,13 @@ pub(crate) fn thread_finished(ctx: &Arc<ModelCtx>, tid: ThreadId) {
         if eng.finish_thread(tid) {
             Next::WakeDriver
         } else {
-            let enabled = eng.enabled();
-            if enabled.is_empty() {
-                eng.fail(Failure::Deadlock);
-                Next::Poison
-            } else {
-                let next = eng.scheduler.next_thread(&enabled, tid);
-                if next == tid {
-                    Next::Nothing // unreachable: tid is Finished
-                } else {
-                    Next::Switch(next)
+            match eng.next_runnable(tid) {
+                None => {
+                    eng.fail(Failure::Deadlock);
+                    Next::Poison
                 }
+                Some(next) if next == tid => Next::Nothing, // unreachable: tid is Finished
+                Some(next) => Next::Switch(next),
             }
         }
     };
@@ -250,10 +249,11 @@ pub(crate) fn atomic_init(obj: ObjId, value: u64) {
     with_ctx(|ctx, tid| {
         poison_check(ctx);
         let mut eng = ctx.engine.lock();
+        let eng = &mut *eng;
         eng.exec
             .atomic_store(tid, obj, MemOrder::Relaxed, value, StoreKind::NonAtomic);
-        let cv = eng.exec.thread_cv(tid).clone();
-        eng.race.on_write(obj, 0, tid, &cv, AccessKind::NonAtomic);
+        eng.race
+            .on_write(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::NonAtomic);
     });
 }
 
@@ -278,9 +278,12 @@ pub(crate) fn atomic_store(obj: ObjId, order: MemOrder, value: u64, kind: StoreK
     with_ctx(|ctx, tid| {
         schedule_point(ctx, tid, OpClass::Store(order));
         let mut eng = ctx.engine.lock();
-        eng.exec.atomic_store(tid, obj, order, value, kind);
-        let cv = eng.exec.thread_cv(tid).clone();
-        eng.race.on_write(obj, 0, tid, &cv, race_kind(kind));
+        {
+            let eng = &mut *eng;
+            eng.exec.atomic_store(tid, obj, order, value, kind);
+            eng.race
+                .on_write(obj, 0, tid, eng.exec.thread_cv(tid), race_kind(kind));
+        }
         check_budget(ctx, &mut eng);
     });
 }
@@ -290,15 +293,24 @@ pub(crate) fn atomic_load(obj: ObjId, order: MemOrder, kind: StoreKind) -> u64 {
     with_ctx(|ctx, tid| {
         schedule_point(ctx, tid, OpClass::Other);
         let mut eng = ctx.engine.lock();
-        let cands = eng.exec.feasible_read_candidates(tid, obj, order, false);
-        assert!(
-            !cands.is_empty(),
-            "atomic load from an object with no feasible store — was the atomic initialized?"
-        );
-        let choice = eng.scheduler.choose_read(cands.len());
-        let value = eng.exec.commit_load(tid, obj, order, cands[choice]);
-        let cv = eng.exec.thread_cv(tid).clone();
-        eng.race.on_read(obj, 0, tid, &cv, race_kind(kind));
+        let value = {
+            let eng = &mut *eng;
+            // Candidate set computed into the engine's reusable buffer.
+            let mut cands = std::mem::take(&mut eng.cands_buf);
+            eng.exec
+                .feasible_read_candidates_into(tid, obj, order, false, &mut cands);
+            assert!(
+                !cands.is_empty(),
+                "atomic load from an object with no feasible store — was the atomic initialized?"
+            );
+            let choice = eng.scheduler.choose_read(cands.len());
+            let value = eng.exec.commit_load(tid, obj, order, cands[choice]);
+            cands.clear();
+            eng.cands_buf = cands;
+            eng.race
+                .on_read(obj, 0, tid, eng.exec.thread_cv(tid), race_kind(kind));
+            value
+        };
         check_budget(ctx, &mut eng);
         value
     })
@@ -320,42 +332,49 @@ pub(crate) fn atomic_rmw(obj: ObjId, order: MemOrder, f: impl FnOnce(u64) -> Rmw
     with_ctx(|ctx, tid| {
         schedule_point(ctx, tid, OpClass::Other);
         let mut eng = ctx.engine.lock();
-        // tsan11-family baselines strengthen RMWs to acq_rel (see
-        // `Policy::strengthens_rmw`).
-        let order = eng.exec.policy().effective_rmw_order(order);
-        let cands = eng.exec.feasible_read_candidates(tid, obj, order, true);
-        assert!(
-            !cands.is_empty(),
-            "RMW on an object with no feasible store — was the atomic initialized?"
-        );
-        let choice = eng.scheduler.choose_read(cands.len());
-        let cand = cands[choice];
-        let old = eng.exec.store_value(cand);
-        let value = match f(old) {
-            RmwDecision::Write(new) => {
-                let (read, _) = eng.exec.commit_rmw(tid, obj, order, cand, new);
-                let cv = eng.exec.thread_cv(tid).clone();
-                eng.race.on_write(obj, 0, tid, &cv, AccessKind::Atomic);
-                read
-            }
-            RmwDecision::NoWrite(fail_order) => {
-                // A failed CAS is just a load with the failure ordering.
-                let cand = if eng.exec.check_read_feasible(tid, obj, fail_order, cand) {
-                    cand
-                } else {
-                    // Rare: the failure ordering adds constraints that
-                    // exclude the candidate; fall back to a legal one.
-                    let lc = eng
-                        .exec
-                        .feasible_read_candidates(tid, obj, fail_order, false);
-                    let ix = eng.scheduler.choose_read(lc.len());
-                    lc[ix]
-                };
-                let v = eng.exec.commit_load(tid, obj, fail_order, cand);
-                let cv = eng.exec.thread_cv(tid).clone();
-                eng.race.on_read(obj, 0, tid, &cv, AccessKind::Atomic);
-                v
-            }
+        let value = {
+            let eng = &mut *eng;
+            // tsan11-family baselines strengthen RMWs to acq_rel (see
+            // `Policy::strengthens_rmw`).
+            let order = eng.exec.policy().effective_rmw_order(order);
+            let mut cands = std::mem::take(&mut eng.cands_buf);
+            eng.exec
+                .feasible_read_candidates_into(tid, obj, order, true, &mut cands);
+            assert!(
+                !cands.is_empty(),
+                "RMW on an object with no feasible store — was the atomic initialized?"
+            );
+            let choice = eng.scheduler.choose_read(cands.len());
+            let cand = cands[choice];
+            let old = eng.exec.store_value(cand);
+            let value = match f(old) {
+                RmwDecision::Write(new) => {
+                    let (read, _) = eng.exec.commit_rmw(tid, obj, order, cand, new);
+                    eng.race
+                        .on_write(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::Atomic);
+                    read
+                }
+                RmwDecision::NoWrite(fail_order) => {
+                    // A failed CAS is just a load with the failure ordering.
+                    let cand = if eng.exec.check_read_feasible(tid, obj, fail_order, cand) {
+                        cand
+                    } else {
+                        // Rare: the failure ordering adds constraints that
+                        // exclude the candidate; fall back to a legal one.
+                        eng.exec
+                            .feasible_read_candidates_into(tid, obj, fail_order, false, &mut cands);
+                        let ix = eng.scheduler.choose_read(cands.len());
+                        cands[ix]
+                    };
+                    let v = eng.exec.commit_load(tid, obj, fail_order, cand);
+                    eng.race
+                        .on_read(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::Atomic);
+                    v
+                }
+            };
+            cands.clear();
+            eng.cands_buf = cands;
+            value
         };
         check_budget(ctx, &mut eng);
         value
@@ -377,10 +396,15 @@ pub(crate) fn nonatomic_read(obj: ObjId, offset: u32) {
     with_ctx(|ctx, tid| {
         poison_check(ctx);
         let mut eng = ctx.engine.lock();
+        let eng = &mut *eng;
         eng.exec.count_normal_access();
-        let cv = eng.exec.thread_cv(tid).clone();
-        eng.race
-            .on_read(obj, offset, tid, &cv, AccessKind::NonAtomic);
+        eng.race.on_read(
+            obj,
+            offset,
+            tid,
+            eng.exec.thread_cv(tid),
+            AccessKind::NonAtomic,
+        );
     });
 }
 
@@ -389,10 +413,15 @@ pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
     with_ctx(|ctx, tid| {
         poison_check(ctx);
         let mut eng = ctx.engine.lock();
+        let eng = &mut *eng;
         eng.exec.count_normal_access();
-        let cv = eng.exec.thread_cv(tid).clone();
-        eng.race
-            .on_write(obj, offset, tid, &cv, AccessKind::NonAtomic);
+        eng.race.on_write(
+            obj,
+            offset,
+            tid,
+            eng.exec.thread_cv(tid),
+            AccessKind::NonAtomic,
+        );
     });
 }
 

@@ -4,7 +4,7 @@
 
 use crate::config::{Config, Strategy};
 use crate::report::Failure;
-use c11tester_core::{Execution, MemOrder, ObjId, ThreadId};
+use c11tester_core::{Execution, MemOrder, ObjId, StoreIdx, ThreadId};
 use c11tester_race::RaceDetector;
 use c11tester_runtime::{BurstScheduler, PctScheduler, RandomScheduler, Scheduler};
 
@@ -40,6 +40,12 @@ pub(crate) struct Engine {
     pub max_events: u64,
     /// Labels count for auto-generated atomic names.
     pub anon_objects: u64,
+    /// Reusable buffer of runnable threads for scheduling decisions
+    /// (one decision per visible operation — no per-step allocation).
+    enabled_buf: Vec<ThreadId>,
+    /// Reusable buffer for feasible read candidates (one fill per
+    /// load/RMW — taken and returned by the ctx hot path).
+    pub cands_buf: Vec<StoreIdx>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -54,11 +60,17 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
+    /// Builds the engine for one execution. When `recycled` carries the
+    /// previous execution's state it is [`Execution::reset`] in place —
+    /// retaining arenas, the dense location table, the mo-graph, and
+    /// every scratch buffer — instead of being reallocated; behavior is
+    /// identical either way (the recycling determinism contract).
     pub(crate) fn new(
         config: &Config,
         execution_index: u64,
         race: RaceDetector,
         scheduler: Option<Box<dyn Scheduler>>,
+        recycled: Option<Execution>,
     ) -> Self {
         // Built-in strategies are resolved *per execution index*
         // (Config::strategy_for), so a strategy mix assigns each index
@@ -76,8 +88,15 @@ impl Engine {
         scheduler.begin_execution(execution_index);
         let mut race = race;
         race.begin_execution();
+        let exec = match recycled {
+            Some(mut exec) => {
+                exec.reset(config.policy, config.prune);
+                exec
+            }
+            None => Execution::with_pruning(config.policy, config.prune),
+        };
         Engine {
-            exec: Execution::with_pruning(config.policy, config.prune),
+            exec,
             race,
             scheduler,
             status: vec![Status::Runnable],
@@ -88,17 +107,32 @@ impl Engine {
             volatile_store_order: config.volatile_store_order,
             max_events: config.max_events,
             anon_objects: 0,
+            enabled_buf: Vec::new(),
+            cands_buf: Vec::new(),
         }
     }
 
-    /// Threads currently runnable (candidates for the next step).
-    pub(crate) fn enabled(&self) -> Vec<ThreadId> {
-        self.status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches!(s, Status::Runnable))
-            .map(|(ix, _)| ThreadId::from_index(ix))
-            .collect()
+    /// Is the thread currently runnable? (Debug-assert helper for the
+    /// scheduling protocol's state-machine invariants.)
+    pub(crate) fn is_runnable(&self, t: ThreadId) -> bool {
+        matches!(self.status[t.index()], Status::Runnable)
+    }
+
+    /// Asks the strategy for the next thread among the currently
+    /// runnable ones, or `None` when nothing is runnable (deadlock).
+    /// Uses the reusable enabled-set buffer — the per-operation
+    /// scheduling decision performs no allocation.
+    pub(crate) fn next_runnable(&mut self, current: ThreadId) -> Option<ThreadId> {
+        self.enabled_buf.clear();
+        for (ix, s) in self.status.iter().enumerate() {
+            if matches!(s, Status::Runnable) {
+                self.enabled_buf.push(ThreadId::from_index(ix));
+            }
+        }
+        if self.enabled_buf.is_empty() {
+            return None;
+        }
+        Some(self.scheduler.next_thread(&self.enabled_buf, current))
     }
 
     /// Registers a freshly forked thread as runnable.
@@ -193,10 +227,10 @@ mod tests {
     /// top of the thread-begin events `Execution::new` already emitted.
     fn engine_with_headroom(events: u64) -> Engine {
         let race = RaceDetector::new();
-        let probe = Engine::new(&Config::new(), 0, RaceDetector::new(), None);
+        let probe = Engine::new(&Config::new(), 0, RaceDetector::new(), None, None);
         let base = probe.exec.now().0;
         let config = Config::new().with_max_events(base + events);
-        Engine::new(&config, 0, race, None)
+        Engine::new(&config, 0, race, None, None)
     }
 
     #[test]

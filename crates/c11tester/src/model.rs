@@ -66,6 +66,11 @@ pub struct Model {
     stride: u64,
     /// Executions performed by this instance.
     runs: u64,
+    /// The previous execution's state, recycled into the next run
+    /// ([`c11tester_core::Execution::reset`] retains arena, location
+    /// table, mo-graph, and scratch capacity instead of reallocating).
+    /// Behaviorally invisible; see the recycling determinism contract.
+    exec_pool: Option<c11tester_core::Execution>,
 }
 
 /// The reusable pieces of a disassembled [`Model`]
@@ -147,6 +152,7 @@ impl Model {
             execution_index: first_index,
             stride,
             runs: 0,
+            exec_pool: None,
         }
     }
 
@@ -160,6 +166,7 @@ impl Model {
             execution_index: 0,
             stride: 1,
             runs: 0,
+            exec_pool: None,
         }
     }
 
@@ -183,6 +190,7 @@ impl Model {
             execution_index: parts.next_execution_index,
             stride: parts.stride,
             runs: 0,
+            exec_pool: None,
         }
     }
 
@@ -236,7 +244,13 @@ impl Model {
         } else {
             self.config.strategy_for(execution_index).spec()
         };
-        let engine = Engine::new(&self.config, execution_index, race, scheduler);
+        let engine = Engine::new(
+            &self.config,
+            execution_index,
+            race,
+            scheduler,
+            self.exec_pool.take(),
+        );
         let ctx = Arc::new(ModelCtx {
             engine: Mutex::new(engine),
             runtime: Arc::clone(&runtime),
@@ -274,9 +288,11 @@ impl Model {
         let races = eng.race.take_reports();
         let elided = eng.race.elided_volatile;
         eng.race.elided_volatile = 0;
-        let mut race = std::mem::take(&mut eng.race);
-        race.begin_execution(); // drop shadow state eagerly
-        self.race = Some(race);
+        // No begin_execution here: the next Engine::new wipes the
+        // detector's (capacity-retaining) shadow tables before use, so
+        // an eager wipe would just zero-fill every word twice per
+        // execution — nothing reads shadow state in between.
+        self.race = Some(std::mem::take(&mut eng.race));
         if custom {
             // Only custom plugins persist across executions; built-in
             // schedulers are rebuilt per index (they are pure functions
@@ -287,6 +303,7 @@ impl Model {
                 Box::new(c11tester_runtime::RandomScheduler::new(0)),
             ));
         }
+        eng.exec.finalize_alloc_stats();
         let report = ExecutionReport {
             execution_index,
             strategy,
@@ -295,6 +312,12 @@ impl Model {
             stats: *eng.exec.stats(),
             elided_volatile_races: elided,
         };
+        // Reclaim the execution state for recycling into the next run
+        // (the placeholder left behind is never driven).
+        self.exec_pool = Some(std::mem::replace(
+            &mut eng.exec,
+            c11tester_core::Execution::new(self.config.policy),
+        ));
         drop(eng);
         self.runs += 1;
         report
@@ -349,13 +372,12 @@ impl Model {
             if eng.finish_thread(tid) {
                 Next::Done
             } else {
-                let enabled = eng.enabled();
-                if enabled.is_empty() {
-                    eng.fail(Failure::Deadlock);
-                    Next::Poison
-                } else {
-                    let next = eng.scheduler.next_thread(&enabled, tid);
-                    Next::Switch(next)
+                match eng.next_runnable(tid) {
+                    None => {
+                        eng.fail(Failure::Deadlock);
+                        Next::Poison
+                    }
+                    Some(next) => Next::Switch(next),
                 }
             }
         };

@@ -99,6 +99,14 @@ impl EpochTrace {
         json::canonical_trace(self)
     }
 
+    /// The canonical trace plus the opt-in `alloc` diagnostics block
+    /// inside `stats` (see
+    /// [`crate::CampaignReport::canonical_json_with_alloc_stats`]).
+    /// Not covered by the byte-identity contract.
+    pub fn canonical_json_with_alloc_stats(&self) -> String {
+        json::canonical_trace_with(self, true)
+    }
+
     /// The record for epoch `e`, if it completed.
     pub fn record(&self, epoch: u64) -> Option<&EpochRecord> {
         self.records.iter().find(|r| r.epoch == epoch)

@@ -24,7 +24,21 @@ fn failure(f: &Failure) -> (&'static str, String) {
     (f.kind_name(), msg)
 }
 
-fn stats(s: &ExecStats) -> String {
+/// Emits the stats object; `alloc` appends the allocation-diagnostic
+/// block (recycled/fresh provisioning, clock spills). The block is
+/// **off by default and never part of the canonical form**: recycled
+/// counts depend on worker count and on recycled-vs-fresh provisioning,
+/// so including them would break the byte-identity contract (and every
+/// checked-in golden). `c11campaign --alloc-stats` opts in explicitly.
+fn stats_with(s: &ExecStats, alloc: bool) -> String {
+    let alloc_block = if alloc {
+        format!(
+            ",\"alloc\":{{\"fresh_executions\":{},\"recycled_executions\":{},\"clock_spills\":{}}}",
+            s.alloc.fresh_executions, s.alloc.recycled_executions, s.alloc.clock_spills,
+        )
+    } else {
+        String::new()
+    };
     format!(
         concat!(
             "{{\"atomic_loads\":{},\"atomic_stores\":{},\"rmws\":{},",
@@ -33,7 +47,7 @@ fn stats(s: &ExecStats) -> String {
             "\"pruned_stores\":{},\"pruned_loads\":{},\"pruned_fences\":{},",
             "\"prune_passes\":{},\"atomic_ops\":{},",
             "\"mograph\":{{\"edges_added\":{},\"edges_redundant\":{},",
-            "\"merges\":{},\"rmw_edges\":{}}}}}"
+            "\"merges\":{},\"rmw_edges\":{}}}{}}}"
         ),
         s.atomic_loads,
         s.atomic_stores,
@@ -52,6 +66,7 @@ fn stats(s: &ExecStats) -> String {
         s.mograph.edges_redundant,
         s.mograph.merges,
         s.mograph.rmw_edges,
+        alloc_block,
     )
 }
 
@@ -185,14 +200,14 @@ fn push_failures(out: &mut String, failures: &[(u64, Failure)]) {
 }
 
 /// Emits the shared aggregate tail: races, failures, elisions, stats.
-fn push_aggregate_tail(out: &mut String, a: &TestReport) {
+fn push_aggregate_tail(out: &mut String, a: &TestReport, alloc: bool) {
     push_distinct_races(out, &a.races);
     push_failures(out, &a.failures);
     out.push_str(&format!(
         ",\"elided_volatile_races\":{}",
         a.elided_volatile_races
     ));
-    out.push_str(&format!(",\"stats\":{}", stats(&a.total_stats)));
+    out.push_str(&format!(",\"stats\":{}", stats_with(&a.total_stats, alloc)));
 }
 
 fn json_opt_u64(v: Option<u64>) -> String {
@@ -210,6 +225,14 @@ fn json_opt_u64(v: Option<u64>) -> String {
 /// array (fork-isolated campaigns record a worker-process death per
 /// crashing execution; in-process campaigns always emit `0` / `[]`).
 pub(crate) fn canonical(r: &CampaignReport) -> String {
+    canonical_with(r, false)
+}
+
+/// [`canonical`] with an opt-in allocation-diagnostics block inside
+/// `stats` (`c11campaign --alloc-stats`). Never the default: the block
+/// is worker-count and provisioning dependent by design, so it is kept
+/// out of the byte-identity contract and the checked-in goldens.
+pub(crate) fn canonical_with(r: &CampaignReport, alloc: bool) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\"schema\":\"c11campaign/v4\"");
     out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
@@ -221,7 +244,7 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
     push_detection_scalars(&mut out, a, r.crashes.len());
     push_per_strategy(&mut out, &a.per_strategy);
     push_crash_records(&mut out, &r.crashes);
-    push_aggregate_tail(&mut out, a);
+    push_aggregate_tail(&mut out, a, alloc);
     out.push('}');
     out
 }
@@ -244,6 +267,12 @@ pub(crate) fn canonical(r: &CampaignReport) -> String {
 /// the top-level `crash_records` array (the epochs' records
 /// concatenated in index order).
 pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
+    canonical_trace_with(t, false)
+}
+
+/// [`canonical_trace`] with the opt-in allocation-diagnostics block
+/// (see [`canonical_with`]).
+pub(crate) fn canonical_trace_with(t: &EpochTrace, alloc: bool) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"schema\":\"c11campaign/v4\"");
     out.push_str(&format!(",\"base_seed\":{}", t.base_seed));
@@ -296,7 +325,7 @@ pub(crate) fn canonical_trace(t: &EpochTrace) -> String {
     out.push(']');
     push_per_strategy(&mut out, &t.aggregate.per_strategy);
     push_crash_records(&mut out, &all_crashes);
-    push_aggregate_tail(&mut out, &t.aggregate);
+    push_aggregate_tail(&mut out, &t.aggregate, alloc);
     out.push('}');
     out
 }

@@ -217,6 +217,16 @@ impl CampaignReport {
         json::canonical(self)
     }
 
+    /// The canonical form plus the opt-in `alloc` diagnostics block
+    /// inside `stats` (recycled-vs-fresh provisioning and clock-vector
+    /// spill counts). **Not** covered by the byte-identity contract:
+    /// provisioning depends on worker count and on execution-state
+    /// recycling, which is exactly why the block is excluded from
+    /// [`CampaignReport::canonical_json`] and from the goldens.
+    pub fn canonical_json_with_alloc_stats(&self) -> String {
+        json::canonical_with(self, true)
+    }
+
     /// The full JSON form: the canonical object plus campaign timing
     /// (workers, wall seconds, throughput).
     pub fn to_json(&self) -> String {

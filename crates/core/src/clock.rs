@@ -13,24 +13,75 @@
 //! A slot holds the sequence number of an event; slot `t` of a thread
 //! clock is always that thread's most recent event. Missing slots read
 //! as 0, so vectors of different lengths compare correctly.
+//!
+//! # Storage
+//!
+//! Clock vectors are the single hottest allocation site of the model:
+//! three live per thread, one per store record (×2: `RF_s` and the
+//! hb snapshot), and one per mo-graph node — and stores clone them on
+//! every commit. Executions with at most [`INLINE_SLOTS`] threads (the
+//! overwhelmingly common case; the paper's benchmarks run 2–6) therefore
+//! keep their slots in a fixed inline array and never touch the heap.
+//! The 9th thread *spills* the vector to a heap `Vec` transparently; all
+//! operators work on the logical slice either way, so the spill is
+//! invisible to every caller — and to the determinism contract.
 
 use crate::event::{SeqNum, ThreadId};
 use std::fmt;
+
+/// Number of slots stored inline before a clock vector spills to the
+/// heap. Executions with at most this many threads never allocate for
+/// clock maintenance.
+pub const INLINE_SLOTS: usize = 8;
+
+/// Backing storage: a fixed inline array or a spilled heap vector.
+///
+/// The physical length lives outside (in [`ClockVector::len`]) so the
+/// inline variant needs no tag bookkeeping beyond the enum discriminant.
+#[derive(Clone)]
+enum Slots {
+    /// Slots `0..len` live in the array; the tail is zero.
+    Inline([u64; INLINE_SLOTS]),
+    /// Spilled: slots `0..len` live on the heap (`heap.len() >= len`).
+    /// A spilled vector stays spilled even if logically short again, so
+    /// recycled storage keeps its capacity.
+    Heap(Vec<u64>),
+}
 
 /// A vector of per-thread event sequence numbers.
 ///
 /// Supports the three operators the paper defines: union (`∪`, pointwise
 /// max), comparison (`≤`, pointwise), and — for the conservative pruning
 /// mode of §7.1 — intersection (`∩`, pointwise min).
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone)]
 pub struct ClockVector {
-    slots: Vec<u64>,
+    /// Physical slot count (trailing zeros up to `len` are significant
+    /// for equality, mirroring the previous `Vec<u64>` semantics).
+    len: u32,
+    slots: Slots,
 }
+
+impl Default for ClockVector {
+    fn default() -> Self {
+        ClockVector::new()
+    }
+}
+
+impl PartialEq for ClockVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ClockVector {}
 
 impl ClockVector {
     /// Creates an empty (all-zero) clock vector.
     pub fn new() -> Self {
-        ClockVector { slots: Vec::new() }
+        ClockVector {
+            len: 0,
+            slots: Slots::Inline([0; INLINE_SLOTS]),
+        }
     }
 
     /// Creates the initial mo-graph clock vector `⊥CV_A` for a store by
@@ -42,31 +93,91 @@ impl ClockVector {
         cv
     }
 
+    /// The logical slots as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.slots {
+            Slots::Inline(a) => &a[..self.len as usize],
+            Slots::Heap(v) => &v[..self.len as usize],
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.slots {
+            Slots::Inline(a) => &mut a[..self.len as usize],
+            Slots::Heap(v) => &mut v[..self.len as usize],
+        }
+    }
+
+    /// Grows the physical length to `n` slots (zero-filling the newly
+    /// exposed slots), spilling to the heap past [`INLINE_SLOTS`].
+    fn grow(&mut self, n: usize) {
+        debug_assert!(n > self.len as usize);
+        match &mut self.slots {
+            Slots::Inline(a) if n <= INLINE_SLOTS => {
+                // The tail of the inline array is kept zero by `clear`,
+                // so exposing more slots needs no writes.
+                debug_assert!(a[self.len as usize..n].iter().all(|&x| x == 0));
+            }
+            Slots::Inline(a) => {
+                // Spill: move the inline prefix to the heap.
+                let mut v = Vec::with_capacity(n.max(2 * INLINE_SLOTS));
+                v.extend_from_slice(&a[..self.len as usize]);
+                v.resize(n, 0);
+                self.slots = Slots::Heap(v);
+            }
+            Slots::Heap(v) => {
+                // `clear` keeps stale capacity; re-zero only the slots
+                // being exposed.
+                if v.len() < n {
+                    v.resize(n, 0);
+                } else {
+                    v[self.len as usize..n].fill(0);
+                }
+            }
+        }
+        self.len = n as u32;
+    }
+
+    /// Whether the vector has spilled to heap storage (diagnostics for
+    /// the allocation counters; never affects behavior).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.slots, Slots::Heap(_))
+    }
+
     /// Reads slot `t` (0 if the vector is shorter than `t`).
+    #[inline]
     pub fn get(&self, t: ThreadId) -> u64 {
-        self.slots.get(t.index()).copied().unwrap_or(0)
+        self.as_slice().get(t.index()).copied().unwrap_or(0)
     }
 
     /// Sets slot `t`, growing the vector as needed.
+    #[inline]
     pub fn set(&mut self, t: ThreadId, v: u64) {
         let ix = t.index();
-        if self.slots.len() <= ix {
-            self.slots.resize(ix + 1, 0);
+        if self.len as usize <= ix {
+            self.grow(ix + 1);
         }
-        self.slots[ix] = v;
+        self.as_mut_slice()[ix] = v;
     }
 
     /// Pointwise-max merge (`∪`). Returns `true` iff `self` changed —
     /// the `Merge` procedure of Fig. 6 needs exactly this signal to
     /// drive its propagation worklist.
     pub fn union_with(&mut self, other: &ClockVector) -> bool {
-        let mut changed = false;
-        if self.slots.len() < other.slots.len() {
-            self.slots.resize(other.slots.len(), 0);
+        let olen = other.len as usize;
+        if (self.len as usize) < olen {
+            self.grow(olen);
         }
-        for (ix, &o) in other.slots.iter().enumerate() {
-            if o > self.slots[ix] {
-                self.slots[ix] = o;
+        let dst = self.as_mut_slice();
+        let src = other.as_slice();
+        let mut changed = false;
+        // Equal-length word loop over the shared prefix; `dst` is at
+        // least as long as `src` after the grow above.
+        for (d, &o) in dst[..olen].iter_mut().zip(src) {
+            if o > *d {
+                *d = o;
                 changed = true;
             }
         }
@@ -74,45 +185,71 @@ impl ClockVector {
     }
 
     /// Pointwise `≤` comparison. Slots missing on either side read as 0.
+    #[inline]
     pub fn leq(&self, other: &ClockVector) -> bool {
-        for (ix, &s) in self.slots.iter().enumerate() {
-            if s > other.slots.get(ix).copied().unwrap_or(0) {
-                return false;
-            }
-        }
-        true
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let shared = a.len().min(b.len());
+        // Early exit on the first dominating slot; any slot of `self`
+        // past `other`'s length must be zero.
+        a[..shared].iter().zip(&b[..shared]).all(|(&s, &o)| s <= o)
+            && a[shared..].iter().all(|&s| s == 0)
     }
 
     /// Pointwise-min intersection (`∩`), used to compute `CV_min` for
     /// the conservative pruning mode (§7.1). Slots missing on either
     /// side read as 0, so the result only keeps entries known to both.
     pub fn intersect(&self, other: &ClockVector) -> ClockVector {
-        let n = self.slots.len().min(other.slots.len());
-        let slots = (0..n)
-            .map(|ix| self.slots[ix].min(other.slots[ix]))
-            .collect();
-        ClockVector { slots }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let n = a.len().min(b.len());
+        let mut out = ClockVector::new();
+        if n > 0 {
+            out.grow(n);
+            for (ix, d) in out.as_mut_slice().iter_mut().enumerate() {
+                *d = a[ix].min(b[ix]);
+            }
+        }
+        out
     }
 
     /// True if every slot is zero.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|&s| s == 0)
+        self.as_slice().iter().all(|&s| s == 0)
     }
 
     /// Number of slots physically present.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.len as usize
     }
 
-    /// Releases the backing storage (used when pruning tombstones a
-    /// record but keeps the arena slot).
+    /// Zeroes the vector **without releasing its backing storage** — a
+    /// spilled vector keeps its heap capacity, an inline one just
+    /// re-zeroes the array. Used by pruning tombstones and by
+    /// execution-state recycling, both of which re-populate the same
+    /// storage moments later.
     pub fn clear(&mut self) {
-        self.slots = Vec::new();
+        match &mut self.slots {
+            Slots::Inline(a) => a[..self.len as usize].fill(0),
+            Slots::Heap(v) => v[..self.len as usize].fill(0),
+        }
+        self.len = 0;
+    }
+
+    /// Zeroes the vector **and releases any spilled heap storage**,
+    /// returning to the inline representation. This is the §7.1
+    /// pruning primitive — tombstoned records must genuinely give
+    /// their memory back (the whole point of memory limiting) — in
+    /// contrast to [`ClockVector::clear`], which retains capacity for
+    /// the recycling paths that repopulate the same storage.
+    pub fn release(&mut self) {
+        self.len = 0;
+        self.slots = Slots::Inline([0; INLINE_SLOTS]);
     }
 
     /// Iterates over `(thread, seq)` pairs with non-zero entries.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (ThreadId, u64)> + '_ {
-        self.slots
+        self.as_slice()
             .iter()
             .enumerate()
             .filter(|(_, &v)| v != 0)
@@ -227,12 +364,99 @@ mod tests {
     }
 
     #[test]
-    fn clear_releases_storage() {
+    fn clear_zeroes_but_retains_storage() {
         let mut a = ClockVector::new();
         a.set(t(9), 5);
+        assert!(a.is_spilled());
         a.clear();
         assert!(a.is_empty());
         assert_eq!(a.len(), 0);
+        // The spilled storage survives the clear (capacity retention);
+        // re-populating must see zeroed slots, not stale ones.
+        assert!(a.is_spilled());
+        a.set(t(9), 7);
+        assert_eq!(a.get(t(9)), 7);
+        assert_eq!(a.get(t(3)), 0);
+    }
+
+    #[test]
+    fn release_returns_to_inline_and_frees_spill() {
+        let mut a = ClockVector::new();
+        a.set(t(20), 9);
+        assert!(a.is_spilled());
+        a.release();
+        assert!(!a.is_spilled(), "release must drop the heap block");
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        a.set(t(1), 2);
+        assert_eq!(a.get(t(1)), 2);
+        assert_eq!(a.get(t(20)), 0);
+    }
+
+    #[test]
+    fn inline_clear_allows_regrowth_with_zero_tail() {
+        let mut a = ClockVector::new();
+        a.set(t(5), 11);
+        assert!(!a.is_spilled());
+        a.clear();
+        a.set(t(2), 3);
+        // Slots between 2 and 5 (stale territory) must read zero.
+        assert_eq!(a.get(t(3)), 0);
+        assert_eq!(a.get(t(4)), 0);
+        assert_eq!(a.get(t(5)), 0);
+        assert_eq!(a.get(t(2)), 3);
+    }
+
+    #[test]
+    fn spill_transition_preserves_contents() {
+        let mut a = ClockVector::new();
+        for ix in 0..INLINE_SLOTS {
+            a.set(t(ix), (ix + 1) as u64);
+        }
+        assert!(!a.is_spilled());
+        let before = a.clone();
+        // The 9th slot forces the spill; everything must be preserved.
+        a.set(t(INLINE_SLOTS), 99);
+        assert!(a.is_spilled());
+        for ix in 0..INLINE_SLOTS {
+            assert_eq!(a.get(t(ix)), (ix + 1) as u64);
+        }
+        assert_eq!(a.get(t(INLINE_SLOTS)), 99);
+        assert!(before.leq(&a));
+        assert!(!a.leq(&before));
+    }
+
+    #[test]
+    fn inline_and_spilled_compare_equal_by_contents() {
+        // Equality is over logical slots, not representation: a vector
+        // that spilled and shrank back compares equal to an inline one
+        // with the same physical slots.
+        let mut spilled = ClockVector::new();
+        spilled.set(t(9), 1);
+        spilled.clear();
+        spilled.set(t(1), 4);
+        let mut inline = ClockVector::new();
+        inline.set(t(1), 4);
+        assert_eq!(spilled, inline);
+        assert_eq!(inline, spilled);
+    }
+
+    #[test]
+    fn union_across_representations() {
+        let mut small = ClockVector::new();
+        small.set(t(0), 10);
+        let mut big = ClockVector::new();
+        big.set(t(11), 3);
+        // Inline ∪ spilled forces the receiver to spill.
+        assert!(small.union_with(&big));
+        assert!(small.is_spilled());
+        assert_eq!(small.get(t(0)), 10);
+        assert_eq!(small.get(t(11)), 3);
+        // Spilled ∪ inline works in place.
+        let mut tiny = ClockVector::new();
+        tiny.set(t(0), 20);
+        assert!(small.union_with(&tiny));
+        assert_eq!(small.get(t(0)), 20);
     }
 
     #[test]

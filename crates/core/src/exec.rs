@@ -24,8 +24,7 @@ use crate::location::LocationState;
 use crate::mograph::{MoGraph, NodeId};
 use crate::policy::Policy;
 use crate::prune::PruneConfig;
-use crate::stats::ExecStats;
-use std::collections::HashMap;
+use crate::stats::{AllocStats, ExecStats};
 
 /// Per-thread model state (`ThrState` of Fig. 10).
 #[derive(Clone, Debug)]
@@ -57,10 +56,35 @@ impl ThreadState {
             in_store_run: false,
         }
     }
+
+    /// Rewinds the thread to its initial state while retaining the
+    /// clock vectors' (spilled) storage and the fence list's capacity
+    /// (execution-state recycling).
+    fn reset(&mut self) {
+        self.cv.clear();
+        self.fence_rel.clear();
+        self.fence_acq.clear();
+        self.sc_fences.clear();
+        self.alive = true;
+        self.in_store_run = false;
+    }
 }
 
 /// One program execution under the model: event arenas, per-location
 /// histories, per-thread clocks, and the mo-graph.
+///
+/// # Allocation discipline
+///
+/// Every container here is either capacity-retaining across
+/// [`Execution::reset`] (arenas, the dense location table, the
+/// mo-graph, scratch buffers) or allocation-free in the common case
+/// (clock vectors stay inline up to [`crate::clock::INLINE_SLOTS`]
+/// threads). A model that recycles its `Execution` between runs —
+/// [`Execution::reset`] instead of `Execution::new` — therefore does
+/// no steady-state heap allocation on the per-operation hot path.
+/// Recycling is **behaviorally invisible**: a reset execution produces
+/// the same events, reports, and (behavioral) statistics as a fresh
+/// one — only the [`crate::AllocStats`] diagnostics differ.
 #[derive(Clone, Debug)]
 pub struct Execution {
     policy: Policy,
@@ -69,13 +93,20 @@ pub struct Execution {
     pub(crate) stores: Vec<StoreRecord>,
     pub(crate) loads: Vec<LoadRecord>,
     pub(crate) fences: Vec<FenceRecord>,
-    pub(crate) locations: HashMap<ObjId, LocationState>,
+    /// Per-location histories, indexed **densely** by `ObjId` (object
+    /// ids are sequential, so a `Vec` arena replaces the former
+    /// hash map: O(1) access with no hashing, deterministic iteration
+    /// order for pruning, and capacity retention across resets).
+    pub(crate) locations: Vec<LocationState>,
     pub(crate) graph: MoGraph,
     pub(crate) free_stores: Vec<StoreIdx>,
     pub(crate) free_loads: Vec<LoadIdx>,
     next_obj: u64,
     pub(crate) stats: ExecStats,
     pub(crate) prune_cfg: PruneConfig,
+    /// Reusable scratch for prior-set computation (taken/returned
+    /// around each use; never observed non-empty outside a commit).
+    pub(crate) pset_buf: Vec<StoreIdx>,
 }
 
 impl Execution {
@@ -92,6 +123,13 @@ impl Execution {
         // detector's epochs reserve clock 0 for "no access".
         let mut main = ThreadState::new();
         main.cv.set(ThreadId::MAIN, 1);
+        let stats = ExecStats {
+            alloc: AllocStats {
+                fresh_executions: 1,
+                ..AllocStats::default()
+            },
+            ..ExecStats::default()
+        };
         Execution {
             policy,
             seq: 1,
@@ -99,14 +137,90 @@ impl Execution {
             stores: Vec::new(),
             loads: Vec::new(),
             fences: Vec::new(),
-            locations: HashMap::new(),
+            locations: Vec::new(),
             graph: MoGraph::new(),
             free_stores: Vec::new(),
             free_loads: Vec::new(),
             next_obj: 0,
-            stats: ExecStats::default(),
+            stats,
             prune_cfg,
+            pset_buf: Vec::new(),
         }
+    }
+
+    /// Rewinds this execution to the state `Execution::with_pruning`
+    /// would create, **retaining every container's capacity**: the
+    /// store/load/fence arenas, the dense location table (and each
+    /// location's per-thread history lists), the mo-graph node arena,
+    /// and all scratch buffers survive for the next execution.
+    ///
+    /// The determinism contract: a reset execution is observationally
+    /// identical to a fresh one — same feasible sets, same events, same
+    /// reports, same behavioral statistics. Only the
+    /// [`crate::AllocStats`] diagnostics record that recycling
+    /// happened.
+    pub fn reset(&mut self, policy: Policy, prune_cfg: PruneConfig) {
+        self.policy = policy;
+        self.prune_cfg = prune_cfg;
+        self.seq = 1;
+        // Per-thread state: keep slot 0, drop the rest (child threads
+        // are re-forked next run; their states are small and the clock
+        // vectors inline for ≤ INLINE_SLOTS threads).
+        self.threads.truncate(1);
+        self.threads[0].reset();
+        self.threads[0].cv.set(ThreadId::MAIN, 1);
+        self.stores.clear();
+        self.loads.clear();
+        self.fences.clear();
+        for loc in &mut self.locations {
+            loc.reset();
+        }
+        self.graph.reset();
+        self.free_stores.clear();
+        self.free_loads.clear();
+        self.next_obj = 0;
+        self.stats = ExecStats {
+            alloc: AllocStats {
+                recycled_executions: 1,
+                ..AllocStats::default()
+            },
+            ..ExecStats::default()
+        };
+    }
+
+    /// Shared access to a location's history, if the location exists
+    /// (dense `ObjId`-indexed lookup).
+    #[inline]
+    pub(crate) fn loc(&self, obj: ObjId) -> Option<&LocationState> {
+        self.locations.get(obj.0 as usize)
+    }
+
+    /// Mutable access to a location's history, growing the dense table.
+    #[inline]
+    pub(crate) fn loc_mut(&mut self, obj: ObjId) -> &mut LocationState {
+        let ix = obj.0 as usize;
+        if self.locations.len() <= ix {
+            self.locations.resize_with(ix + 1, LocationState::default);
+        }
+        &mut self.locations[ix]
+    }
+
+    /// Snapshots the allocation diagnostics that are only observable at
+    /// the end of an execution (currently: how many live clock vectors
+    /// sit in spilled heap storage). Call once, after the program under
+    /// test finished and before reading [`Execution::stats`].
+    pub fn finalize_alloc_stats(&mut self) {
+        let mut spills = 0u64;
+        for t in &self.threads {
+            spills += u64::from(t.cv.is_spilled())
+                + u64::from(t.fence_rel.is_spilled())
+                + u64::from(t.fence_acq.is_spilled());
+        }
+        for s in &self.stores {
+            spills += u64::from(s.rf_cv.is_spilled()) + u64::from(s.hb_cv.is_spilled());
+        }
+        spills += self.graph.spilled_nodes();
+        self.stats.alloc.clock_spills = spills;
     }
 
     /// The memory-model policy in force.
@@ -182,7 +296,7 @@ impl Execution {
         for s in &self.stores {
             total += (s.rf_cv.len() + s.hb_cv.len()) * 8;
         }
-        for loc in self.locations.values() {
+        for loc in &self.locations {
             for h in &loc.per_thread {
                 total += h.stores.capacity() * 4
                     + h.accesses.capacity() * 8
@@ -197,7 +311,11 @@ impl Execution {
     // ------------------------------------------------------------------
 
     pub(crate) fn trace_enabled() -> bool {
-        std::env::var_os("C11TESTER_TRACE").is_some()
+        // Checked on every committed event: cache the environment
+        // lookup (env scans take a process-wide lock and are far more
+        // expensive than the hot path they would gate).
+        static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *TRACE.get_or_init(|| std::env::var_os("C11TESTER_TRACE").is_some())
     }
 
     /// Assigns the next global sequence number to an event of thread `t`
@@ -368,8 +486,10 @@ impl Execution {
         rmw_src: Option<StoreIdx>,
     ) -> StoreIdx {
         let seq = self.next_event(t);
-        // Prior set computed before the store enters any history list.
-        let pset = self.write_prior_set(t, obj, order);
+        // Prior set computed before the store enters any history list
+        // (into the reusable scratch buffer — no per-store allocation).
+        let mut pset = std::mem::take(&mut self.pset_buf);
+        self.write_prior_set_into(t, obj, order, &mut pset);
 
         let thread = &self.threads[t.index()];
         let mut rf_cv = if kind == StoreKind::NonAtomic {
@@ -417,7 +537,7 @@ impl Execution {
         // Restricted policies (tsan11 family): mo embeds in execution
         // order, realized as a chain edge from the previous store.
         if self.policy.restricts_mo() {
-            let prev = self.locations.get(&obj).and_then(|loc| loc.last_store_exec);
+            let prev = self.loc(obj).and_then(|loc| loc.last_store_exec);
             if let Some(prev) = prev {
                 let np = self.node_of(prev);
                 let nn = self.node_of(idx);
@@ -427,9 +547,11 @@ impl Execution {
         }
 
         self.add_edges(&pset, idx);
+        pset.clear();
+        self.pset_buf = pset;
 
         let is_sc = order.is_seq_cst() && kind != StoreKind::NonAtomic;
-        let loc = self.locations.entry(obj).or_default();
+        let loc = self.loc_mut(obj);
         let h = loc.thread_mut(t.index());
         h.stores.push(idx);
         h.accesses.push(AccessRef::Store(idx));
@@ -485,7 +607,10 @@ impl Execution {
         order: MemOrder,
         cand: StoreIdx,
     ) -> bool {
-        let (_, ok) = self.read_prior_set(t, obj, order, cand);
+        let mut pset = std::mem::take(&mut self.pset_buf);
+        let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
+        pset.clear();
+        self.pset_buf = pset;
         if !ok {
             self.stats.candidates_rejected += 1;
         }
@@ -502,7 +627,10 @@ impl Execution {
         order: MemOrder,
         cand: StoreIdx,
     ) -> bool {
-        let (_, ok) = self.read_prior_set(t, obj, order, cand);
+        let mut pset = std::mem::take(&mut self.pset_buf);
+        let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
+        pset.clear();
+        self.pset_buf = pset;
         if !ok || !self.check_rmw_store_feasible(t, obj, order, cand) {
             self.stats.candidates_rejected += 1;
             return false;
@@ -520,17 +648,29 @@ impl Execution {
         order: MemOrder,
         for_rmw: bool,
     ) -> Vec<StoreIdx> {
-        let cands = self.read_candidates(t, obj, order, for_rmw);
+        let mut cands = Vec::new();
+        self.feasible_read_candidates_into(t, obj, order, for_rmw, &mut cands);
         cands
-            .into_iter()
-            .filter(|&c| {
-                if for_rmw {
-                    self.check_rmw_feasible(t, obj, order, c)
-                } else {
-                    self.check_read_feasible(t, obj, order, c)
-                }
-            })
-            .collect()
+    }
+
+    /// [`Execution::feasible_read_candidates`] into a caller-provided
+    /// buffer (cleared first) — the allocation-free hot path.
+    pub fn feasible_read_candidates_into(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        for_rmw: bool,
+        cands: &mut Vec<StoreIdx>,
+    ) {
+        self.read_candidates_into(t, obj, order, for_rmw, cands);
+        cands.retain(|&c| {
+            if for_rmw {
+                self.check_rmw_feasible(t, obj, order, c)
+            } else {
+                self.check_read_feasible(t, obj, order, c)
+            }
+        });
     }
 
     /// Step 3 of a load: commits the `rf` edge to `cand` and returns the
@@ -542,9 +682,13 @@ impl Execution {
     /// first (the engine never rolls back, §4.3).
     pub fn commit_load(&mut self, t: ThreadId, obj: ObjId, order: MemOrder, cand: StoreIdx) -> u64 {
         let seq = self.next_event(t);
-        let (pset, ok) = self.read_prior_set(t, obj, order, cand);
+        let mut pset = std::mem::take(&mut self.pset_buf);
+        let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
         debug_assert!(ok, "commit_load of an infeasible candidate");
+        let _ = ok;
         self.add_edges(&pset, cand);
+        pset.clear();
+        self.pset_buf = pset;
         self.apply_load_clocks(t, order, cand);
 
         let record = LoadRecord {
@@ -565,8 +709,8 @@ impl Execution {
                 self.threads[t.index()].cv
             );
         }
-        let loc = self.locations.entry(obj).or_default();
-        loc.thread_mut(t.index())
+        self.loc_mut(obj)
+            .thread_mut(t.index())
             .accesses
             .push(AccessRef::Load(lidx));
         self.stats.atomic_loads += 1;
@@ -616,9 +760,13 @@ impl Execution {
                 self.check_rmw_store_feasible(t, obj, order, cand),
                 "commit_rmw: store half would close a cycle"
             );
-            let (pset, ok) = self.read_prior_set(t, obj, order, cand);
+            let mut pset = std::mem::take(&mut self.pset_buf);
+            let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
             debug_assert!(ok, "commit_rmw of an infeasible candidate");
+            let _ = ok;
             self.add_edges(&pset, cand);
+            pset.clear();
+            self.pset_buf = pset;
         }
         self.apply_load_clocks(t, order, cand);
         let old = self.stores[cand.index()].value;
@@ -707,12 +855,82 @@ impl Execution {
 
     /// Live (non-pruned) stores at a location, in no particular order.
     pub fn stores_at(&self, obj: ObjId) -> Vec<StoreIdx> {
-        match self.locations.get(&obj) {
+        match self.loc(obj) {
             None => Vec::new(),
             Some(loc) => loc
                 .threads()
                 .flat_map(|(_, h)| h.stores.iter().copied())
                 .collect(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a fixed little program and returns everything observable.
+    fn drive(e: &mut Execution) -> (Vec<u64>, ExecStats, u64) {
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        let y = e.new_object();
+        e.atomic_store(main, x, MemOrder::Relaxed, 0, StoreKind::Atomic);
+        e.atomic_store(main, y, MemOrder::Relaxed, 0, StoreKind::Atomic);
+        let t1 = e.fork(main);
+        let s1 = e.atomic_store(t1, x, MemOrder::Release, 1, StoreKind::Atomic);
+        e.fence(t1, MemOrder::SeqCst);
+        let (old, _) = e.commit_rmw(t1, y, MemOrder::AcqRel, e.stores_at(y)[0], 7);
+        assert_eq!(old, 0);
+        e.finish_thread(t1);
+        e.join(main, t1);
+        let v = e.commit_load(main, x, MemOrder::Acquire, s1);
+        assert_eq!(v, 1);
+        let feasible: Vec<u64> = e
+            .feasible_read_candidates(main, y, MemOrder::Acquire, false)
+            .into_iter()
+            .map(|s| e.store_value(s))
+            .collect();
+        (feasible, *e.stats(), e.now().0)
+    }
+
+    /// The determinism contract of recycling: a reset execution is
+    /// observationally identical to a fresh one.
+    #[test]
+    fn reset_execution_is_observationally_fresh() {
+        let mut fresh = Execution::new(Policy::C11Tester);
+        let reference = drive(&mut fresh);
+
+        let mut recycled = Execution::new(Policy::C11Tester);
+        let _ = drive(&mut recycled);
+        recycled.reset(Policy::C11Tester, PruneConfig::disabled());
+        assert_eq!(recycled.now().0, 1);
+        assert_eq!(recycled.thread_count(), 1);
+        assert!(recycled.mograph().is_empty());
+        let replay = drive(&mut recycled);
+
+        assert_eq!(replay, reference);
+        // Provisioning diagnostics do record the difference.
+        assert_eq!(recycled.stats().alloc.recycled_executions, 1);
+        assert_eq!(recycled.stats().alloc.fresh_executions, 0);
+        assert_eq!(fresh.stats().alloc.fresh_executions, 1);
+    }
+
+    /// Reset also rewinds object-id allocation and location state.
+    #[test]
+    fn reset_reuses_object_ids_with_clean_histories() {
+        let mut e = Execution::new(Policy::C11Tester);
+        let main = ThreadId::MAIN;
+        let x = e.new_object();
+        e.atomic_store(main, x, MemOrder::Relaxed, 5, StoreKind::Atomic);
+        assert_eq!(e.stores_at(x).len(), 1);
+        e.reset(Policy::C11Tester, PruneConfig::disabled());
+        let x2 = e.new_object();
+        assert_eq!(x2, x, "object ids restart from zero");
+        assert!(e.stores_at(x2).is_empty(), "no stale history");
+        assert!(
+            e.read_candidates(main, x2, MemOrder::Relaxed, false)
+                .is_empty(),
+            "no stale read candidates"
+        );
     }
 }

@@ -67,7 +67,7 @@ pub mod prune;
 pub mod readfrom;
 pub mod stats;
 
-pub use clock::ClockVector;
+pub use clock::{ClockVector, INLINE_SLOTS};
 pub use event::{
     AccessRef, FenceIdx, LoadIdx, LoadRecord, MemOrder, ObjId, SeqNum, StoreIdx, StoreKind,
     StoreRecord, ThreadId,
@@ -76,4 +76,4 @@ pub use exec::{Execution, ThreadState};
 pub use mograph::{MoGraph, MoGraphStats, NodeId};
 pub use policy::Policy;
 pub use prune::{PruneConfig, PruneMode};
-pub use stats::ExecStats;
+pub use stats::{AllocStats, ExecStats};

@@ -25,6 +25,14 @@ impl PerThreadLoc {
     pub fn is_empty(&self) -> bool {
         self.accesses.is_empty()
     }
+
+    /// Empties the history lists without releasing their storage
+    /// (execution-state recycling).
+    fn reset(&mut self) {
+        self.stores.clear();
+        self.accesses.clear();
+        self.sc_stores.clear();
+    }
 }
 
 /// History of all accesses to one atomic location.
@@ -73,6 +81,21 @@ impl LocationState {
     /// Total number of live store records across all threads.
     pub fn store_count(&self) -> usize {
         self.per_thread.iter().map(|h| h.stores.len()).sum()
+    }
+
+    /// Resets the location to its never-accessed state while retaining
+    /// every history list's capacity (execution-state recycling). A
+    /// reset location is indistinguishable from a fresh
+    /// `LocationState::default()` through the public API: the emptied
+    /// per-thread slots are skipped by [`LocationState::threads`].
+    pub fn reset(&mut self) {
+        for h in &mut self.per_thread {
+            h.reset();
+        }
+        self.last_sc_store = None;
+        self.last_store_exec = None;
+        self.last_write_nonatomic = false;
+        self.pruned_stores = 0;
     }
 }
 

@@ -63,10 +63,24 @@ pub struct MoGraphStats {
 }
 
 /// The modification-order constraint graph.
+///
+/// The node arena is **recyclable**: [`MoGraph::reset`] rewinds the
+/// live count to zero without dropping the `Node`s, so a recycled
+/// execution re-populates the same slots — retaining each node's
+/// edge-list and (spilled) clock-vector capacity — instead of
+/// reallocating per execution. Propagation uses a reusable scratch
+/// worklist rather than cloning edge lists per visited node.
 #[derive(Clone, Debug, Default)]
 pub struct MoGraph {
     nodes: Vec<Node>,
+    /// Number of live nodes; `nodes[live..]` are retired slots kept for
+    /// recycling and must never be read.
+    live: usize,
     stats: MoGraphStats,
+    /// Reusable BFS worklist for clock-vector propagation.
+    scratch: VecDeque<NodeId>,
+    /// Reusable buffer for the edges migrated by `add_rmw_edge`.
+    scratch_edges: Vec<NodeId>,
 }
 
 impl MoGraph {
@@ -75,35 +89,73 @@ impl MoGraph {
         MoGraph::default()
     }
 
+    /// Rewinds the graph to empty for a recycled execution, retaining
+    /// the node arena (and each node's edge/clock storage) for reuse.
+    pub fn reset(&mut self) {
+        self.live = 0;
+        self.stats = MoGraphStats::default();
+    }
+
     /// Adds a node for a store by `tid` with sequence number `seq` at
     /// location `obj`; its clock vector starts at `⊥CV` (own slot only).
+    /// Reuses a retired arena slot when one is available.
     pub fn add_node(&mut self, tid: ThreadId, seq: SeqNum, obj: ObjId) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            cv: ClockVector::bottom_for(tid, seq),
-            edges: Vec::new(),
-            rmw: None,
-            tid,
-            seq,
-            obj,
-            pruned: false,
-        });
+        let id = NodeId(self.live as u32);
+        if self.live < self.nodes.len() {
+            // Recycled slot: re-initialize in place, keeping capacity.
+            let n = &mut self.nodes[self.live];
+            n.cv.clear();
+            n.cv.set(tid, seq.0);
+            n.edges.clear();
+            n.rmw = None;
+            n.tid = tid;
+            n.seq = seq;
+            n.obj = obj;
+            n.pruned = false;
+        } else {
+            self.nodes.push(Node {
+                cv: ClockVector::bottom_for(tid, seq),
+                edges: Vec::new(),
+                rmw: None,
+                tid,
+                seq,
+                obj,
+                pruned: false,
+            });
+        }
+        self.live += 1;
         id
     }
 
     /// Immutable access to a node.
     pub fn node(&self, id: NodeId) -> &Node {
+        debug_assert!(id.index() < self.live, "access to a retired node slot");
         &self.nodes[id.index()]
     }
 
-    /// Number of nodes ever created (including pruned tombstones).
+    /// Number of live nodes (including pruned tombstones of the current
+    /// execution, excluding retired slots of recycled ones).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// True if the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
+    }
+
+    /// The live nodes as a slice.
+    fn live_nodes(&self) -> &[Node] {
+        &self.nodes[..self.live]
+    }
+
+    /// Number of live nodes whose clock vector spilled to the heap
+    /// (allocation diagnostics).
+    pub fn spilled_nodes(&self) -> u64 {
+        self.live_nodes()
+            .iter()
+            .filter(|n| n.cv.is_spilled())
+            .count() as u64
     }
 
     /// Graph-maintenance statistics.
@@ -171,7 +223,7 @@ impl MoGraph {
         #[cfg(debug_assertions)]
         if self.reaches_slow(to, from) {
             eprintln!("=== mo-graph dump at cycle ===");
-            for (ix, n) in self.nodes.iter().enumerate() {
+            for (ix, n) in self.live_nodes().iter().enumerate() {
                 eprintln!(
                     "  node {ix}: {:?} {:?} {:?} cv={:?} edges={:?} rmw={:?}",
                     n.tid, n.seq, n.obj, n.cv, n.edges, n.rmw
@@ -188,22 +240,33 @@ impl MoGraph {
             self.stats.edges_added += 1;
         }
         if self.merge(to, from) {
-            let mut queue = VecDeque::new();
-            queue.push_back(to);
-            while let Some(node) = queue.pop_front() {
-                let dsts = self.nodes[node.index()].edges.clone();
-                for dst in dsts {
-                    if self.merge(dst, node) {
-                        queue.push_back(dst);
-                    }
+            self.propagate(to);
+        }
+    }
+
+    /// Breadth-first clock-vector propagation from `start` over mo and
+    /// rmw edges. Uses the reusable scratch worklist; `merge` never
+    /// mutates edge lists, so nodes are walked by index without cloning
+    /// their edges.
+    fn propagate(&mut self, start: NodeId) {
+        let mut queue = std::mem::take(&mut self.scratch);
+        debug_assert!(queue.is_empty());
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            let edge_count = self.nodes[node.index()].edges.len();
+            for i in 0..edge_count {
+                let dst = self.nodes[node.index()].edges[i];
+                if self.merge(dst, node) {
+                    queue.push_back(dst);
                 }
-                if let Some(r) = self.nodes[node.index()].rmw {
-                    if self.merge(r, node) {
-                        queue.push_back(r);
-                    }
+            }
+            if let Some(r) = self.nodes[node.index()].rmw {
+                if self.merge(r, node) {
+                    queue.push_back(r);
                 }
             }
         }
+        self.scratch = queue;
     }
 
     /// `AddRMWEdge` (Fig. 6): `rmw` read from `from`; installs the rmw
@@ -222,35 +285,26 @@ impl MoGraph {
         );
         self.nodes[from.index()].rmw = Some(rmw);
         self.stats.rmw_edges += 1;
-        let migrated: Vec<NodeId> = self.nodes[from.index()]
-            .edges
-            .iter()
-            .copied()
-            .filter(|&dst| dst != rmw)
-            .collect();
+        let mut migrated = std::mem::take(&mut self.scratch_edges);
+        debug_assert!(migrated.is_empty());
+        migrated.extend(
+            self.nodes[from.index()]
+                .edges
+                .iter()
+                .copied()
+                .filter(|&dst| dst != rmw),
+        );
         for dst in &migrated {
             if !self.nodes[rmw.index()].edges.contains(dst) {
                 self.nodes[rmw.index()].edges.push(*dst);
             }
         }
+        migrated.clear();
+        self.scratch_edges = migrated;
         self.nodes[from.index()].edges.clear();
         self.add_edge(from, rmw);
         // Forced propagation over the migrated edges.
-        let mut queue: VecDeque<NodeId> = VecDeque::new();
-        queue.push_back(rmw);
-        while let Some(node) = queue.pop_front() {
-            let dsts = self.nodes[node.index()].edges.clone();
-            for dst in dsts {
-                if self.merge(dst, node) {
-                    queue.push_back(dst);
-                }
-            }
-            if let Some(r) = self.nodes[node.index()].rmw {
-                if self.merge(r, node) {
-                    queue.push_back(r);
-                }
-            }
-        }
+        self.propagate(rmw);
     }
 
     /// Follows `start`'s rmw chain to its end, exactly as `AddEdge`
@@ -293,7 +347,7 @@ impl MoGraph {
         if a == b {
             return false;
         }
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.live];
         let mut stack = vec![a];
         seen[a.index()] = true;
         while let Some(n) = stack.pop() {
@@ -321,8 +375,8 @@ impl MoGraph {
             Grey,
             Black,
         }
-        let mut mark = vec![Mark::White; self.nodes.len()];
-        for start in 0..self.nodes.len() {
+        let mut mark = vec![Mark::White; self.live];
+        for start in 0..self.live {
             if mark[start] != Mark::White {
                 continue;
             }
@@ -352,13 +406,17 @@ impl MoGraph {
         false
     }
 
-    /// Tombstones a node during pruning: releases its clock vector and
-    /// edge storage. The caller is responsible for ensuring no live node
-    /// still needs reachability answers involving this node.
+    /// Tombstones a node during pruning: **releases** its clock-vector
+    /// heap storage and edge list. Pruned mo-graph nodes are not
+    /// recycled within an execution, so retaining capacity here would
+    /// defeat the §7.1 memory limiting the pass exists for (unlike
+    /// [`MoGraph::reset`], whose retired slots are reused and keep
+    /// their storage). The caller is responsible for ensuring no live
+    /// node still needs reachability answers involving this node.
     pub fn prune_node(&mut self, id: NodeId) {
         let n = &mut self.nodes[id.index()];
         n.pruned = true;
-        n.cv.clear();
+        n.cv.release();
         n.edges = Vec::new();
         n.rmw = None;
     }
@@ -366,8 +424,8 @@ impl MoGraph {
     /// Drops edges that point at pruned nodes (housekeeping after a
     /// pruning pass so traversal oracles stay meaningful).
     pub fn drop_edges_to_pruned(&mut self) {
-        let pruned: Vec<bool> = self.nodes.iter().map(|n| n.pruned).collect();
-        for n in &mut self.nodes {
+        let pruned: Vec<bool> = self.live_nodes().iter().map(|n| n.pruned).collect();
+        for n in &mut self.nodes[..self.live] {
             n.edges.retain(|e| !pruned[e.index()]);
             if let Some(r) = n.rmw {
                 if pruned[r.index()] {
@@ -381,7 +439,7 @@ impl MoGraph {
     /// memory-limiting experiments of §7.1).
     pub fn approx_bytes(&self) -> usize {
         let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
-        for n in &self.nodes {
+        for n in self.live_nodes() {
             total += n.cv.len() * 8 + n.edges.capacity() * std::mem::size_of::<NodeId>();
         }
         total
@@ -577,6 +635,35 @@ mod tests {
         assert!(g.node(a).edges.is_empty());
         assert!(g.node(a).cv.is_empty());
         assert!(!g.node(b).pruned);
+    }
+
+    #[test]
+    fn reset_recycles_node_slots() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, b);
+        let r = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_rmw_edge(a, r);
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.stats(), MoGraphStats::default());
+        // Recycled slots must behave exactly like fresh nodes: no stale
+        // edges, rmw pointers, clocks, or tombstones.
+        let a2 = g.add_node(t(3), SeqNum(10), OBJ);
+        let b2 = g.add_node(t(4), SeqNum(11), OBJ);
+        assert_eq!(a2, a, "slot ids restart from zero");
+        assert!(!g.node(a2).pruned);
+        assert!(g.node(a2).edges.is_empty());
+        assert_eq!(g.node(a2).rmw, None);
+        assert_eq!(g.node(a2).cv.get(t(3)), 10);
+        assert_eq!(g.node(a2).cv.get(t(0)), 0, "no stale clock slots");
+        assert!(!g.reaches(a2, b2));
+        g.add_edge(a2, b2);
+        assert!(g.reaches(a2, b2));
+        assert!(g.reaches_slow(a2, b2));
+        assert_eq!(g.stats().edges_added, 1);
     }
 
     #[test]

@@ -143,16 +143,19 @@ impl Execution {
 
     /// `WritePriorSet(S)` (Fig. 13): stores that must be mo-before a
     /// prospective store by `t` at `obj`. Computed *before* the store is
-    /// inserted into any history list.
-    pub(crate) fn write_prior_set(
+    /// inserted into any history list. Fills `priorset` (cleared first)
+    /// instead of allocating — the hot path threads
+    /// [`Execution::pset_buf`] through here.
+    pub(crate) fn write_prior_set_into(
         &self,
         t: ThreadId,
         obj: ObjId,
         order: MemOrder,
-    ) -> Vec<StoreIdx> {
-        let mut priorset = Vec::new();
-        let Some(loc) = self.locations.get(&obj) else {
-            return priorset;
+        priorset: &mut Vec<StoreIdx>,
+    ) {
+        priorset.clear();
+        let Some(loc) = self.loc(obj) else {
+            return;
         };
         let f_s = self.last_sc_fence(t.index());
         let is_sc_store = order.is_seq_cst();
@@ -174,26 +177,27 @@ impl Execution {
                 }
             }
         }
-        priorset
     }
 
     /// `ReadPriorSet(L, S)` (Fig. 13): the stores that would gain mo
     /// edges into candidate `cand` if a load by `t` read from it, plus
-    /// the §4.3 feasibility verdict. Returns `(∅, false)` when any
-    /// member is already reachable from `cand` in the mo-graph (a cycle
-    /// would form, so the candidate must be discarded).
-    pub(crate) fn read_prior_set(
+    /// the §4.3 feasibility verdict. Fills `priorset` (cleared first)
+    /// and returns `false` — with `priorset` emptied — when any member
+    /// is already reachable from `cand` in the mo-graph (a cycle would
+    /// form, so the candidate must be discarded).
+    pub(crate) fn read_prior_set_into(
         &mut self,
         t: ThreadId,
         obj: ObjId,
         order: MemOrder,
         cand: StoreIdx,
-    ) -> (Vec<StoreIdx>, bool) {
-        let mut priorset = Vec::new();
+        priorset: &mut Vec<StoreIdx>,
+    ) -> bool {
+        priorset.clear();
         let is_sc_load = order.is_seq_cst();
         let f_l = self.last_sc_fence(t.index());
         let f_l_seq = f_l.map(|f| self.fence_seq(f));
-        if let Some(loc) = self.locations.get(&obj) {
+        if let Some(loc) = self.loc(obj) {
             for (uix, h) in loc.threads() {
                 let f_t = self.last_sc_fence(uix);
                 let f_b = f_l_seq.and_then(|b| self.last_sc_fence_before(uix, b));
@@ -212,7 +216,8 @@ impl Execution {
         // checked from the candidate to *that* node. Theorem 1 lets us
         // answer with clock-vector comparisons.
         let n_cand = self.node_of(cand);
-        for &e in &priorset {
+        for i in 0..priorset.len() {
+            let e = priorset[i];
             let n_e = self.node_of(e);
             let n_end = self.graph.chain_end(n_e, n_cand);
             if n_end == n_cand {
@@ -221,10 +226,11 @@ impl Execution {
                 continue;
             }
             if self.graph.reaches(n_cand, n_end) {
-                return (Vec::new(), false);
+                priorset.clear();
+                return false;
             }
         }
-        (priorset, true)
+        true
     }
 
     /// Additional feasibility for RMWs (§4.3 "Atomic RMWs"): the RMW's
@@ -246,19 +252,21 @@ impl Execution {
         // post-acquire additions flow through the candidate's release
         // sequence and are provably mo-≤ the candidate, so they cannot
         // close a cycle.
-        let mut wpset = self.write_prior_set(t, obj, order);
+        let mut wpset = std::mem::take(&mut self.pset_buf);
+        self.write_prior_set_into(t, obj, order, &mut wpset);
         // Restricted policies additionally chain the new store after the
         // execution-order-latest store; an RMW reading anything older is
         // inconsistent with a total execution-order mo (real tsan
         // executes RMWs in place on the latest value).
         if self.policy().restricts_mo() {
-            if let Some(prev) = self.locations.get(&obj).and_then(|l| l.last_store_exec) {
+            if let Some(prev) = self.loc(obj).and_then(|l| l.last_store_exec) {
                 if !wpset.contains(&prev) {
                     wpset.push(prev);
                 }
             }
         }
         let n_cand = self.node_of(cand);
+        let mut feasible = true;
         for &e in &wpset {
             if e == cand {
                 continue;
@@ -266,10 +274,13 @@ impl Execution {
             let n_e = self.node_of(e);
             let n_end = self.graph.chain_end(n_e, n_cand);
             if n_end != n_cand && self.graph.reaches(n_cand, n_end) {
-                return false;
+                feasible = false;
+                break;
             }
         }
-        true
+        wpset.clear();
+        self.pset_buf = wpset;
+        feasible
     }
 }
 

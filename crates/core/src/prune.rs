@@ -24,7 +24,7 @@
 //! deferred.
 
 use crate::clock::ClockVector;
-use crate::event::{AccessRef, ObjId, StoreIdx, ThreadId};
+use crate::event::{AccessRef, StoreIdx, ThreadId};
 use crate::exec::Execution;
 use std::collections::HashSet;
 
@@ -149,14 +149,15 @@ impl Execution {
             0
         };
 
-        let objs: Vec<ObjId> = self.locations.keys().copied().collect();
-        for obj in objs {
+        // The dense location table iterates in ObjId order —
+        // deterministic, unlike the former hash-map key order.
+        for obj_ix in 0..self.locations.len() {
             // Phase 1: anchors — the newest store per thread known to
             // every live thread (conservative), plus the newest store
             // per thread older than the window (aggressive).
             let mut anchors: Vec<StoreIdx> = Vec::new();
             {
-                let loc = &self.locations[&obj];
+                let loc = &self.locations[obj_ix];
                 for (uix, h) in loc.threads() {
                     let bound = cv_min.get(ThreadId::from_index(uix));
                     let pos = h
@@ -184,7 +185,7 @@ impl Execution {
             // engine still references.
             let mut doomed: Vec<StoreIdx> = Vec::new();
             {
-                let loc = &self.locations[&obj];
+                let loc = &self.locations[obj_ix];
                 for (_, h) in loc.threads() {
                     for &s in &h.stores {
                         if anchors.contains(&s)
@@ -211,7 +212,7 @@ impl Execution {
                 let Execution {
                     locations, loads, ..
                 } = self;
-                let loc = locations.get_mut(&obj).expect("location exists");
+                let loc = &mut locations[obj_ix];
                 for h in &mut loc.per_thread {
                     h.stores.retain(|s| !doom_set.contains(s));
                     h.sc_stores.retain(|s| !doom_set.contains(s));
@@ -231,8 +232,12 @@ impl Execution {
             for &s in &doomed {
                 let rec = &mut self.stores[s.index()];
                 rec.pruned = true;
-                rec.rf_cv.clear();
-                rec.hb_cv.clear();
+                // Release (not clear): tombstones must give spilled
+                // clock storage back — §7.1 bounds real memory, and
+                // `alloc_store` overwrites the whole record on reuse
+                // anyway, so there is no capacity worth keeping.
+                rec.rf_cv.release();
+                rec.hb_cv.release();
                 if let Some(n) = rec.node.take() {
                     self.graph.prune_node(n);
                 }

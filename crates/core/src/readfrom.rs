@@ -32,8 +32,25 @@ impl Execution {
         order: MemOrder,
         for_rmw: bool,
     ) -> Vec<StoreIdx> {
-        let Some(loc) = self.locations.get(&obj) else {
-            return Vec::new();
+        let mut ret = Vec::new();
+        self.read_candidates_into(t, obj, order, for_rmw, &mut ret);
+        ret
+    }
+
+    /// [`Execution::read_candidates`] into a caller-provided buffer
+    /// (cleared first) — the allocation-free hot path; the engine
+    /// threads one reusable buffer through every load.
+    pub fn read_candidates_into(
+        &self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        for_rmw: bool,
+        ret: &mut Vec<StoreIdx>,
+    ) {
+        ret.clear();
+        let Some(loc) = self.loc(obj) else {
+            return;
         };
         let sc_anchor = if order.is_seq_cst() {
             loc.last_sc_store
@@ -41,7 +58,6 @@ impl Execution {
             None
         };
         let ct = &self.threads[t.index()].cv;
-        let mut ret = Vec::new();
         for (uix, h) in loc.threads() {
             let bound = ct.get(ThreadId::from_index(uix));
             // Stores are in seq order: split into "already known to the
@@ -57,7 +73,7 @@ impl Execution {
         }
         if let Some(anchor) = sc_anchor {
             let aref = &self.stores[anchor.index()];
-            let (a_seq, a_hb) = (aref.seq, aref.hb_cv.clone());
+            let (a_seq, a_hb) = (aref.seq, &aref.hb_cv);
             ret.retain(|&x| {
                 if x == anchor {
                     return true;
@@ -75,7 +91,6 @@ impl Execution {
         if for_rmw {
             ret.retain(|&x| self.stores[x.index()].rmw_read_by.is_none());
         }
-        ret
     }
 }
 

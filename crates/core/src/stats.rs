@@ -4,8 +4,46 @@
 
 use crate::mograph::MoGraphStats;
 
-/// Counters accumulated over a single execution.
+/// Allocation-behavior diagnostics (hot-path observability).
+///
+/// These counters describe *how* an execution was provisioned —
+/// recycled arena vs fresh allocation, clock vectors spilled past the
+/// inline capacity — not *what* it computed. They are deliberately
+/// **excluded from [`ExecStats`] equality** and from the default
+/// canonical campaign JSON: a replayed execution is behaviorally
+/// identical whether it ran on a recycled or a fresh arena, and the
+/// determinism contract (byte-identical canonical reports, recycled vs
+/// fresh, at any worker count) must not be broken by provisioning
+/// details. Surface them explicitly (e.g. `c11campaign --alloc-stats`)
+/// when diagnosing allocator behavior.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Executions that started from a freshly allocated state.
+    pub fresh_executions: u64,
+    /// Executions that started from a recycled (capacity-retaining)
+    /// execution state.
+    pub recycled_executions: u64,
+    /// Live clock vectors that had spilled past the inline capacity
+    /// ([`crate::clock::INLINE_SLOTS`] threads) when the execution
+    /// finished.
+    pub clock_spills: u64,
+}
+
+impl AllocStats {
+    /// Folds another execution's allocation counters into this one.
+    pub fn absorb(&mut self, other: &AllocStats) {
+        self.fresh_executions += other.fresh_executions;
+        self.recycled_executions += other.recycled_executions;
+        self.clock_spills += other.clock_spills;
+    }
+}
+
+/// Counters accumulated over a single execution.
+///
+/// Equality compares the *behavioral* counters only: [`ExecStats::alloc`]
+/// is excluded, so a replayed execution matches its original regardless
+/// of whether either ran on recycled state.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ExecStats {
     /// Atomic loads committed.
     pub atomic_loads: u64,
@@ -35,7 +73,51 @@ pub struct ExecStats {
     pub prune_passes: u64,
     /// Mo-graph maintenance statistics.
     pub mograph: MoGraphStats,
+    /// Allocation-behavior diagnostics (excluded from equality; see
+    /// [`AllocStats`]).
+    pub alloc: AllocStats,
 }
+
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field without deciding
+        // whether it participates in equality is a compile error.
+        // `alloc` is the one intentional exclusion — provisioning
+        // details must not distinguish behaviorally identical
+        // executions.
+        let ExecStats {
+            atomic_loads,
+            atomic_stores,
+            rmws,
+            fences,
+            sync_ops,
+            normal_accesses,
+            volatile_accesses,
+            candidates_rejected,
+            pruned_stores,
+            pruned_loads,
+            pruned_fences,
+            prune_passes,
+            mograph,
+            alloc: _,
+        } = self;
+        *atomic_loads == other.atomic_loads
+            && *atomic_stores == other.atomic_stores
+            && *rmws == other.rmws
+            && *fences == other.fences
+            && *sync_ops == other.sync_ops
+            && *normal_accesses == other.normal_accesses
+            && *volatile_accesses == other.volatile_accesses
+            && *candidates_rejected == other.candidates_rejected
+            && *pruned_stores == other.pruned_stores
+            && *pruned_loads == other.pruned_loads
+            && *pruned_fences == other.pruned_fences
+            && *prune_passes == other.prune_passes
+            && *mograph == other.mograph
+    }
+}
+
+impl Eq for ExecStats {}
 
 impl ExecStats {
     /// Total atomic operations in the paper's Table 3 sense: atomics
@@ -68,6 +150,7 @@ impl ExecStats {
         self.mograph.edges_redundant += other.mograph.edges_redundant;
         self.mograph.merges += other.mograph.merges;
         self.mograph.rmw_edges += other.mograph.rmw_edges;
+        self.alloc.absorb(&other.alloc);
     }
 }
 
@@ -107,5 +190,51 @@ mod tests {
         assert_eq!(a.atomic_loads, 3);
         assert_eq!(a.normal_accesses, 15);
         assert_eq!(a.prune_passes, 1);
+    }
+
+    #[test]
+    fn equality_ignores_alloc_diagnostics() {
+        let fresh = ExecStats {
+            atomic_loads: 4,
+            alloc: AllocStats {
+                fresh_executions: 1,
+                ..AllocStats::default()
+            },
+            ..ExecStats::default()
+        };
+        let recycled = ExecStats {
+            atomic_loads: 4,
+            alloc: AllocStats {
+                recycled_executions: 1,
+                clock_spills: 3,
+                ..AllocStats::default()
+            },
+            ..ExecStats::default()
+        };
+        // Same behavior, different provisioning: equal.
+        assert_eq!(fresh, recycled);
+        let different = ExecStats {
+            atomic_loads: 5,
+            ..ExecStats::default()
+        };
+        assert_ne!(fresh, different);
+    }
+
+    #[test]
+    fn absorb_accumulates_alloc_counters() {
+        let mut a = ExecStats::default();
+        let b = ExecStats {
+            alloc: AllocStats {
+                fresh_executions: 1,
+                recycled_executions: 2,
+                clock_spills: 7,
+            },
+            ..ExecStats::default()
+        };
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.alloc.fresh_executions, 2);
+        assert_eq!(a.alloc.recycled_executions, 4);
+        assert_eq!(a.alloc.clock_spills, 14);
     }
 }

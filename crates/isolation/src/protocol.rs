@@ -231,6 +231,10 @@ fn parse_stats(doc: &JsonValue) -> Result<ExecStats, String> {
             merges: u64_field(mg, "merges")?,
             rmw_edges: u64_field(mg, "rmw_edges")?,
         },
+        // Allocation diagnostics are per-process provisioning details;
+        // the wire protocol deliberately does not carry them (they are
+        // excluded from stats equality and default canonical JSON).
+        alloc: Default::default(),
     })
 }
 

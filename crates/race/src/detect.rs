@@ -15,7 +15,7 @@ use crate::dedup::RaceKey;
 use crate::report::{AccessKind, RaceKind, RaceReport};
 use crate::shadow::{Epoch, PackedShadow, ShadowWord};
 use c11tester_core::{ClockVector, ObjId, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Expanded access record: full read vectors split by atomicity.
 #[derive(Clone, Debug, Default)]
@@ -35,18 +35,35 @@ struct LocMeta {
     volatile: bool,
 }
 
+/// Per-object dense shadow-word table, indexed by cell offset.
+///
+/// A missing word and the all-zero word both decode to the
+/// never-accessed [`ShadowWord::empty`] (its encoding is 0), so the
+/// table can grow lazily and be wiped by zero-filling in place —
+/// retaining its capacity across executions.
+#[derive(Debug, Default, Clone)]
+struct ShadowTable {
+    words: Vec<u64>,
+}
+
 /// The shadow-memory race detector.
 ///
 /// Shadow state is per *cell* `(object, offset)`; scalar objects use
-/// offset 0 and arrays one cell per element. `begin_execution` clears
-/// shadow state but keeps the report-deduplication set, matching the
-/// paper's fork-snapshot behavior of reporting each race once across
-/// repeated executions (§7.6).
+/// offset 0 and arrays one cell per element. Object ids are dense
+/// sequential, so shadow words live in a per-object `Vec<u64>` word
+/// table (one indexed lookup per check — no hashing), and location
+/// metadata in a dense `Vec` keyed the same way. `begin_execution`
+/// clears shadow state **in place, retaining capacity** (the detector
+/// is the tool state that survives across executions, so its tables
+/// are recycled rather than reallocated) but keeps the
+/// report-deduplication set, matching the paper's fork-snapshot
+/// behavior of reporting each race once across repeated executions
+/// (§7.6).
 #[derive(Debug, Default)]
 pub struct RaceDetector {
-    shadow: HashMap<(ObjId, u32), u64>,
+    shadow: Vec<ShadowTable>,
     expanded: Vec<Expanded>,
-    meta: HashMap<ObjId, LocMeta>,
+    meta: Vec<Option<LocMeta>>,
     seen: HashSet<RaceKey>,
     reports: Vec<RaceReport>,
     /// Races detected but elided because they involve volatile cells.
@@ -63,13 +80,14 @@ impl RaceDetector {
 
     /// Registers a location's label (for reports) and volatility.
     pub fn register(&mut self, obj: ObjId, label: impl Into<String>, volatile: bool) {
-        self.meta.insert(
-            obj,
-            LocMeta {
-                label: label.into(),
-                volatile,
-            },
-        );
+        let ix = obj.0 as usize;
+        if self.meta.len() <= ix {
+            self.meta.resize_with(ix + 1, || None);
+        }
+        self.meta[ix] = Some(LocMeta {
+            label: label.into(),
+            volatile,
+        });
     }
 
     /// Clears shadow state and per-execution deduplication for a new
@@ -79,9 +97,38 @@ impl RaceDetector {
     /// layer, which also needs the per-execution detection signal for
     /// the detection-rate experiments.
     pub fn begin_execution(&mut self) {
-        self.shadow.clear();
+        for table in &mut self.shadow {
+            // Zero-fill in place: the all-zero word is the empty shadow
+            // word, and the capacity survives for the next execution.
+            table.words.fill(0);
+        }
         self.expanded.clear();
         self.seen.clear();
+    }
+
+    /// Reads the shadow word of a cell (empty when never touched).
+    #[inline]
+    fn shadow_word(&self, obj: ObjId, offset: u32) -> u64 {
+        self.shadow
+            .get(obj.0 as usize)
+            .and_then(|t| t.words.get(offset as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes the shadow word of a cell, growing the dense tables.
+    #[inline]
+    fn set_shadow_word(&mut self, obj: ObjId, offset: u32, bits: u64) {
+        let oix = obj.0 as usize;
+        if self.shadow.len() <= oix {
+            self.shadow.resize_with(oix + 1, ShadowTable::default);
+        }
+        let words = &mut self.shadow[oix].words;
+        let cell = offset as usize;
+        if words.len() <= cell {
+            words.resize(cell + 1, 0);
+        }
+        words[cell] = bits;
     }
 
     /// Race reports accumulated so far (deduplicated).
@@ -101,13 +148,18 @@ impl RaceDetector {
 
     fn label_of(&self, obj: ObjId) -> String {
         self.meta
-            .get(&obj)
+            .get(obj.0 as usize)
+            .and_then(|m| m.as_ref())
             .map(|m| m.label.clone())
             .unwrap_or_else(|| format!("{obj:?}"))
     }
 
     fn is_volatile(&self, obj: ObjId) -> bool {
-        self.meta.get(&obj).map(|m| m.volatile).unwrap_or(false)
+        self.meta
+            .get(obj.0 as usize)
+            .and_then(|m| m.as_ref())
+            .map(|m| m.volatile)
+            .unwrap_or(false)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -193,10 +245,7 @@ impl RaceDetector {
         // Volatile accesses conflict like non-atomic ones (the standard
         // gives them no atomicity); only the *reporting* is elided.
         let atomic = kind == AccessKind::Atomic;
-        let bits = *self
-            .shadow
-            .entry((obj, offset))
-            .or_insert_with(|| ShadowWord::empty().encode());
+        let bits = self.shadow_word(obj, offset);
         let before = self.reports.len();
         match ShadowWord::decode(bits) {
             ShadowWord::Packed(p) => {
@@ -231,8 +280,7 @@ impl RaceDetector {
                     np.read_clock = epoch.clock;
                     np.read_tid = tid.as_u32();
                     np.read_atomic = atomic;
-                    self.shadow
-                        .insert((obj, offset), ShadowWord::Packed(np).encode());
+                    self.set_shadow_word(obj, offset, ShadowWord::Packed(np).encode());
                 } else {
                     // Concurrent readers or overflow: inflate.
                     let ix = self.expand(p);
@@ -242,8 +290,7 @@ impl RaceDetector {
                     } else {
                         exp.reads_nonatomic.set(tid, epoch.clock);
                     }
-                    self.shadow
-                        .insert((obj, offset), ShadowWord::Expanded(ix).encode());
+                    self.set_shadow_word(obj, offset, ShadowWord::Expanded(ix).encode());
                 }
             }
             ShadowWord::Expanded(ix) => {
@@ -293,10 +340,7 @@ impl RaceDetector {
         };
         // See on_read: volatile conflicts like non-atomic.
         let atomic = kind == AccessKind::Atomic;
-        let bits = *self
-            .shadow
-            .entry((obj, offset))
-            .or_insert_with(|| ShadowWord::empty().encode());
+        let bits = self.shadow_word(obj, offset);
         let before = self.reports.len();
         match ShadowWord::decode(bits) {
             ShadowWord::Packed(p) => {
@@ -339,15 +383,13 @@ impl RaceDetector {
                         read_tid: 0,
                         read_atomic: false,
                     };
-                    self.shadow
-                        .insert((obj, offset), ShadowWord::Packed(np).encode());
+                    self.set_shadow_word(obj, offset, ShadowWord::Packed(np).encode());
                 } else {
                     let ix = self.expand(PackedShadow::default());
                     let exp = &mut self.expanded[ix as usize];
                     exp.write = Some(epoch);
                     exp.write_atomic = atomic;
-                    self.shadow
-                        .insert((obj, offset), ShadowWord::Expanded(ix).encode());
+                    self.set_shadow_word(obj, offset, ShadowWord::Expanded(ix).encode());
                 }
             }
             ShadowWord::Expanded(ix) => {
@@ -534,6 +576,35 @@ mod tests {
         d.on_write(X, 0, t(0), &cv(&[(0, big)]), AccessKind::NonAtomic);
         // Still detects a racing write afterwards.
         assert!(d.on_write(X, 0, t(1), &cv(&[(1, 2)]), AccessKind::NonAtomic));
+    }
+
+    #[test]
+    fn begin_execution_wipes_dense_tables_in_place() {
+        let mut d = RaceDetector::new();
+        d.register(X, "x", false);
+        // Touch a high offset so the word table has real extent, and
+        // force an expanded record via concurrent readers.
+        d.on_read(X, 7, t(0), &cv(&[(0, 1)]), AccessKind::NonAtomic);
+        d.on_read(X, 7, t(1), &cv(&[(1, 2)]), AccessKind::NonAtomic);
+        d.begin_execution();
+        // A fresh execution must see never-accessed cells: a single
+        // write cannot race against wiped state...
+        assert!(!d.on_write(X, 7, t(2), &cv(&[(2, 1)]), AccessKind::NonAtomic));
+        assert_eq!(d.race_count(), 0);
+        // ...and the metadata (labels) survives the wipe.
+        d.on_write(X, 7, t(3), &cv(&[(3, 1)]), AccessKind::NonAtomic);
+        assert_eq!(d.reports()[0].label, "x");
+    }
+
+    #[test]
+    fn unregistered_objects_fall_back_to_debug_labels() {
+        let mut d = RaceDetector::new();
+        // ObjId(5) never registered: dense meta table must not panic
+        // and the report label falls back to the Debug rendering.
+        let o = ObjId(5);
+        d.on_write(o, 0, t(0), &cv(&[(0, 1)]), AccessKind::NonAtomic);
+        assert!(d.on_write(o, 0, t(1), &cv(&[(1, 2)]), AccessKind::NonAtomic));
+        assert_eq!(d.reports()[0].label, "obj5");
     }
 
     #[test]
