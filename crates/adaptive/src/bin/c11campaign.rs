@@ -77,10 +77,25 @@ OPTIONS:
                             stats. Off by default — the block depends on
                             worker count and recycling, so it is excluded
                             from the byte-identity contract and goldens.
-                            In-process campaigns only (rejected with
-                            --isolate: children do not report it)
+                            Works with --isolate too: children report their
+                            batch counters over the wire in a metrics frame.
+    --metrics-out <FILE>    write a c11metrics/v1 diagnostic report (phase
+                            timings, per-worker utilization, fork-server
+                            health, epoch timeline; see docs/METRICS.md)
+                            to FILE. Enables phase profiling for the run.
+                            Diagnostics never enter the canonical report:
+                            stdout stays byte-identical with or without
+                            this flag.
+    --metrics-format <FMT>  json (default) | chrome: with chrome, FILE gets
+                            a Chrome trace-event array — open it in
+                            chrome://tracing or https://ui.perfetto.dev
     --list                  list available targets
     --help                  show this help
+
+ENVIRONMENT:
+    C11TESTER_TRACE=1       stream structured per-event schedule traces
+                            (JSONL, one object per committed load/store/RMW,
+                            keyed by seed/epoch/index) to stderr
 ";
 
 /// Arm set used by `--adaptive` when no `--mix` is given.
@@ -105,6 +120,8 @@ struct Args {
     json: bool,
     canonical: bool,
     alloc_stats: bool,
+    metrics_out: Option<String>,
+    metrics_chrome: bool,
     list: bool,
 }
 
@@ -137,6 +154,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         json: false,
         canonical: false,
         alloc_stats: false,
+        metrics_out: None,
+        metrics_chrome: false,
         list: false,
     };
     while let Some(flag) = argv.next() {
@@ -215,6 +234,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--json" => args.json = true,
             "--canonical" => args.canonical = true,
             "--alloc-stats" => args.alloc_stats = true,
+            "--metrics-out" => args.metrics_out = Some(value()?),
+            "--metrics-format" => {
+                let v = value()?;
+                args.metrics_chrome = match v.to_ascii_lowercase().as_str() {
+                    "json" => false,
+                    "chrome" => true,
+                    _ => return Err(format!("unknown metrics format `{v}` (json | chrome)")),
+                };
+            }
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -235,15 +263,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.alloc_stats && !args.canonical {
         return Err("--alloc-stats requires --canonical".into());
     }
-    if args.alloc_stats && args.isolate {
-        // The fork-isolation wire protocol deliberately does not carry
-        // the per-process provisioning diagnostics; emitting an
-        // all-zero block would be misleading.
-        return Err(
-            "--alloc-stats is in-process only (child workers do not report \
-             provisioning diagnostics over the wire)"
-                .into(),
-        );
+    if args.metrics_chrome && args.metrics_out.is_none() {
+        return Err("--metrics-format requires --metrics-out".into());
     }
     Ok(args)
 }
@@ -348,6 +369,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
+    // Phase profiling is opt-in: off, each timer site costs one relaxed
+    // atomic load. --metrics-out is what opts in (child workers inherit
+    // the gate through the fork server's --profile-phases flag).
+    if args.metrics_out.is_some() {
+        c11tester_telemetry::set_profiling(true);
+    }
+
     let mut config = Config::for_policy(args.policy).with_seed(args.seed);
     if let Some(mix) = args.mix.clone() {
         config = config.with_mix(mix);
@@ -382,59 +410,93 @@ fn main() -> ExitCode {
 
     // Run the campaign (adaptive or plain, in-process or isolated) and
     // collect the output forms the tail of main needs.
-    let (text, full_json, canonical_json) = if let Some(policy) = args.adaptive.as_deref() {
-        let mut campaign = AdaptiveCampaign::new(config)
-            .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
-        campaign = match campaign.with_policy(policy) {
-            Ok(c) => c,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                return ExitCode::from(2);
-            }
-        };
-        if let Some(w) = args.workers {
-            campaign = campaign.with_workers(w);
-        }
-        let report = if let Some(fork) = &fork {
-            match campaign.run_target(fork, &target, &budget) {
-                Ok(report) => report,
+    let (text, full_json, canonical_json, metrics, workers_used) =
+        if let Some(policy) = args.adaptive.as_deref() {
+            let mut campaign = AdaptiveCampaign::new(config)
+                .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
+            campaign = match campaign.with_policy(policy) {
+                Ok(c) => c,
                 Err(msg) => {
                     eprintln!("error: {msg}");
                     return ExitCode::from(2);
                 }
+            };
+            if let Some(w) = args.workers {
+                campaign = campaign.with_workers(w);
             }
-        } else {
-            campaign.run(&budget, move || target.run())
-        };
-        let canonical = if args.alloc_stats {
-            report.canonical_json_with_alloc_stats()
-        } else {
-            report.canonical_json()
-        };
-        (report.to_string(), report.to_json(), canonical)
-    } else {
-        let mut campaign = Campaign::new(config);
-        if let Some(w) = args.workers {
-            campaign = campaign.with_workers(w);
-        }
-        let report = if let Some(fork) = &fork {
-            match campaign.run_target(fork, &target, &budget) {
-                Ok(report) => report,
-                Err(msg) => {
-                    eprintln!("error: {msg}");
-                    return ExitCode::from(2);
+            let report = if let Some(fork) = &fork {
+                match campaign.run_target(fork, &target, &budget) {
+                    Ok(report) => report,
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        return ExitCode::from(2);
+                    }
                 }
+            } else {
+                campaign.run(&budget, move || target.run())
+            };
+            let canonical = if args.alloc_stats {
+                report.canonical_json_with_alloc_stats()
+            } else {
+                report.canonical_json()
+            };
+            let workers = report.workers;
+            (
+                report.to_string(),
+                report.to_json(),
+                canonical,
+                report.metrics,
+                workers,
+            )
+        } else {
+            let mut campaign = Campaign::new(config);
+            if let Some(w) = args.workers {
+                campaign = campaign.with_workers(w);
             }
-        } else {
-            campaign.run(&budget, move || target.run())
+            let report = if let Some(fork) = &fork {
+                match campaign.run_target(fork, &target, &budget) {
+                    Ok(report) => report,
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                campaign.run(&budget, move || target.run())
+            };
+            let canonical = if args.alloc_stats {
+                report.canonical_json_with_alloc_stats()
+            } else {
+                report.canonical_json()
+            };
+            let workers = report.workers;
+            (
+                report.to_string(),
+                report.to_json(),
+                canonical,
+                report.metrics,
+                workers,
+            )
         };
-        let canonical = if args.alloc_stats {
-            report.canonical_json_with_alloc_stats()
-        } else {
-            report.canonical_json()
+
+    if let Some(path) = args.metrics_out.as_deref() {
+        let meta = c11tester_telemetry::MetricsMeta {
+            target: target.name.to_string(),
+            seed: args.seed,
+            policy: args.policy.name().to_string(),
+            workers: workers_used as u64,
+            isolated: args.isolate,
         };
-        (report.to_string(), report.to_json(), canonical)
-    };
+        let body = if args.metrics_chrome {
+            c11tester_telemetry::chrome_trace(&metrics, &meta)
+        } else {
+            metrics.to_json(&meta)
+        };
+        if let Err(e) = std::fs::write(path, body + "\n") {
+            eprintln!("error: cannot write metrics to `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     if args.canonical {
         println!("{canonical_json}");

@@ -60,6 +60,7 @@ pub use reweight::{parse_policy, ExpWeights, Fixed, ReweightCtx, Reweighter, Ucb
 use c11tester::{Config, ExecutionReport, Model, StrategyMix, TestReport};
 use c11tester_campaign::targets::Target;
 use c11tester_campaign::{Campaign, CampaignBudget, EpochRecord, EpochTrace, Executor, StopReason};
+use c11tester_telemetry::{CampaignMetrics, EpochMetric};
 use std::time::{Duration, Instant};
 
 /// Default epoch length (executions per epoch) when none is set.
@@ -165,7 +166,12 @@ impl AdaptiveCampaign {
             let report = Campaign::new(config.clone())
                 .with_workers(self.workers)
                 .run_range(first_index, epoch_budget, &program);
-            Ok((report.aggregate, Vec::new(), report.stop_reason))
+            Ok((
+                report.aggregate,
+                Vec::new(),
+                report.stop_reason,
+                report.metrics,
+            ))
         })
         .expect("in-process epochs are infallible")
     }
@@ -188,7 +194,12 @@ impl AdaptiveCampaign {
         self.run_epochs(budget, |config, first_index, epoch_budget| {
             let outcome =
                 executor.run_range(config, self.workers, target, first_index, epoch_budget)?;
-            Ok((outcome.aggregate, outcome.crashes, outcome.stop_reason))
+            Ok((
+                outcome.aggregate,
+                outcome.crashes,
+                outcome.stop_reason,
+                outcome.metrics,
+            ))
         })
     }
 
@@ -206,13 +217,21 @@ impl AdaptiveCampaign {
             &Config,
             u64,
             &CampaignBudget,
-        )
-            -> Result<(TestReport, Vec<c11tester_campaign::CrashRecord>, StopReason), String>,
+        ) -> Result<
+            (
+                TestReport,
+                Vec<c11tester_campaign::CrashRecord>,
+                StopReason,
+                CampaignMetrics,
+            ),
+            String,
+        >,
     {
         let start = Instant::now();
         let mut mix = self.initial_mix.clone();
         let mut records: Vec<EpochRecord> = Vec::new();
         let mut aggregate = TestReport::default();
+        let mut metrics = CampaignMetrics::default();
         // The reward signal: the merged per-strategy ledger, with every
         // crash booked as a bugged execution for its strategy. Kept
         // separate from `aggregate.per_strategy` so report invariants
@@ -234,8 +253,17 @@ impl AdaptiveCampaign {
                 epoch_budget = epoch_budget.with_deadline(deadline - elapsed);
             }
             let config = self.config.clone().with_mix(mix.clone());
-            let (epoch_aggregate, crashes, epoch_stop) =
+            let epoch_started = Instant::now();
+            let (epoch_aggregate, crashes, epoch_stop, epoch_metrics) =
                 run_range(&config, next_index, &epoch_budget)?;
+            metrics.absorb(&epoch_metrics);
+            metrics.epochs.push(EpochMetric {
+                epoch,
+                start_index: next_index,
+                executions: epoch_aggregate.executions,
+                wall_nanos: epoch_started.elapsed().as_nanos() as u64,
+                mix: mix.spec(),
+            });
             aggregate.merge(&epoch_aggregate);
             reward_ledger.merge(&epoch_aggregate.per_strategy);
             for crash in &crashes {
@@ -266,6 +294,11 @@ impl AdaptiveCampaign {
             };
             mix = self.policy.reweight(&ctx);
         }
+        // Sequential epochs: the campaign's wall clock is the loop's,
+        // not the maximum over epochs that `absorb` (a parallel merge)
+        // keeps.
+        metrics.wall_nanos = start.elapsed().as_nanos() as u64;
+        metrics.executions = aggregate.executions;
         Ok(AdaptiveReport {
             trace: EpochTrace {
                 base_seed: self.config.seed,
@@ -280,6 +313,7 @@ impl AdaptiveCampaign {
             },
             workers: self.workers,
             wall_time: start.elapsed(),
+            metrics,
         })
     }
 
@@ -333,6 +367,10 @@ pub struct AdaptiveReport {
     pub workers: usize,
     /// Wall-clock duration (not part of the canonical form).
     pub wall_time: Duration,
+    /// Diagnostic campaign telemetry with a per-epoch timeline. Like
+    /// `workers` and `wall_time`, never part of the canonical form —
+    /// see `docs/METRICS.md`.
+    pub metrics: CampaignMetrics,
 }
 
 impl AdaptiveReport {

@@ -66,21 +66,27 @@ fn alloc_stats_flag_requires_canonical_and_emits_block() {
     );
     assert!(String::from_utf8_lossy(&out.stderr).contains("--alloc-stats requires --canonical"));
 
-    // The wire protocol does not carry provisioning diagnostics, so
-    // the isolated combination is rejected instead of emitting an
-    // all-zero block.
-    let out = run(&[
+    // The isolated combination works too: children batch their
+    // provisioning counters into the wire protocol's `metrics` frame.
+    // 8 executions in batches of 4 means two children, each starting
+    // fresh and recycling within its batch.
+    let with = canonical(&[
         "--target",
         "rwlock-buggy",
+        "--executions",
+        "8",
+        "--workers",
+        "1",
         "--isolate",
+        "--batch",
+        "4",
         "--canonical",
         "--alloc-stats",
     ]);
     assert!(
-        !out.status.success(),
-        "--alloc-stats with --isolate must be rejected"
+        with.contains("\"alloc\":{\"fresh_executions\":2,\"recycled_executions\":6,"),
+        "children must report batch provisioning over the wire: {with}"
     );
-    assert!(String::from_utf8_lossy(&out.stderr).contains("in-process only"));
 
     let with = canonical(&[
         "--target",

@@ -40,6 +40,11 @@ OPTIONS:
     --out <FILE>            output path [default: BENCH_campaign.json]
     --baseline-file <FILE>  previous c11bench/v1 JSON; adds baseline and
                             speedup columns per target
+    --min-speedup <R>       with --baseline-file: fail (exit 4) if any
+                            target's median/baseline ratio drops below R
+                            (e.g. 0.98 tolerates a 2% regression). Only
+                            meaningful comparing runs on the same host —
+                            medians are absolute throughput
     --smoke                 quick schema/sanity gate for CI: tiny budget
                             (20 execs × 3 trials), validates the report
                             (positive medians, full trial vectors, the
@@ -54,6 +59,7 @@ struct Args {
     cfg: BenchConfig,
     out: String,
     baseline_file: Option<String>,
+    min_speedup: Option<f64>,
     smoke: bool,
 }
 
@@ -72,6 +78,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         cfg: BenchConfig::default(),
         out: "BENCH_campaign.json".to_string(),
         baseline_file: None,
+        min_speedup: None,
         smoke: false,
     };
     while let Some(flag) = argv.next() {
@@ -93,6 +100,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--seed" => args.cfg.seed = parse_u64(&value()?)?,
             "--out" => args.out = value()?,
             "--baseline-file" => args.baseline_file = Some(value()?),
+            "--min-speedup" => {
+                let v = value()?;
+                let r: f64 = v.parse().map_err(|_| format!("not a ratio: `{v}`"))?;
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(format!("--min-speedup must be a positive ratio, got `{v}`"));
+                }
+                args.min_speedup = Some(r);
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -104,6 +119,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         args.cfg.executions = args.cfg.executions.min(20);
         args.cfg.trials = args.cfg.trials.min(3);
         args.cfg.warmup = args.cfg.warmup.min(1);
+    }
+    if args.min_speedup.is_some() && args.baseline_file.is_none() {
+        return Err("--min-speedup requires --baseline-file".into());
     }
     Ok(args)
 }
@@ -204,6 +222,37 @@ fn main() -> ExitCode {
     }
     if args.smoke {
         eprintln!("c11bench: smoke validation passed");
+    }
+    if let Some(floor) = args.min_speedup {
+        let mut regressed = false;
+        for r in &results {
+            match r.speedup() {
+                Some(s) if s < floor => {
+                    eprintln!(
+                        "c11bench: REGRESSION: `{}` at {:.3}x of baseline \
+                         (floor {floor:.3}x)",
+                        r.name, s
+                    );
+                    regressed = true;
+                }
+                Some(_) => {}
+                None => {
+                    eprintln!(
+                        "c11bench: REGRESSION GATE: baseline has no median for \
+                         `{}` — cannot assert the floor",
+                        r.name
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if regressed {
+            return ExitCode::from(4);
+        }
+        eprintln!(
+            "c11bench: all {} target(s) at or above {floor:.3}x of baseline",
+            results.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -15,6 +15,7 @@ use crate::report::Failure;
 use c11tester_core::{MemOrder, ObjId, StoreKind, ThreadId};
 use c11tester_race::AccessKind;
 use c11tester_runtime::{Aborted, Runtime};
+use c11tester_telemetry::{phase_start, Phase};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -252,8 +253,12 @@ pub(crate) fn atomic_init(obj: ObjId, value: u64) {
         let eng = &mut *eng;
         eng.exec
             .atomic_store(tid, obj, MemOrder::Relaxed, value, StoreKind::NonAtomic);
+        let timer = phase_start(Phase::RaceDetect);
         eng.race
             .on_write(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::NonAtomic);
+        if let Some(timer) = timer {
+            timer.stop(eng.exec.phase_mut());
+        }
     });
 }
 
@@ -281,8 +286,12 @@ pub(crate) fn atomic_store(obj: ObjId, order: MemOrder, value: u64, kind: StoreK
         {
             let eng = &mut *eng;
             eng.exec.atomic_store(tid, obj, order, value, kind);
+            let timer = phase_start(Phase::RaceDetect);
             eng.race
                 .on_write(obj, 0, tid, eng.exec.thread_cv(tid), race_kind(kind));
+            if let Some(timer) = timer {
+                timer.stop(eng.exec.phase_mut());
+            }
         }
         check_budget(ctx, &mut eng);
     });
@@ -307,8 +316,12 @@ pub(crate) fn atomic_load(obj: ObjId, order: MemOrder, kind: StoreKind) -> u64 {
             let value = eng.exec.commit_load(tid, obj, order, cands[choice]);
             cands.clear();
             eng.cands_buf = cands;
+            let timer = phase_start(Phase::RaceDetect);
             eng.race
                 .on_read(obj, 0, tid, eng.exec.thread_cv(tid), race_kind(kind));
+            if let Some(timer) = timer {
+                timer.stop(eng.exec.phase_mut());
+            }
             value
         };
         check_budget(ctx, &mut eng);
@@ -350,8 +363,12 @@ pub(crate) fn atomic_rmw(obj: ObjId, order: MemOrder, f: impl FnOnce(u64) -> Rmw
             let value = match f(old) {
                 RmwDecision::Write(new) => {
                     let (read, _) = eng.exec.commit_rmw(tid, obj, order, cand, new);
+                    let timer = phase_start(Phase::RaceDetect);
                     eng.race
                         .on_write(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::Atomic);
+                    if let Some(timer) = timer {
+                        timer.stop(eng.exec.phase_mut());
+                    }
                     read
                 }
                 RmwDecision::NoWrite(fail_order) => {
@@ -367,8 +384,12 @@ pub(crate) fn atomic_rmw(obj: ObjId, order: MemOrder, f: impl FnOnce(u64) -> Rmw
                         cands[ix]
                     };
                     let v = eng.exec.commit_load(tid, obj, fail_order, cand);
+                    let timer = phase_start(Phase::RaceDetect);
                     eng.race
                         .on_read(obj, 0, tid, eng.exec.thread_cv(tid), AccessKind::Atomic);
+                    if let Some(timer) = timer {
+                        timer.stop(eng.exec.phase_mut());
+                    }
                     v
                 }
             };
@@ -398,6 +419,7 @@ pub(crate) fn nonatomic_read(obj: ObjId, offset: u32) {
         let mut eng = ctx.engine.lock();
         let eng = &mut *eng;
         eng.exec.count_normal_access();
+        let timer = phase_start(Phase::RaceDetect);
         eng.race.on_read(
             obj,
             offset,
@@ -405,6 +427,9 @@ pub(crate) fn nonatomic_read(obj: ObjId, offset: u32) {
             eng.exec.thread_cv(tid),
             AccessKind::NonAtomic,
         );
+        if let Some(timer) = timer {
+            timer.stop(eng.exec.phase_mut());
+        }
     });
 }
 
@@ -415,6 +440,7 @@ pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
         let mut eng = ctx.engine.lock();
         let eng = &mut *eng;
         eng.exec.count_normal_access();
+        let timer = phase_start(Phase::RaceDetect);
         eng.race.on_write(
             obj,
             offset,
@@ -422,6 +448,9 @@ pub(crate) fn nonatomic_write(obj: ObjId, offset: u32) {
             eng.exec.thread_cv(tid),
             AccessKind::NonAtomic,
         );
+        if let Some(timer) = timer {
+            timer.stop(eng.exec.phase_mut());
+        }
     });
 }
 

@@ -123,6 +123,7 @@ impl Engine {
     /// Uses the reusable enabled-set buffer — the per-operation
     /// scheduling decision performs no allocation.
     pub(crate) fn next_runnable(&mut self, current: ThreadId) -> Option<ThreadId> {
+        let timer = c11tester_telemetry::phase_start(c11tester_core::Phase::Scheduling);
         self.enabled_buf.clear();
         for (ix, s) in self.status.iter().enumerate() {
             if matches!(s, Status::Runnable) {
@@ -132,7 +133,11 @@ impl Engine {
         if self.enabled_buf.is_empty() {
             return None;
         }
-        Some(self.scheduler.next_thread(&self.enabled_buf, current))
+        let next = self.scheduler.next_thread(&self.enabled_buf, current);
+        if let Some(timer) = timer {
+            timer.stop(self.exec.phase_mut());
+        }
+        Some(next)
     }
 
     /// Registers a freshly forked thread as runnable.

@@ -68,10 +68,14 @@ pub use report::{
 };
 pub use volatile::{VolatileBool, VolatileU32, VolatileU64, VolatileUsize};
 
-pub use c11tester_core::{ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId};
+pub use c11tester_core::{
+    ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId, TraceEvent, TraceKey, TraceKind,
+    TraceSink,
+};
 pub use c11tester_runtime::{
     BurstScheduler, HandoverKind, PctScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
 };
+pub use c11tester_telemetry::{set_tracing, tracing_enabled, JsonlSink, MemorySink, StderrSink};
 
 /// Synchronization primitives (`std::sync` shaped).
 pub mod sync {

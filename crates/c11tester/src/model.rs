@@ -5,9 +5,10 @@ use crate::config::Config;
 use crate::ctx::{self, ModelCtx};
 use crate::engine::Engine;
 use crate::report::{ExecutionReport, Failure, TestReport};
-use c11tester_core::ThreadId;
+use c11tester_core::{ThreadId, TraceKey, TraceSink};
 use c11tester_race::RaceDetector;
 use c11tester_runtime::{Runtime, Scheduler};
+use c11tester_telemetry::StderrSink;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -71,6 +72,14 @@ pub struct Model {
     /// table, mo-graph, and scratch capacity instead of reallocating).
     /// Behaviorally invisible; see the recycling determinism contract.
     exec_pool: Option<c11tester_core::Execution>,
+    /// Destination for structured schedule traces
+    /// ([`Model::set_trace_sink`]). When `None` but tracing is enabled
+    /// (the legacy `C11TESTER_TRACE` environment variable), events go
+    /// to a [`StderrSink`] — the env var is an alias for stderr JSONL.
+    trace_sink: Option<Box<dyn TraceSink>>,
+    /// Epoch component of the trace key (0 unless an adaptive campaign
+    /// sets it via [`Model::set_trace_epoch`]).
+    trace_epoch: u64,
 }
 
 /// The reusable pieces of a disassembled [`Model`]
@@ -153,6 +162,8 @@ impl Model {
             stride,
             runs: 0,
             exec_pool: None,
+            trace_sink: None,
+            trace_epoch: 0,
         }
     }
 
@@ -167,6 +178,8 @@ impl Model {
             stride: 1,
             runs: 0,
             exec_pool: None,
+            trace_sink: None,
+            trace_epoch: 0,
         }
     }
 
@@ -191,7 +204,36 @@ impl Model {
             stride: parts.stride,
             runs: 0,
             exec_pool: None,
+            trace_sink: None,
+            trace_epoch: 0,
         }
+    }
+
+    /// Installs a sink for structured schedule traces. Buffering still
+    /// requires tracing to be enabled
+    /// ([`c11tester_telemetry::set_tracing`] or the `C11TESTER_TRACE`
+    /// environment variable); after each execution the committed-event
+    /// sequence is recorded keyed by `(seed, epoch, index)`.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Builder form of [`Model::set_trace_sink`].
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Removes and returns the installed trace sink (to inspect an
+    /// in-memory sink after running).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_sink.take()
+    }
+
+    /// Sets the epoch component of the trace key (adaptive campaigns
+    /// label executions `(seed, epoch, offset-derived index)`).
+    pub fn set_trace_epoch(&mut self, epoch: u64) {
+        self.trace_epoch = epoch;
     }
 
     /// The active configuration.
@@ -304,6 +346,23 @@ impl Model {
             ));
         }
         eng.exec.finalize_alloc_stats();
+        // Structured schedule trace: drain the committed-event buffer
+        // (non-empty only while tracing is enabled) to the sink, keyed
+        // by the execution's replay coordinates.
+        let trace_events = eng.exec.take_trace_events();
+        if !trace_events.is_empty() {
+            let key = TraceKey {
+                seed: self.config.seed,
+                epoch: self.trace_epoch,
+                index: execution_index,
+            };
+            match &mut self.trace_sink {
+                Some(sink) => sink.record(key, &trace_events),
+                // The C11TESTER_TRACE env var without an installed sink
+                // aliases to JSONL on stderr.
+                None => StderrSink.record(key, &trace_events),
+            }
+        }
         let report = ExecutionReport {
             execution_index,
             strategy,

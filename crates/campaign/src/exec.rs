@@ -31,6 +31,7 @@
 use crate::targets::Target;
 use crate::{Campaign, CampaignBudget, CampaignReport, StopReason};
 use c11tester::{Config, TestReport};
+use c11tester_telemetry::CampaignMetrics;
 
 /// How an isolated execution died.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,6 +119,10 @@ pub struct RangeOutcome {
     pub crashes: Vec<CrashRecord>,
     /// Why the range ended.
     pub stop_reason: StopReason,
+    /// Diagnostic telemetry for this range (worker utilization, phase
+    /// timings, fork-server health). Never part of the canonical form
+    /// and never part of the determinism contract.
+    pub metrics: CampaignMetrics,
 }
 
 /// A backend that can run a contiguous range of the global
@@ -179,6 +184,7 @@ impl Executor for InProcess {
             aggregate: report.aggregate,
             crashes: Vec::new(),
             stop_reason: report.stop_reason,
+            metrics: report.metrics,
         })
     }
 }
@@ -208,6 +214,7 @@ impl Campaign {
             crashes: outcome.crashes,
             workers: self.workers(),
             wall_time: start.elapsed(),
+            metrics: outcome.metrics,
         })
     }
 }

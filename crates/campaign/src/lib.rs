@@ -75,6 +75,7 @@ pub use epoch::{EpochRecord, EpochTrace};
 pub use exec::{CrashKind, CrashRecord, Executor, InProcess, RangeOutcome};
 
 use c11tester::{Config, ExecutionReport, Model, TestReport};
+use c11tester_telemetry::{CampaignMetrics, WorkerMetrics};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -174,6 +175,10 @@ pub struct CampaignReport {
     pub workers: usize,
     /// Wall-clock duration (not part of the canonical form).
     pub wall_time: Duration,
+    /// Diagnostic campaign telemetry (per-worker utilization, phase
+    /// timings, fork-server health). Like `workers` and `wall_time`,
+    /// **never** part of the canonical form — see `docs/METRICS.md`.
+    pub metrics: CampaignMetrics,
 }
 
 impl CampaignReport {
@@ -341,16 +346,23 @@ impl Campaign {
         let bug_stop = AtomicBool::new(false);
         let deadline_stop = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<ExecutionReport>();
+        // Diagnostic side channel: one message per worker at loop exit
+        // (two clock reads per worker for the whole campaign — the
+        // telemetry cost model keeps the hot loop untouched).
+        let (mtx, mrx) = mpsc::channel::<WorkerMetrics>();
 
         let aggregate = std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
+                let mtx = mtx.clone();
                 let config = self.config.clone();
                 let program = &program;
                 let (stop, bug_stop, deadline_stop) = (&stop, &bug_stop, &deadline_stop);
                 let builder = std::thread::Builder::new().name(format!("c11campaign-{w}"));
                 builder
                     .spawn_scoped(scope, move || {
+                        let busy_start = Instant::now();
+                        let mut completed = 0u64;
                         let mut model =
                             Model::for_shard_from(config, first_index + w as u64, workers as u64);
                         while model.next_execution_index() < end_index
@@ -368,16 +380,23 @@ impl Campaign {
                             if tx.send(report).is_err() {
                                 break;
                             }
+                            completed += 1;
                             if bug && budget.stop_on_first_bug {
                                 bug_stop.store(true, Ordering::Relaxed);
                                 stop.store(true, Ordering::Relaxed);
                                 break;
                             }
                         }
+                        let _ = mtx.send(WorkerMetrics {
+                            worker: w as u64,
+                            executions: completed,
+                            busy_nanos: busy_start.elapsed().as_nanos() as u64,
+                        });
                     })
                     .expect("failed to spawn campaign worker");
             }
             drop(tx);
+            drop(mtx);
             // Aggregate on the calling thread while workers stream.
             let mut aggregate = TestReport::default();
             while let Ok(report) = rx.recv() {
@@ -385,6 +404,8 @@ impl Campaign {
             }
             aggregate
         });
+        let mut worker_metrics: Vec<WorkerMetrics> = mrx.iter().collect();
+        worker_metrics.sort_by_key(|m| m.worker);
 
         let stop_reason = if bug_stop.load(Ordering::Relaxed) {
             StopReason::FirstBug
@@ -392,6 +413,14 @@ impl Campaign {
             StopReason::Deadline
         } else {
             StopReason::BudgetExhausted
+        };
+        let wall_time = start.elapsed();
+        let metrics = CampaignMetrics {
+            phase: aggregate.total_stats.phase,
+            workers: worker_metrics,
+            executions: aggregate.executions,
+            wall_nanos: wall_time.as_nanos() as u64,
+            ..CampaignMetrics::default()
         };
         CampaignReport {
             base_seed: self.config.seed,
@@ -402,7 +431,8 @@ impl Campaign {
             aggregate,
             crashes: Vec::new(),
             workers,
-            wall_time: start.elapsed(),
+            wall_time,
+            metrics,
         }
     }
 }

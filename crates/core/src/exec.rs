@@ -25,6 +25,7 @@ use crate::mograph::{MoGraph, NodeId};
 use crate::policy::Policy;
 use crate::prune::PruneConfig;
 use crate::stats::{AllocStats, ExecStats};
+use c11tester_telemetry::{phase_start, Phase, PhaseProfile, TraceEvent, TraceKind};
 
 /// Per-thread model state (`ThrState` of Fig. 10).
 #[derive(Clone, Debug)]
@@ -107,6 +108,10 @@ pub struct Execution {
     /// Reusable scratch for prior-set computation (taken/returned
     /// around each use; never observed non-empty outside a commit).
     pub(crate) pset_buf: Vec<StoreIdx>,
+    /// Committed-event buffer for structured schedule traces. Empty
+    /// (and allocation-free) unless tracing is enabled; drained by the
+    /// model layer into a `TraceSink` after each execution.
+    pub(crate) trace_buf: Vec<TraceEvent>,
 }
 
 impl Execution {
@@ -145,6 +150,7 @@ impl Execution {
             stats,
             prune_cfg,
             pset_buf: Vec::new(),
+            trace_buf: Vec::new(),
         }
     }
 
@@ -179,6 +185,7 @@ impl Execution {
         self.free_stores.clear();
         self.free_loads.clear();
         self.next_obj = 0;
+        self.trace_buf.clear();
         self.stats = ExecStats {
             alloc: AllocStats {
                 recycled_executions: 1,
@@ -310,12 +317,52 @@ impl Execution {
     // Event bookkeeping
     // ------------------------------------------------------------------
 
-    pub(crate) fn trace_enabled() -> bool {
+    /// Whether committed events should be buffered for a trace sink:
+    /// either programmatically enabled
+    /// ([`c11tester_telemetry::set_tracing`]) or requested via the
+    /// legacy `C11TESTER_TRACE` environment variable (an alias for the
+    /// stderr sink at the model layer).
+    pub fn trace_enabled() -> bool {
         // Checked on every committed event: cache the environment
         // lookup (env scans take a process-wide lock and are far more
         // expensive than the hot path they would gate).
         static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         *TRACE.get_or_init(|| std::env::var_os("C11TESTER_TRACE").is_some())
+            || c11tester_telemetry::tracing_enabled()
+    }
+
+    /// Drains the committed-event trace buffer (empty unless
+    /// [`Execution::trace_enabled`] held during the execution). The
+    /// model layer calls this once per execution and hands the events
+    /// to the active `TraceSink`, keyed by `(seed, epoch, index)`.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_buf)
+    }
+
+    /// Mutable access to the per-execution phase profile, for timing
+    /// phases that live outside this crate (scheduling in the engine,
+    /// race detection in the facade).
+    pub fn phase_mut(&mut self) -> &mut PhaseProfile {
+        &mut self.stats.phase
+    }
+
+    fn order_name(order: MemOrder) -> &'static str {
+        match order {
+            MemOrder::Relaxed => "Relaxed",
+            MemOrder::Acquire => "Acquire",
+            MemOrder::Release => "Release",
+            MemOrder::AcqRel => "AcqRel",
+            MemOrder::SeqCst => "SeqCst",
+        }
+    }
+
+    fn access_name(kind: StoreKind) -> &'static str {
+        // Same vocabulary as the campaign wire module's access kinds.
+        match kind {
+            StoreKind::Atomic => "atomic",
+            StoreKind::NonAtomic => "non-atomic",
+            StoreKind::Volatile => "volatile",
+        }
     }
 
     /// Assigns the next global sequence number to an event of thread `t`
@@ -370,6 +417,7 @@ impl Execution {
         if set.is_empty() {
             return;
         }
+        let timer = phase_start(Phase::MoGraph);
         let ns = self.node_of(s);
         for &e in set {
             if e == s {
@@ -379,6 +427,9 @@ impl Execution {
             self.graph.add_edge(ne, ns);
         }
         self.stats.mograph = self.graph.stats();
+        if let Some(timer) = timer {
+            timer.stop(&mut self.stats.phase);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -446,12 +497,17 @@ impl Execution {
     ) -> StoreIdx {
         let idx = self.store_inner(t, obj, order, value, kind, false, None);
         if Self::trace_enabled() {
-            eprintln!(
-                "TRACE {t:?} store #{:?} {obj:?} {order:?} val={value} kind={kind:?} rf_cv={:?} cv={:?}",
-                self.stores[idx.index()].seq,
-                self.stores[idx.index()].rf_cv,
-                self.threads[t.index()].cv
-            );
+            self.trace_buf.push(TraceEvent {
+                kind: TraceKind::Store,
+                thread: t.index() as u64,
+                seq: self.stores[idx.index()].seq.0,
+                obj: obj.0,
+                order: Self::order_name(order),
+                access: Self::access_name(kind),
+                value,
+                rf: None,
+                old: None,
+            });
         }
         match kind {
             StoreKind::Atomic => self.stats.atomic_stores += 1,
@@ -663,6 +719,7 @@ impl Execution {
         for_rmw: bool,
         cands: &mut Vec<StoreIdx>,
     ) {
+        let timer = phase_start(Phase::ReadFrom);
         self.read_candidates_into(t, obj, order, for_rmw, cands);
         cands.retain(|&c| {
             if for_rmw {
@@ -671,6 +728,9 @@ impl Execution {
                 self.check_read_feasible(t, obj, order, c)
             }
         });
+        if let Some(timer) = timer {
+            timer.stop(&mut self.stats.phase);
+        }
     }
 
     /// Step 3 of a load: commits the `rf` edge to `cand` and returns the
@@ -701,13 +761,17 @@ impl Execution {
         };
         let lidx = self.alloc_load(record);
         if Self::trace_enabled() {
-            eprintln!(
-                "TRACE {t:?} load  #{:?} {obj:?} {order:?} rf=#{:?} val={} cv={:?}",
-                self.loads[lidx.index()].seq,
-                self.stores[cand.index()].seq,
-                self.stores[cand.index()].value,
-                self.threads[t.index()].cv
-            );
+            self.trace_buf.push(TraceEvent {
+                kind: TraceKind::Load,
+                thread: t.index() as u64,
+                seq: self.loads[lidx.index()].seq.0,
+                obj: obj.0,
+                order: Self::order_name(order),
+                access: "atomic",
+                value: self.stores[cand.index()].value,
+                rf: Some(self.stores[cand.index()].seq.0),
+                old: None,
+            });
         }
         self.loc_mut(obj)
             .thread_mut(t.index())
@@ -783,13 +847,17 @@ impl Execution {
             Some(cand),
         );
         if Self::trace_enabled() {
-            eprintln!(
-                "TRACE {t:?} rmw   #{:?} {obj:?} {order:?} read=#{:?}(val={old}) wrote={new_value} rf_cv={:?} cv={:?}",
-                self.stores[idx.index()].seq,
-                self.stores[cand.index()].seq,
-                self.stores[idx.index()].rf_cv,
-                self.threads[t.index()].cv
-            );
+            self.trace_buf.push(TraceEvent {
+                kind: TraceKind::Rmw,
+                thread: t.index() as u64,
+                seq: self.stores[idx.index()].seq.0,
+                obj: obj.0,
+                order: Self::order_name(order),
+                access: "atomic",
+                value: new_value,
+                rf: Some(self.stores[cand.index()].seq.0),
+                old: Some(old),
+            });
         }
 
         self.stats.rmws += 1;

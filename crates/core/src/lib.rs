@@ -77,3 +77,7 @@ pub use mograph::{MoGraph, MoGraphStats, NodeId};
 pub use policy::Policy;
 pub use prune::{PruneConfig, PruneMode};
 pub use stats::{AllocStats, ExecStats};
+
+// Re-exported so the layers above can record phases and consume trace
+// events without naming the telemetry crate directly.
+pub use c11tester_telemetry::{Phase, PhaseProfile, TraceEvent, TraceKey, TraceKind, TraceSink};

@@ -98,7 +98,11 @@ impl Execution {
         if !self.seq.is_multiple_of(self.prune_cfg.interval) {
             return;
         }
+        let timer = c11tester_telemetry::phase_start(c11tester_telemetry::Phase::Prune);
         self.prune_now();
+        if let Some(timer) = timer {
+            timer.stop(&mut self.stats.phase);
+        }
     }
 
     /// Runs one pruning pass immediately (no-op when disabled).

@@ -3,6 +3,7 @@
 //! and normal shared-memory accesses per benchmark).
 
 use crate::mograph::MoGraphStats;
+use c11tester_telemetry::PhaseProfile;
 
 /// Allocation-behavior diagnostics (hot-path observability).
 ///
@@ -76,15 +77,20 @@ pub struct ExecStats {
     /// Allocation-behavior diagnostics (excluded from equality; see
     /// [`AllocStats`]).
     pub alloc: AllocStats,
+    /// Per-phase wall-time profile (excluded from equality: timing is
+    /// nondeterministic and diagnostic, never behavioral). Empty
+    /// unless phase profiling is enabled
+    /// ([`c11tester_telemetry::set_profiling`]).
+    pub phase: PhaseProfile,
 }
 
 impl PartialEq for ExecStats {
     fn eq(&self, other: &Self) -> bool {
         // Exhaustive destructuring: adding a field without deciding
         // whether it participates in equality is a compile error.
-        // `alloc` is the one intentional exclusion — provisioning
-        // details must not distinguish behaviorally identical
-        // executions.
+        // `alloc` and `phase` are the intentional exclusions —
+        // provisioning details and wall-clock timings must not
+        // distinguish behaviorally identical executions.
         let ExecStats {
             atomic_loads,
             atomic_stores,
@@ -100,6 +106,7 @@ impl PartialEq for ExecStats {
             prune_passes,
             mograph,
             alloc: _,
+            phase: _,
         } = self;
         *atomic_loads == other.atomic_loads
             && *atomic_stores == other.atomic_stores
@@ -151,6 +158,7 @@ impl ExecStats {
         self.mograph.merges += other.mograph.merges;
         self.mograph.rmw_edges += other.mograph.rmw_edges;
         self.alloc.absorb(&other.alloc);
+        self.phase.absorb(&other.phase);
     }
 }
 
@@ -218,6 +226,31 @@ mod tests {
             ..ExecStats::default()
         };
         assert_ne!(fresh, different);
+    }
+
+    #[test]
+    fn equality_ignores_phase_profile() {
+        use c11tester_telemetry::Phase;
+        let plain = ExecStats {
+            atomic_loads: 4,
+            ..ExecStats::default()
+        };
+        let mut profiled = plain;
+        profiled.phase.record(Phase::Scheduling, 1_000);
+        // Same behavior, different wall-clock profile: equal.
+        assert_eq!(plain, profiled);
+    }
+
+    #[test]
+    fn absorb_accumulates_phase_profile() {
+        use c11tester_telemetry::Phase;
+        let mut a = ExecStats::default();
+        let mut b = ExecStats::default();
+        b.phase.record(Phase::Prune, 5);
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.phase.nanos(Phase::Prune), 10);
+        assert_eq!(a.phase.calls(Phase::Prune), 2);
     }
 
     #[test]

@@ -68,6 +68,7 @@ use c11tester_campaign::targets::Target;
 use c11tester_campaign::{
     CampaignBudget, CrashKind, CrashRecord, Executor, RangeOutcome, StopReason,
 };
+use c11tester_telemetry::{CampaignMetrics, ForkHealth, WorkerMetrics};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -155,6 +156,7 @@ impl ForkServer {
         spec: &WorkerSpec,
         deadline_at: Option<Instant>,
         report: &mut TestReport,
+        health: &mut ForkHealth,
     ) -> Result<ChildOutcome, String> {
         let mut child = Command::new(&self.program)
             .args(spec.to_args())
@@ -163,6 +165,8 @@ impl ForkServer {
             .stderr(Stdio::null())
             .spawn()
             .map_err(|e| format!("cannot spawn worker `{}`: {e}", self.program.display()))?;
+        health.spawns += 1;
+        let mut last_frame_at = Instant::now();
         let stdout = child.stdout.take().expect("stdout was piped");
         let (tx, rx) = mpsc::channel::<std::io::Result<String>>();
         let reader = std::thread::spawn(move || {
@@ -208,6 +212,7 @@ impl ForkServer {
                         break Ok(if deadline_hit {
                             ChildOutcome::DeadlineExpired
                         } else {
+                            health.timeout_kills += 1;
                             ChildOutcome::Died {
                                 completed,
                                 kind: CrashKind::Timeout,
@@ -219,23 +224,41 @@ impl ForkServer {
                 None => rx.recv().ok(),
             };
             match msg {
-                Some(Ok(payload)) => match protocol::parse_frame(&payload) {
-                    Ok(Frame::Exec(exec)) => {
-                        report.absorb(&exec);
-                        completed += 1;
+                Some(Ok(payload)) => {
+                    // Frame round-trip time: the gap between spawn (or
+                    // the previous frame) and this frame's arrival.
+                    let rtt = last_frame_at.elapsed().as_nanos() as u64;
+                    last_frame_at = Instant::now();
+                    health.frames += 1;
+                    health.frame_rtt_nanos_total += rtt;
+                    health.frame_rtt_nanos_max = health.frame_rtt_nanos_max.max(rtt);
+                    match protocol::parse_frame(&payload) {
+                        Ok(Frame::Exec(exec)) => {
+                            report.absorb(&exec);
+                            completed += 1;
+                        }
+                        Ok(Frame::Metrics(m)) => {
+                            // Diagnostic-only: alloc and phase are
+                            // excluded from stats equality and from
+                            // canonical JSON, so folding them in never
+                            // perturbs the determinism contract.
+                            report.total_stats.alloc.absorb(&m.alloc);
+                            report.total_stats.phase.absorb(&m.phase);
+                        }
+                        Ok(Frame::Done(reason)) => {
+                            let _ = child.wait();
+                            break Ok(ChildOutcome::Finished(reason));
+                        }
+                        Err(e) => {
+                            // A live child speaking garbage is a bug in
+                            // the harness, not in the program under
+                            // test.
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break Err(format!("worker protocol violation: {e}"));
+                        }
                     }
-                    Ok(Frame::Done(reason)) => {
-                        let _ = child.wait();
-                        break Ok(ChildOutcome::Finished(reason));
-                    }
-                    Err(e) => {
-                        // A live child speaking garbage is a bug in the
-                        // harness, not in the program under test.
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        break Err(format!("worker protocol violation: {e}"));
-                    }
-                },
+                }
                 // Stream ended (EOF or cut mid-frame) without `done`:
                 // the child died mid-execution. Triage the death.
                 Some(Err(_)) | None => {
@@ -268,6 +291,7 @@ impl ForkServer {
             aggregate: TestReport::default(),
             crashes: Vec::new(),
             stop_reason: StopReason::BudgetExhausted,
+            health: ForkHealth::default(),
         };
         let end = start + len;
         let mut cursor = start;
@@ -287,8 +311,23 @@ impl ForkServer {
                 first_index: cursor,
                 executions: end - cursor,
                 stop_on_first_bug: budget.stop_on_first_bug,
+                // Children always report batch alloc counters (one
+                // tiny frame per batch); phase profiling is forwarded
+                // only when the parent itself is profiling.
+                emit_metrics: true,
+                profile_phases: c11tester_telemetry::profiling_enabled(),
             };
-            match self.run_child(&spec, deadline_at, &mut result.aggregate)? {
+            if cursor != start {
+                // Every spawn past the first covers a post-crash
+                // remainder of the batch.
+                result.health.respawns += 1;
+            }
+            match self.run_child(
+                &spec,
+                deadline_at,
+                &mut result.aggregate,
+                &mut result.health,
+            )? {
                 ChildOutcome::Finished(reason) => {
                     result.stop_reason = reason;
                     break;
@@ -348,6 +387,7 @@ struct BatchResult {
     aggregate: TestReport,
     crashes: Vec<CrashRecord>,
     stop_reason: StopReason,
+    health: ForkHealth,
 }
 
 #[cfg(unix)]
@@ -395,54 +435,75 @@ impl Executor for ForkServer {
         let deadline_stop = AtomicBool::new(false);
         let failed = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<Result<BatchResult, String>>();
+        // Diagnostic side channel: one message per pool thread at exit.
+        let (mtx, mrx) = mpsc::channel::<WorkerMetrics>();
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
+                let mtx = mtx.clone();
                 let queue = &queue;
                 let (bug_stop, deadline_stop, failed) = (&bug_stop, &deadline_stop, &failed);
-                scope.spawn(move || loop {
-                    if bug_stop.load(Ordering::Relaxed) || failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Some(deadline) = budget.deadline {
-                        if start.elapsed() >= deadline {
-                            deadline_stop.store(true, Ordering::Relaxed);
+                scope.spawn(move || {
+                    let busy_start = Instant::now();
+                    let mut completed = 0u64;
+                    loop {
+                        if bug_stop.load(Ordering::Relaxed) || failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(deadline) = budget.deadline {
+                            if start.elapsed() >= deadline {
+                                deadline_stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        let Some((batch_start, len)) =
+                            queue.lock().expect("queue lock").pop_front()
+                        else {
+                            break;
+                        };
+                        let result =
+                            self.run_batch(config, target, batch_start, len, budget, deadline_at);
+                        match &result {
+                            Ok(batch) if batch.stop_reason == StopReason::FirstBug => {
+                                bug_stop.store(true, Ordering::Relaxed);
+                            }
+                            Ok(batch) if batch.stop_reason == StopReason::Deadline => {
+                                deadline_stop.store(true, Ordering::Relaxed);
+                            }
+                            Err(_) => failed.store(true, Ordering::Relaxed),
+                            Ok(_) => {}
+                        }
+                        if let Ok(batch) = &result {
+                            completed += batch.aggregate.executions;
+                        }
+                        if tx.send(result).is_err() {
                             break;
                         }
                     }
-                    let Some((batch_start, len)) = queue.lock().expect("queue lock").pop_front()
-                    else {
-                        break;
-                    };
-                    let result =
-                        self.run_batch(config, target, batch_start, len, budget, deadline_at);
-                    match &result {
-                        Ok(batch) if batch.stop_reason == StopReason::FirstBug => {
-                            bug_stop.store(true, Ordering::Relaxed);
-                        }
-                        Ok(batch) if batch.stop_reason == StopReason::Deadline => {
-                            deadline_stop.store(true, Ordering::Relaxed);
-                        }
-                        Err(_) => failed.store(true, Ordering::Relaxed),
-                        Ok(_) => {}
-                    }
-                    if tx.send(result).is_err() {
-                        break;
-                    }
+                    let _ = mtx.send(WorkerMetrics {
+                        worker: w as u64,
+                        executions: completed,
+                        busy_nanos: busy_start.elapsed().as_nanos() as u64,
+                    });
                 });
             }
             drop(tx);
+            drop(mtx);
         });
 
         let mut aggregate = TestReport::default();
         let mut crashes = Vec::new();
+        let mut fork_health = ForkHealth::default();
         while let Ok(result) = rx.recv() {
             let batch = result?;
             aggregate.merge(&batch.aggregate);
             crashes.extend(batch.crashes);
+            fork_health.absorb(&batch.health);
         }
         crashes.sort_by_key(|c| c.index);
+        let mut worker_metrics: Vec<WorkerMetrics> = mrx.iter().collect();
+        worker_metrics.sort_by_key(|m| m.worker);
         let stop_reason = if bug_stop.load(Ordering::Relaxed) {
             StopReason::FirstBug
         } else if deadline_stop.load(Ordering::Relaxed) {
@@ -450,10 +511,19 @@ impl Executor for ForkServer {
         } else {
             StopReason::BudgetExhausted
         };
+        let metrics = CampaignMetrics {
+            phase: aggregate.total_stats.phase,
+            workers: worker_metrics,
+            fork: fork_health,
+            executions: aggregate.executions,
+            wall_nanos: start.elapsed().as_nanos() as u64,
+            ..CampaignMetrics::default()
+        };
         Ok(RangeOutcome {
             aggregate,
             crashes,
             stop_reason,
+            metrics,
         })
     }
 }

@@ -31,7 +31,8 @@ use c11tester_campaign::wire::{
     access_kind_name, esc, parse_access_kind, parse_race_kind, race_kind_name,
 };
 use c11tester_campaign::StopReason;
-use c11tester_core::{ExecStats, MoGraphStats, ObjId, ThreadId};
+use c11tester_core::{AllocStats, ExecStats, MoGraphStats, ObjId, ThreadId};
+use c11tester_telemetry::{PhaseProfile, PHASE_COUNT};
 use std::io::{BufRead, Write};
 
 /// Upper bound on a single frame's payload. Real exec frames are a
@@ -92,8 +93,28 @@ pub enum Frame {
     /// A completed execution's full report (boxed: a report is two
     /// orders of magnitude larger than the `done` variant).
     Exec(Box<ExecutionReport>),
+    /// Per-batch diagnostic counters, sent once just before `done`
+    /// when the batch ran with [`crate::WorkerSpec::emit_metrics`].
+    Metrics(BatchMetrics),
     /// The batch finished; no further frames follow.
     Done(StopReason),
+}
+
+/// Per-batch diagnostic counters a worker child reports just before
+/// its `done` frame. Both blocks are *diagnostic*: the parent folds
+/// them into the aggregate's `alloc`/`phase` stats, which are excluded
+/// from stats equality and from the default canonical JSON — so the
+/// frame can never perturb the determinism contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Allocation counters accumulated over the batch (the child's
+    /// recycled-vs-fresh provisioning, invisible to the parent before
+    /// this frame existed — `c11campaign --alloc-stats --isolate`
+    /// rides on it).
+    pub alloc: AllocStats,
+    /// Phase-timing profile accumulated over the batch. Empty unless
+    /// the child ran with `--profile-phases`.
+    pub phase: PhaseProfile,
 }
 
 /// Encodes an `exec` frame payload.
@@ -174,6 +195,29 @@ pub fn exec_payload(report: &ExecutionReport) -> String {
     out
 }
 
+/// Encodes a `metrics` frame payload.
+pub fn metrics_payload(m: &BatchMetrics) -> String {
+    let (nanos, calls) = m.phase.raw();
+    format!(
+        concat!(
+            "{{\"frame\":\"metrics\",",
+            "\"alloc\":{{\"fresh_executions\":{},\"recycled_executions\":{},",
+            "\"clock_spills\":{}}},",
+            "\"phase\":{{\"nanos\":{},\"calls\":{}}}}}"
+        ),
+        m.alloc.fresh_executions,
+        m.alloc.recycled_executions,
+        m.alloc.clock_spills,
+        u64_array(&nanos),
+        u64_array(&calls),
+    )
+}
+
+fn u64_array(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
 /// Encodes a `done` frame payload.
 pub fn done_payload(stop_reason: StopReason) -> String {
     format!(
@@ -210,6 +254,24 @@ fn bool_field(doc: &JsonValue, key: &str) -> Result<bool, String> {
     }
 }
 
+fn phase_array_field(doc: &JsonValue, key: &str) -> Result<[u64; PHASE_COUNT], String> {
+    let arr = doc
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or(format!("missing array `{key}`"))?;
+    if arr.len() != PHASE_COUNT {
+        return Err(format!(
+            "`{key}` has {} entries, expected {PHASE_COUNT}",
+            arr.len()
+        ));
+    }
+    let mut out = [0u64; PHASE_COUNT];
+    for (slot, v) in out.iter_mut().zip(arr) {
+        *slot = v.as_u64().ok_or(format!("non-integer entry in `{key}`"))?;
+    }
+    Ok(out)
+}
+
 fn parse_stats(doc: &JsonValue) -> Result<ExecStats, String> {
     let mg = doc.get("mograph").ok_or("missing `mograph`")?;
     Ok(ExecStats {
@@ -231,10 +293,11 @@ fn parse_stats(doc: &JsonValue) -> Result<ExecStats, String> {
             merges: u64_field(mg, "merges")?,
             rmw_edges: u64_field(mg, "rmw_edges")?,
         },
-        // Allocation diagnostics are per-process provisioning details;
-        // the wire protocol deliberately does not carry them (they are
+        // Alloc and phase diagnostics are not carried per execution:
+        // they travel batched in the `metrics` frame (both are
         // excluded from stats equality and default canonical JSON).
         alloc: Default::default(),
+        phase: Default::default(),
     })
 }
 
@@ -260,6 +323,21 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
             &doc,
             "stop_reason",
         )?)?)),
+        "metrics" => {
+            let alloc = doc.get("alloc").ok_or("missing `alloc`")?;
+            let phase = doc.get("phase").ok_or("missing `phase`")?;
+            Ok(Frame::Metrics(BatchMetrics {
+                alloc: AllocStats {
+                    fresh_executions: u64_field(alloc, "fresh_executions")?,
+                    recycled_executions: u64_field(alloc, "recycled_executions")?,
+                    clock_spills: u64_field(alloc, "clock_spills")?,
+                },
+                phase: PhaseProfile::from_raw(
+                    phase_array_field(phase, "nanos")?,
+                    phase_array_field(phase, "calls")?,
+                ),
+            }))
+        }
         "exec" => {
             let mut races = Vec::new();
             for row in doc
@@ -361,6 +439,32 @@ mod tests {
             assert_eq!(decoded.failure, Some(failure));
             assert_eq!(decoded.elided_volatile_races, 2);
         }
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        use c11tester_core::AllocStats;
+        use c11tester_telemetry::Phase;
+        let mut m = BatchMetrics {
+            alloc: AllocStats {
+                fresh_executions: 1,
+                recycled_executions: 63,
+                clock_spills: 5,
+            },
+            phase: PhaseProfile::default(),
+        };
+        m.phase.record(Phase::Scheduling, 123_456);
+        m.phase.record(Phase::Prune, 42);
+        let Frame::Metrics(decoded) = parse_frame(&metrics_payload(&m)).expect("parses") else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(decoded, m);
+        // An empty profile round-trips too (profiling disabled child).
+        let empty = BatchMetrics::default();
+        let Frame::Metrics(decoded) = parse_frame(&metrics_payload(&empty)).expect("parses") else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(decoded, empty);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! dies before `done` was mid-execution, and the parent derives the
 //! crashing index as `first_index + frames received`.
 
-use crate::protocol::{done_payload, exec_payload, write_frame};
+use crate::protocol::{done_payload, exec_payload, metrics_payload, write_frame, BatchMetrics};
 use c11tester::{Config, Model, Policy, StrategyMix};
 use c11tester_campaign::{targets, StopReason};
 use std::io::Write;
@@ -37,6 +37,13 @@ pub struct WorkerSpec {
     /// Stop the batch at the first bug (the parent stops dispatching
     /// further batches when it sees the resulting `done` frame).
     pub stop_on_first_bug: bool,
+    /// Emit a [`BatchMetrics`] frame (batch alloc counters + phase
+    /// profile) just before `done`.
+    pub emit_metrics: bool,
+    /// Enable phase profiling in the child
+    /// ([`c11tester_telemetry::set_profiling`]), so the metrics frame
+    /// carries nonzero phase timings.
+    pub profile_phases: bool,
 }
 
 impl WorkerSpec {
@@ -63,6 +70,12 @@ impl WorkerSpec {
         if self.stop_on_first_bug {
             args.push("--stop-on-first-bug".to_string());
         }
+        if self.emit_metrics {
+            args.push("--emit-metrics".to_string());
+        }
+        if self.profile_phases {
+            args.push("--profile-phases".to_string());
+        }
         args
     }
 
@@ -81,17 +94,28 @@ impl WorkerSpec {
     pub fn run(&self, out: &mut impl Write) -> Result<StopReason, String> {
         let target =
             targets::find(&self.target).ok_or(format!("unknown target `{}`", self.target))?;
+        if self.profile_phases {
+            c11tester_telemetry::set_profiling(true);
+        }
         let config = self.config()?;
         let mut model = Model::for_shard_from(config, self.first_index, 1);
         let mut reason = StopReason::BudgetExhausted;
+        let mut batch = BatchMetrics::default();
         for _ in 0..self.executions {
             let report = model.run(|| target.run());
             let bug = report.found_bug();
+            if self.emit_metrics {
+                batch.alloc.absorb(&report.stats.alloc);
+                batch.phase.absorb(&report.stats.phase);
+            }
             write_frame(out, &exec_payload(&report)).map_err(|e| format!("pipe closed: {e}"))?;
             if bug && self.stop_on_first_bug {
                 reason = StopReason::FirstBug;
                 break;
             }
+        }
+        if self.emit_metrics {
+            write_frame(out, &metrics_payload(&batch)).map_err(|e| format!("pipe closed: {e}"))?;
         }
         write_frame(out, &done_payload(reason)).map_err(|e| format!("pipe closed: {e}"))?;
         Ok(reason)
@@ -125,6 +149,8 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
     let mut first_index = None;
     let mut executions = None;
     let mut stop_on_first_bug = false;
+    let mut emit_metrics = false;
+    let mut profile_phases = false;
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -140,6 +166,8 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
             "--first-index" => first_index = Some(parse_u64(&value()?)?),
             "--executions" => executions = Some(parse_u64(&value()?)?),
             "--stop-on-first-bug" => stop_on_first_bug = true,
+            "--emit-metrics" => emit_metrics = true,
+            "--profile-phases" => profile_phases = true,
             other => return Err(format!("unknown worker flag `{other}`")),
         }
     }
@@ -151,6 +179,8 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
         first_index: first_index.ok_or("--worker requires --first-index")?,
         executions: executions.ok_or("--worker requires --executions")?,
         stop_on_first_bug,
+        emit_metrics,
+        profile_phases,
     })
 }
 
@@ -194,6 +224,8 @@ mod tests {
             first_index: 32,
             executions: 8,
             stop_on_first_bug: false,
+            emit_metrics: false,
+            profile_phases: false,
         }
     }
 
@@ -207,6 +239,11 @@ mod tests {
         minimal.stop_on_first_bug = true;
         let parsed = parse_worker_args(minimal.to_args().into_iter().skip(1)).expect("parses");
         assert_eq!(parsed, minimal);
+        let mut diagnostic = spec.clone();
+        diagnostic.emit_metrics = true;
+        diagnostic.profile_phases = true;
+        let parsed = parse_worker_args(diagnostic.to_args().into_iter().skip(1)).expect("parses");
+        assert_eq!(parsed, diagnostic);
     }
 
     #[test]
@@ -237,6 +274,7 @@ mod tests {
         while let Some(payload) = read_frame(&mut reader).expect("frame") {
             match parse_frame(&payload).expect("parses") {
                 Frame::Exec(report) => wired.absorb(&report),
+                Frame::Metrics(_) => panic!("metrics frame without --emit-metrics"),
                 Frame::Done(r) => {
                     assert_eq!(r, StopReason::BudgetExhausted);
                     saw_done = true;
@@ -255,5 +293,36 @@ mod tests {
             }));
         }
         assert_eq!(wired, direct);
+    }
+
+    #[test]
+    fn emit_metrics_streams_a_batch_metrics_frame_before_done() {
+        use crate::protocol::{parse_frame, read_frame, Frame};
+
+        let mut spec = spec();
+        spec.emit_metrics = true;
+        let mut buf = Vec::new();
+        spec.run(&mut buf).expect("runs");
+
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let mut metrics = None;
+        let mut execs = 0u64;
+        let mut done_after_metrics = false;
+        while let Some(payload) = read_frame(&mut reader).expect("frame") {
+            match parse_frame(&payload).expect("parses") {
+                Frame::Exec(_) => execs += 1,
+                Frame::Metrics(m) => metrics = Some(m),
+                Frame::Done(_) => done_after_metrics = metrics.is_some(),
+            }
+        }
+        assert_eq!(execs, spec.executions);
+        assert!(done_after_metrics, "metrics frame must precede done");
+        let metrics = metrics.expect("metrics frame present");
+        // The batch's alloc counters must cover every execution: the
+        // first provisions fresh state, the rest recycle it.
+        assert_eq!(
+            metrics.alloc.fresh_executions + metrics.alloc.recycled_executions,
+            spec.executions
+        );
     }
 }

@@ -1,0 +1,160 @@
+//! Chrome trace-event export (`--metrics-format chrome`).
+//!
+//! Re-renders a [`CampaignMetrics`] aggregate as a JSON array of
+//! Chrome trace events — the format `chrome://tracing` and Perfetto
+//! load directly — for flamegraph-style inspection of where a whole
+//! campaign spent its time. The timeline is **synthetic**: campaign
+//! metrics are totals, not an event log, so phases are laid out as
+//! consecutive slices whose durations are the accumulated per-phase
+//! nanoseconds, workers as one busy-span each, and epochs end-to-end
+//! in epoch order. Relative widths are meaningful; absolute
+//! timestamps are not.
+
+use crate::metrics::{esc, CampaignMetrics, MetricsMeta};
+use crate::phase::Phase;
+
+/// Track (tid) layout of the synthetic timeline.
+const TID_PHASES: u64 = 0;
+const TID_EPOCHS: u64 = 1;
+const TID_WORKER_BASE: u64 = 100;
+
+fn metadata(name: &str, tid: u64, value: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+        name,
+        tid,
+        esc(value)
+    )
+}
+
+fn slice(name: &str, tid: u64, ts_us: u64, dur_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+        esc(name),
+        tid,
+        ts_us,
+        dur_us,
+        args
+    )
+}
+
+/// Renders the metrics aggregate as a well-formed Chrome trace-event
+/// array.
+pub fn chrome_trace(metrics: &CampaignMetrics, meta: &MetricsMeta) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(metadata(
+        "process_name",
+        TID_PHASES,
+        &format!("c11campaign {}", meta.target),
+    ));
+    events.push(metadata("thread_name", TID_PHASES, "engine phases"));
+
+    // Phase slices, consecutive on one track.
+    let mut ts = 0u64;
+    for phase in Phase::ALL {
+        let dur = metrics.phase.nanos(phase) / 1_000;
+        let args = format!("\"calls\":{}", metrics.phase.calls(phase));
+        events.push(slice(phase.name(), TID_PHASES, ts, dur, &args));
+        ts += dur;
+    }
+
+    // One busy-span per worker.
+    let mut workers = metrics.workers.clone();
+    workers.sort_by_key(|w| w.worker);
+    for w in &workers {
+        let tid = TID_WORKER_BASE + w.worker;
+        events.push(metadata(
+            "thread_name",
+            tid,
+            &format!("worker {}", w.worker),
+        ));
+        let args = format!("\"executions\":{}", w.executions);
+        events.push(slice(
+            &format!("worker {}", w.worker),
+            tid,
+            0,
+            w.busy_nanos / 1_000,
+            &args,
+        ));
+    }
+
+    // Epochs end-to-end in epoch order.
+    if !metrics.epochs.is_empty() {
+        events.push(metadata("thread_name", TID_EPOCHS, "adaptive epochs"));
+        let mut epochs = metrics.epochs.clone();
+        epochs.sort_by_key(|e| e.epoch);
+        let mut ts = 0u64;
+        for e in &epochs {
+            let dur = e.wall_nanos / 1_000;
+            let args = format!(
+                "\"mix\":\"{}\",\"start_index\":{},\"executions\":{}",
+                esc(&e.mix),
+                e.start_index,
+                e.executions
+            );
+            events.push(slice(
+                &format!("epoch {}", e.epoch),
+                TID_EPOCHS,
+                ts,
+                dur,
+                &args,
+            ));
+            ts += dur;
+        }
+    }
+
+    let mut out = String::with_capacity(events.iter().map(String::len).sum::<usize>() + 64);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(e);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{EpochMetric, WorkerMetrics};
+
+    #[test]
+    fn trace_is_a_well_formed_event_array() {
+        let mut m = CampaignMetrics {
+            workers: vec![WorkerMetrics {
+                worker: 0,
+                executions: 10,
+                busy_nanos: 2_000_000,
+            }],
+            executions: 10,
+            wall_nanos: 3_000_000,
+            ..CampaignMetrics::default()
+        };
+        m.phase.record(Phase::Scheduling, 1_500_000);
+        m.epochs.push(EpochMetric {
+            epoch: 0,
+            start_index: 0,
+            executions: 10,
+            wall_nanos: 3_000_000,
+            mix: "random".into(),
+        });
+        let meta = MetricsMeta {
+            target: "dekker-fences".into(),
+            ..MetricsMeta::default()
+        };
+        let json = chrome_trace(&m, &meta);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"scheduling\""));
+        assert!(json.contains("\"dur\":1500"));
+        assert!(json.contains("\"name\":\"worker 0\""));
+        assert!(json.contains("\"name\":\"epoch 0\""));
+        // Every phase appears even with zero duration.
+        for phase in Phase::ALL {
+            assert!(json.contains(&format!("\"name\":\"{}\"", phase.name())));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic-contract-safe observability for the c11tester-rs
+//! workspace: phase profiling, a campaign metrics registry with
+//! `c11metrics/v1` + Chrome-trace export, and structured schedule
+//! traces.
+//!
+//! This crate is a dependency-free leaf **below** the core model
+//! crate, so every type here is built from plain `u64`/`&'static str`
+//! fields — core converts its own `ThreadId`/`ObjId`/`MemOrder`
+//! values at the recording sites. The cardinal rule, enforced by the
+//! layers above: telemetry is *diagnostic*, never *behavioral*.
+//! Nothing recorded here may influence scheduling, read-from choice,
+//! or any other model decision, and nothing here may enter canonical
+//! campaign JSON — the determinism contract (byte-identical reports
+//! across worker counts and isolation modes) must hold with telemetry
+//! enabled or disabled.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod phase;
+pub mod trace;
+
+pub use chrome::chrome_trace;
+pub use metrics::{CampaignMetrics, EpochMetric, ForkHealth, MetricsMeta, WorkerMetrics};
+pub use phase::{
+    phase_start, profiling_enabled, set_profiling, Phase, PhaseProfile, PhaseTimer, PHASE_COUNT,
+};
+pub use trace::{
+    event_jsonl, set_tracing, tracing_enabled, JsonlSink, MemorySink, StderrSink, TraceEvent,
+    TraceKey, TraceKind, TraceSink,
+};
