@@ -66,6 +66,11 @@ OPTIONS:
                             3 when a rate regressed beyond the threshold
     --baseline-threshold <R> absolute rate drop tolerated by --baseline
                             [default: 0.05]
+    --no-thread-pool        spawn a fresh OS thread per model thread per
+                            execution instead of reusing pooled workers —
+                            the pre-pool behavior, kept for A/B comparison.
+                            Canonical output is byte-identical either way
+                            (works with --isolate: children inherit it)
     --stop-on-first-bug     stop all workers at the first bug
     --deadline-secs <SECS>  wall-clock deadline for the campaign
     --json                  emit the full JSON report instead of text
@@ -115,6 +120,7 @@ struct Args {
     batch: Option<u64>,
     baseline: Option<String>,
     baseline_threshold: f64,
+    thread_pool: bool,
     stop_on_first_bug: bool,
     deadline_secs: Option<f64>,
     json: bool,
@@ -149,6 +155,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         batch: None,
         baseline: None,
         baseline_threshold: 0.05,
+        thread_pool: true,
         stop_on_first_bug: false,
         deadline_secs: None,
         json: false,
@@ -220,6 +227,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 args.baseline_threshold = t;
             }
+            "--no-thread-pool" => args.thread_pool = false,
             "--stop-on-first-bug" => args.stop_on_first_bug = true,
             "--deadline-secs" => {
                 let v = value()?;
@@ -376,7 +384,9 @@ fn main() -> ExitCode {
         c11tester_telemetry::set_profiling(true);
     }
 
-    let mut config = Config::for_policy(args.policy).with_seed(args.seed);
+    let mut config = Config::for_policy(args.policy)
+        .with_seed(args.seed)
+        .with_thread_pool(args.thread_pool);
     if let Some(mix) = args.mix.clone() {
         config = config.with_mix(mix);
     } else if args.adaptive.is_some() {

@@ -81,6 +81,47 @@ fn healthy_target_fork_server_matches_in_process_byte_for_byte() {
 }
 
 #[test]
+fn thread_pool_opt_out_is_byte_identical_in_process_and_isolated() {
+    // The pooled model-thread runtime must be behaviorally invisible:
+    // `--no-thread-pool` (spawn-per-execution) produces the same
+    // canonical bytes in-process and through the fork server, where
+    // children inherit the switch over the worker flag surface.
+    let base = [
+        "--target",
+        "rwlock-buggy",
+        "--executions",
+        "32",
+        "--seed",
+        "11",
+        "--canonical",
+    ];
+    let pooled = canonical(&base);
+    let mut no_pool = base.to_vec();
+    no_pool.push("--no-thread-pool");
+    assert_eq!(
+        canonical(&no_pool),
+        pooled,
+        "thread pool changed the in-process canonical report"
+    );
+    for workers in ["1", "4"] {
+        let mut isolated = base.to_vec();
+        isolated.extend(["--isolate", "--workers", workers]);
+        assert_eq!(
+            canonical(&isolated),
+            pooled,
+            "pooled fork-isolated canonical JSON diverged at {workers} workers"
+        );
+        let mut isolated_no_pool = isolated.clone();
+        isolated_no_pool.push("--no-thread-pool");
+        assert_eq!(
+            canonical(&isolated_no_pool),
+            pooled,
+            "--no-thread-pool fork-isolated canonical JSON diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn crashing_target_completes_the_budget_and_records_deterministic_crashes() {
     let base = [
         "--target",

@@ -17,6 +17,7 @@
 //! cargo run --release -p c11tester-bench --bin figure14
 //! ```
 
+use c11tester::{Config, Model};
 use c11tester_bench::{pin_to_single_core, rule, runs_from_env, unpin_all_cores};
 use c11tester_runtime::{HandoverKind, Notifier};
 use std::sync::Arc;
@@ -44,6 +45,31 @@ fn ping_pong(kind: HandoverKind, iters: u32) -> f64 {
     let elapsed = t0.elapsed();
     child.join().expect("ping-pong child");
     elapsed.as_nanos() as f64 / f64::from(iters) / 2.0
+}
+
+/// Mean nanoseconds per model execution of a 2-thread litmus body,
+/// pooled vs spawn-per-execution. The gap between the two columns is
+/// the per-execution OS-thread provisioning cost the pool amortizes.
+fn model_exec_ns(thread_pool: bool, execs: u32) -> f64 {
+    let config = Config::new().with_seed(0xF14).with_thread_pool(thread_pool);
+    let mut model = Model::new(config);
+    let body = || {
+        let flag = Arc::new(c11tester::sync::atomic::AtomicU32::named("flag", 0));
+        let f2 = Arc::clone(&flag);
+        let t = c11tester::thread::spawn(move || {
+            f2.store(1, c11tester::sync::atomic::Ordering::Release);
+        });
+        let _ = flag.load(c11tester::sync::atomic::Ordering::Acquire);
+        t.join();
+    };
+    for _ in 0..(execs / 10).max(1) {
+        let _ = model.run(body); // warmup: grows the pool to steady state
+    }
+    let t0 = Instant::now();
+    for _ in 0..execs {
+        let _ = model.run(body);
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(execs)
 }
 
 fn main() {
@@ -80,4 +106,32 @@ fn main() {
     rule(60);
     println!("(paper: condvar 1.95/1.61µs; futex 1.85/1.32µs; spin 0.07µs/16ms;");
     println!(" spin+yield 0.21/0.54µs; swapcontext fibers 0.34µs)");
+
+    // Companion measurement: what one whole model execution costs when
+    // model threads are re-dispatched onto pooled workers vs spawned
+    // fresh each execution. The handover rows above are the per-switch
+    // cost; this is the per-execution provisioning cost around them.
+    let execs = (iters / 100).max(50);
+    println!();
+    println!("Thread provisioning: ns per 2-thread model execution ({execs} execs)");
+    rule(60);
+    println!(
+        "{:<24} {:>15} {:>15} {:>8}",
+        "Provisioning", "ns/exec", "vs pooled", ""
+    );
+    rule(60);
+    let pooled = model_exec_ns(true, execs);
+    let fresh = model_exec_ns(false, execs);
+    println!(
+        "{:<24} {:>12.0} ns {:>15} {:>8}",
+        "pooled dispatch", pooled, "1.00x", ""
+    );
+    println!(
+        "{:<24} {:>12.0} ns {:>14.2}x {:>8}",
+        "spawn per execution",
+        fresh,
+        fresh / pooled.max(1.0),
+        ""
+    );
+    rule(60);
 }

@@ -54,6 +54,10 @@ pub struct BenchConfig {
     pub warmup: u32,
     /// Campaign worker threads.
     pub workers: usize,
+    /// Run model threads on the pooled runtime (the default). `false`
+    /// spawns a fresh OS thread per model thread per execution — the
+    /// pre-pool behavior, kept for A/B measurement.
+    pub thread_pool: bool,
 }
 
 impl Default for BenchConfig {
@@ -64,6 +68,7 @@ impl Default for BenchConfig {
             trials: 7,
             warmup: 2,
             workers: 1,
+            thread_pool: true,
         }
     }
 }
@@ -131,8 +136,12 @@ pub fn bench_target(
     cfg: &BenchConfig,
     baseline_median: Option<f64>,
 ) -> TargetResult {
-    let campaign =
-        || Campaign::new(Config::new().with_seed(cfg.seed)).with_workers(cfg.workers.max(1));
+    let campaign = || {
+        let config = Config::new()
+            .with_seed(cfg.seed)
+            .with_thread_pool(cfg.thread_pool);
+        Campaign::new(config).with_workers(cfg.workers.max(1))
+    };
     let budget = CampaignBudget::executions(cfg.executions);
     let mut canonical: Option<String> = None;
     let mut deterministic = true;
@@ -219,8 +228,8 @@ pub fn render_json(cfg: &BenchConfig, results: &[TargetResult]) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str("{\"schema\":\"c11bench/v1\"");
     out.push_str(&format!(
-        ",\"config\":{{\"seed\":{},\"executions_per_trial\":{},\"trials\":{},\"warmup_trials\":{},\"workers\":{}}}",
-        cfg.seed, cfg.executions, cfg.trials, cfg.warmup, cfg.workers,
+        ",\"config\":{{\"seed\":{},\"executions_per_trial\":{},\"trials\":{},\"warmup_trials\":{},\"workers\":{},\"thread_pool\":{}}}",
+        cfg.seed, cfg.executions, cfg.trials, cfg.warmup, cfg.workers, cfg.thread_pool,
     ));
     out.push_str(&format!(
         ",\"host\":{{\"available_parallelism\":{}}}",

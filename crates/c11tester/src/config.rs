@@ -341,6 +341,12 @@ pub struct Config {
     pub volatile_store_order: MemOrder,
     /// Abort an execution after this many model events (runaway guard).
     pub max_events: u64,
+    /// Back model threads with a per-model reusable [`c11tester_runtime::ThreadPool`]
+    /// (the default) instead of spawning a fresh OS thread per model
+    /// thread per execution. Behaviorally invisible — canonical output
+    /// is byte-identical either way — so the opt-out exists only for
+    /// A/B measurement of the spawn-per-execution cost.
+    pub thread_pool: bool,
 }
 
 impl Config {
@@ -357,6 +363,7 @@ impl Config {
             volatile_load_order: MemOrder::Relaxed,
             volatile_store_order: MemOrder::Relaxed,
             max_events: 50_000_000,
+            thread_pool: true,
         }
     }
 
@@ -456,6 +463,14 @@ impl Config {
     /// Sets the per-execution event budget.
     pub fn with_max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Enables or disables the reusable model-thread pool
+    /// (see [`Config::thread_pool`]). `false` restores the
+    /// spawn-per-execution behavior for A/B comparison.
+    pub fn with_thread_pool(mut self, thread_pool: bool) -> Self {
+        self.thread_pool = thread_pool;
         self
     }
 }

@@ -48,6 +48,18 @@ pub(crate) fn clear_current() {
     CURRENT.with(|c| *c.borrow_mut() = None);
 }
 
+/// Guard that clears the model-thread binding when dropped — used by
+/// pooled model-thread bodies, which must not leave a stale
+/// `Arc<ModelCtx>` in the worker's TLS between executions. Dropping
+/// during an `Aborted` unwind is fine: `clear_current` never panics.
+pub(crate) struct ClearCurrentOnDrop;
+
+impl Drop for ClearCurrentOnDrop {
+    fn drop(&mut self) {
+        clear_current();
+    }
+}
+
 /// Panics inside model threads are *signals* (assertion violations are
 /// recorded in the execution report; aborts are control flow), so the
 /// default print-a-backtrace hook is suppressed for them. Non-model

@@ -61,7 +61,7 @@ pub use cell::{Shared, SharedArray};
 pub use config::{
     Config, Strategy, StrategyMix, DEFAULT_BURST_MEAN, DEFAULT_PCT_OPS, MAX_NORMAL_WEIGHT,
 };
-pub use model::{Model, ModelParts};
+pub use model::{Model, ModelParts, ThreadSpawnStats};
 pub use report::{
     AccessKind, DedupEntry, DedupHistory, ExecutionReport, Failure, RaceKey, RaceKind, RaceReport,
     StrategyBucket, StrategyLedger, TestReport,

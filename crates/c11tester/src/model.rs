@@ -7,7 +7,7 @@ use crate::engine::Engine;
 use crate::report::{ExecutionReport, Failure, TestReport};
 use c11tester_core::{ThreadId, TraceKey, TraceSink};
 use c11tester_race::RaceDetector;
-use c11tester_runtime::{Runtime, Scheduler};
+use c11tester_runtime::{Runtime, Scheduler, ThreadPool};
 use c11tester_telemetry::StderrSink;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -80,6 +80,31 @@ pub struct Model {
     /// Epoch component of the trace key (0 unless an adaptive campaign
     /// sets it via [`Model::set_trace_epoch`]).
     trace_epoch: u64,
+    /// Reusable OS worker threads backing the model threads of every
+    /// execution this instance runs (`None` when
+    /// [`Config::thread_pool`] is off — spawn-per-execution mode).
+    /// Like [`Model::exec_pool`], behaviorally invisible: pooled and
+    /// fresh runs produce byte-identical canonical output.
+    thread_pool: Option<Arc<ThreadPool>>,
+    /// Fresh OS threads spawned across this instance's executions
+    /// (spawn-per-execution mode only; pool growth is counted by the
+    /// pool itself).
+    fresh_spawns: u64,
+}
+
+/// Model-thread provisioning counters over a [`Model`]'s lifetime
+/// ([`Model::thread_stats`]) — the threading analog of
+/// `AllocStats`' fresh/recycled split. Diagnostic only; never part of
+/// canonical output.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadSpawnStats {
+    /// Model threads provisioned by re-dispatching onto an already-live
+    /// pooled worker (always 0 with the pool disabled).
+    pub pooled_dispatches: u64,
+    /// Model threads provisioned by creating a new OS thread: every
+    /// spawn in spawn-per-execution mode, only pool *growth* in pooled
+    /// mode — so after warmup this stops increasing.
+    pub fresh_spawns: u64,
 }
 
 /// The reusable pieces of a disassembled [`Model`]
@@ -154,6 +179,7 @@ impl Model {
     /// Panics if `stride == 0`.
     pub fn for_shard_from(config: Config, first_index: u64, stride: u64) -> Self {
         assert!(stride > 0, "shard stride must be positive");
+        let thread_pool = config.thread_pool.then(ThreadPool::new);
         Model {
             config,
             race: Some(RaceDetector::new()),
@@ -164,12 +190,15 @@ impl Model {
             exec_pool: None,
             trace_sink: None,
             trace_epoch: 0,
+            thread_pool,
+            fresh_spawns: 0,
         }
     }
 
     /// Creates a model driven by a custom strategy plugin (paper §3:
     /// "C11Tester has a pluggable framework for testing algorithms").
     pub fn with_scheduler(config: Config, scheduler: Box<dyn Scheduler>) -> Self {
+        let thread_pool = config.thread_pool.then(ThreadPool::new);
         Model {
             config,
             race: Some(RaceDetector::new()),
@@ -180,6 +209,8 @@ impl Model {
             exec_pool: None,
             trace_sink: None,
             trace_epoch: 0,
+            thread_pool,
+            fresh_spawns: 0,
         }
     }
 
@@ -196,6 +227,7 @@ impl Model {
 
     /// Reassembles a model from [`ModelParts`].
     pub fn from_parts(parts: ModelParts) -> Self {
+        let thread_pool = parts.config.thread_pool.then(ThreadPool::new);
         Model {
             config: parts.config,
             race: Some(parts.race),
@@ -206,6 +238,8 @@ impl Model {
             exec_pool: None,
             trace_sink: None,
             trace_epoch: 0,
+            thread_pool,
+            fresh_spawns: 0,
         }
     }
 
@@ -256,6 +290,23 @@ impl Model {
         self.stride
     }
 
+    /// Model-thread provisioning counters over this instance's
+    /// lifetime: pooled re-dispatches vs fresh OS-thread spawns. After
+    /// warmup a pooled model's `fresh_spawns` stays constant — the
+    /// property campaigns pin via `WorkerMetrics`.
+    pub fn thread_stats(&self) -> ThreadSpawnStats {
+        match &self.thread_pool {
+            Some(pool) => ThreadSpawnStats {
+                pooled_dispatches: pool.dispatches_reused(),
+                fresh_spawns: pool.workers_spawned() + self.fresh_spawns,
+            },
+            None => ThreadSpawnStats {
+                pooled_dispatches: 0,
+                fresh_spawns: self.fresh_spawns,
+            },
+        }
+    }
+
     /// Runs the program once under controlled scheduling at the next
     /// index of this model's shard progression.
     pub fn run<F>(&mut self, f: F) -> ExecutionReport
@@ -277,7 +328,10 @@ impl Model {
     where
         F: Fn() + Send + Sync,
     {
-        let runtime = Runtime::new(self.config.handover);
+        let runtime = match &self.thread_pool {
+            Some(pool) => Runtime::with_pool(self.config.handover, Arc::clone(pool)),
+            None => Runtime::new(self.config.handover),
+        };
         let race = self.race.take().expect("race detector present");
         let custom = self.scheduler.is_some();
         let scheduler = self.scheduler.take();
@@ -320,13 +374,21 @@ impl Model {
         }
 
         ctx::clear_current();
-        runtime.join_all();
+        let joined = runtime.join_all();
+        self.fresh_spawns += runtime.fresh_spawn_count();
 
         // Disassemble the engine; tool state persists across executions.
         // (Model threads have exited; the lock is free. TLS teardown
         // may still hold `Arc<ModelCtx>` clones briefly, so the engine
         // pieces are moved out rather than unwrapping the Arc.)
         let mut eng = ctx.engine.lock();
+        if let Err(msg) = joined {
+            // A panic escaped a model thread's root catch_unwind (TLS
+            // destructors, teardown code): surface it instead of
+            // dropping it, unless the execution already recorded its
+            // own failure.
+            eng.fail(Failure::Infra(msg));
+        }
         let races = eng.race.take_reports();
         let elided = eng.race.elided_volatile;
         eng.race.elided_volatile = 0;

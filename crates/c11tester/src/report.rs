@@ -24,6 +24,12 @@ pub enum Failure {
     /// The event budget was exhausted (guards against runaway
     /// schedules; configurable via `Config::max_events`).
     TooManyEvents(u64),
+    /// The testing infrastructure itself failed for this execution —
+    /// a model-thread spawn/dispatch error, or a panic that escaped a
+    /// model thread's root `catch_unwind` (e.g. from TLS destructors
+    /// during teardown). Not a bug in the program under test, but it
+    /// must surface rather than vanish.
+    Infra(String),
 }
 
 impl Failure {
@@ -34,6 +40,7 @@ impl Failure {
             Failure::Deadlock => "deadlock",
             Failure::Panic(_) => "panic",
             Failure::TooManyEvents(_) => "too-many-events",
+            Failure::Infra(_) => "infra",
         }
     }
 }
@@ -44,6 +51,7 @@ impl fmt::Display for Failure {
             Failure::Deadlock => write!(f, "deadlock: all live threads blocked"),
             Failure::Panic(msg) => write!(f, "assertion violation: {msg}"),
             Failure::TooManyEvents(n) => write!(f, "event budget exhausted ({n} events)"),
+            Failure::Infra(msg) => write!(f, "infrastructure failure: {msg}"),
         }
     }
 }

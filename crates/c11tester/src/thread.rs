@@ -79,10 +79,16 @@ where
         let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
         let result2 = Arc::clone(&result);
         let ctx2 = Arc::clone(ctx);
-        ctx.runtime.spawn(
+        let dispatched = ctx.runtime.spawn(
             child.index(),
             Box::new(move || {
                 ctx::set_current(Arc::clone(&ctx2), child);
+                // Pooled workers outlive the execution, so the TLS
+                // binding must be dropped when the body ends — on the
+                // normal paths *and* on the `Aborted` unwind out of
+                // `thread_finished` (fresh threads got this for free at
+                // OS-thread exit).
+                let _unbind = ctx::ClearCurrentOnDrop;
                 let outcome = catch_unwind(AssertUnwindSafe(f));
                 match outcome {
                     Ok(v) => {
@@ -98,6 +104,13 @@ where
                 }
             }),
         );
+        if let Err(msg) = dispatched {
+            // No OS thread backs the child the engine just registered,
+            // so the schedule must never reach it: record an
+            // infrastructure failure and poison this execution (only).
+            // The parent aborts at its next schedule point.
+            ctx::fail_execution(ctx, Failure::Infra(msg));
+        }
         JoinHandle { child, result }
     })
 }

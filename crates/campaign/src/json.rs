@@ -20,6 +20,7 @@ fn failure(f: &Failure) -> (&'static str, String) {
         Failure::Deadlock => "all live threads blocked".to_string(),
         Failure::Panic(msg) => msg.clone(),
         Failure::TooManyEvents(n) => format!("{n} events"),
+        Failure::Infra(msg) => msg.clone(),
     };
     (f.kind_name(), msg)
 }

@@ -387,10 +387,13 @@ impl Campaign {
                                 break;
                             }
                         }
+                        let thread_stats = model.thread_stats();
                         let _ = mtx.send(WorkerMetrics {
                             worker: w as u64,
                             executions: completed,
                             busy_nanos: busy_start.elapsed().as_nanos() as u64,
+                            pooled_dispatches: thread_stats.pooled_dispatches,
+                            fresh_spawns: thread_stats.fresh_spawns,
                         });
                     })
                     .expect("failed to spawn campaign worker");

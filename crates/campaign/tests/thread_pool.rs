@@ -1,0 +1,186 @@
+//! Thread-pool determinism contract (library level).
+//!
+//! The pooled model-thread runtime re-dispatches workload closures
+//! onto OS worker threads that stay alive across a model's executions
+//! (see `ARCHITECTURE.md` "threading model"). These tests pin the
+//! contract that makes that legal:
+//!
+//! * a pooled execution is **observationally identical** to one whose
+//!   model threads are spawned fresh — same reports, same behavioral
+//!   stats, same canonical JSON;
+//! * worker count changes which executions share a pool (each campaign
+//!   worker's shard reuses that worker's pool), so canonical
+//!   byte-identity pooled-vs-fresh across 1/4/8 workers exercises
+//!   every interleaving of warm and cold pools;
+//! * after warmup the pool stops creating OS threads: `fresh_spawns`
+//!   stays at the high-water mark while `pooled_dispatches` grows;
+//! * the contract holds for every [`HandoverKind`] — the pool only
+//!   changes *where* the run-token mailboxes live, never what they do.
+
+use c11tester::{Config, HandoverKind, Model, TestReport};
+use c11tester_campaign::{Campaign, CampaignBudget};
+
+/// 10 child threads + main: enough width that a pooled model's
+/// steady-state pool is exercised well past one worker.
+fn wide_program() {
+    use c11tester::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let x = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            let x = Arc::clone(&x);
+            c11tester::thread::spawn(move || {
+                x.fetch_add(1, Ordering::AcqRel);
+                x.store(i + 1, Ordering::Release);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}
+
+fn racy_program() {
+    c11tester_workloads::ds::rwlock_buggy::run_buggy();
+}
+
+/// The strictest form of pooled-vs-fresh: replay every index of a
+/// pooled model's stream on spawn-per-execution models and require
+/// identical per-execution reports and aggregate.
+#[test]
+fn pooled_model_stream_equals_fresh_spawn_replays() {
+    let pooled_config = || Config::new().with_seed(0x9001);
+    let fresh_config = || pooled_config().with_thread_pool(false);
+    let mut pooled = Model::new(pooled_config());
+    let mut aggregate = TestReport::default();
+    for index in 0..12 {
+        // From index 1 on, this model re-dispatches onto warm workers.
+        let pooled_report = pooled.run(racy_program);
+        assert_eq!(pooled_report.execution_index, index);
+        let mut fresh = Model::new(fresh_config());
+        let fresh_report = fresh.run_at(index, racy_program);
+        assert_eq!(
+            pooled_report.races, fresh_report.races,
+            "index {index}: races diverged pooled-vs-fresh"
+        );
+        assert_eq!(
+            pooled_report.failure, fresh_report.failure,
+            "index {index}: failure diverged pooled-vs-fresh"
+        );
+        assert_eq!(
+            pooled_report.stats, fresh_report.stats,
+            "index {index}: behavioral stats diverged pooled-vs-fresh"
+        );
+        aggregate.absorb(&pooled_report);
+    }
+    // And the pooled model's aggregate equals the serial reference run
+    // entirely without a pool.
+    let serial = Model::new(fresh_config()).run_many(12, racy_program);
+    assert_eq!(aggregate, serial);
+}
+
+/// Canonical byte-identity pooled-vs-fresh across worker counts, which
+/// permutes how executions map onto warm and cold pools.
+#[test]
+fn canonical_json_identical_pooled_vs_fresh_across_worker_counts() {
+    for (name, program) in [
+        ("racy", racy_program as fn()),
+        ("wide", wide_program as fn()),
+    ] {
+        let budget = CampaignBudget::executions(24);
+        let pooled_config = Config::new().with_seed(0x9002);
+        let fresh_config = pooled_config.clone().with_thread_pool(false);
+        let reference = Campaign::new(fresh_config.clone())
+            .with_workers(1)
+            .run(&budget, program)
+            .canonical_json();
+        for workers in [1, 4, 8] {
+            for (mode, config) in [("pooled", &pooled_config), ("fresh", &fresh_config)] {
+                let got = Campaign::new(config.clone())
+                    .with_workers(workers)
+                    .run(&budget, program)
+                    .canonical_json();
+                assert_eq!(
+                    got, reference,
+                    "{name}: canonical JSON diverged ({mode}, {workers} workers)"
+                );
+            }
+        }
+    }
+}
+
+/// The whole point of the tentpole: OS thread creation is bounded by
+/// the peak number of concurrently-live model threads (the pool's
+/// high-water mark), not by the execution count. A spawn-per-execution
+/// runtime pays `children × executions` creations; the pool pays at
+/// most `children + 1` in total and re-dispatches everything else.
+/// (The pool may still grow *after* the first execution — a later
+/// schedule can keep more children live at once than any earlier one —
+/// so the pin is the width bound, not first-execution flatness.)
+#[test]
+fn no_fresh_spawns_after_warmup() {
+    let mut model = Model::new(Config::new().with_seed(0x9003));
+    model.run(wide_program);
+    let warm = model.thread_stats();
+    assert!(
+        warm.fresh_spawns > 0,
+        "first execution must grow the pool from empty"
+    );
+    for _ in 0..8 {
+        model.run(wide_program);
+    }
+    let steady = model.thread_stats();
+    assert!(
+        steady.fresh_spawns <= 11,
+        "{} OS threads created over 9 executions of a 10-child workload — \
+         the pool is spawning past its high-water mark",
+        steady.fresh_spawns
+    );
+    // Every one of the 90 child threads was either a pool growth or a
+    // re-dispatch, and re-dispatches dominate.
+    assert_eq!(steady.pooled_dispatches + steady.fresh_spawns, 90);
+    assert!(
+        steady.pooled_dispatches >= 79,
+        "steady-state executions must re-dispatch onto pooled workers"
+    );
+    // The opt-out really opts out: no pool, every model thread is a
+    // fresh OS spawn.
+    let mut fresh = Model::new(Config::new().with_seed(0x9003).with_thread_pool(false));
+    fresh.run(wide_program);
+    fresh.run(wide_program);
+    let stats = fresh.thread_stats();
+    assert_eq!(stats.pooled_dispatches, 0);
+    assert!(stats.fresh_spawns >= 20, "10 children × 2 executions");
+}
+
+/// Every handover strategy produces the same canonical bytes, pooled
+/// or fresh. Budgets are tiny: `Spin` burns a full scheduling quantum
+/// per switch on a single-core host.
+#[test]
+fn canonical_json_identical_across_all_handover_kinds() {
+    for program in [racy_program as fn(), wide_program as fn()] {
+        let budget = CampaignBudget::executions(3);
+        let mut reference: Option<String> = None;
+        for kind in HandoverKind::all() {
+            for thread_pool in [true, false] {
+                let config = Config::new()
+                    .with_seed(0x9004)
+                    .with_handover(kind)
+                    .with_thread_pool(thread_pool);
+                let got = Campaign::new(config)
+                    .with_workers(1)
+                    .run(&budget, program)
+                    .canonical_json();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(
+                        &got,
+                        want,
+                        "canonical JSON diverged under {} (thread_pool={thread_pool})",
+                        kind.name()
+                    ),
+                }
+            }
+        }
+    }
+}

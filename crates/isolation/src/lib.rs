@@ -63,7 +63,7 @@ pub mod worker;
 pub use worker::{parse_worker_args, worker_main, WorkerSpec};
 
 use crate::protocol::{read_frame, Frame};
-use c11tester::{Config, TestReport};
+use c11tester::{Config, TestReport, ThreadSpawnStats};
 use c11tester_campaign::targets::Target;
 use c11tester_campaign::{
     CampaignBudget, CrashKind, CrashRecord, Executor, RangeOutcome, StopReason,
@@ -157,6 +157,7 @@ impl ForkServer {
         deadline_at: Option<Instant>,
         report: &mut TestReport,
         health: &mut ForkHealth,
+        threads: &mut ThreadSpawnStats,
     ) -> Result<ChildOutcome, String> {
         let mut child = Command::new(&self.program)
             .args(spec.to_args())
@@ -238,12 +239,15 @@ impl ForkServer {
                             completed += 1;
                         }
                         Ok(Frame::Metrics(m)) => {
-                            // Diagnostic-only: alloc and phase are
-                            // excluded from stats equality and from
-                            // canonical JSON, so folding them in never
-                            // perturbs the determinism contract.
+                            // Diagnostic-only: alloc, phase, and thread
+                            // counters are excluded from stats equality
+                            // and from canonical JSON, so folding them
+                            // in never perturbs the determinism
+                            // contract.
                             report.total_stats.alloc.absorb(&m.alloc);
                             report.total_stats.phase.absorb(&m.phase);
+                            threads.pooled_dispatches += m.threads.pooled_dispatches;
+                            threads.fresh_spawns += m.threads.fresh_spawns;
                         }
                         Ok(Frame::Done(reason)) => {
                             let _ = child.wait();
@@ -292,6 +296,7 @@ impl ForkServer {
             crashes: Vec::new(),
             stop_reason: StopReason::BudgetExhausted,
             health: ForkHealth::default(),
+            threads: ThreadSpawnStats::default(),
         };
         let end = start + len;
         let mut cursor = start;
@@ -316,6 +321,7 @@ impl ForkServer {
                 // only when the parent itself is profiling.
                 emit_metrics: true,
                 profile_phases: c11tester_telemetry::profiling_enabled(),
+                thread_pool: config.thread_pool,
             };
             if cursor != start {
                 // Every spawn past the first covers a post-crash
@@ -327,6 +333,7 @@ impl ForkServer {
                 deadline_at,
                 &mut result.aggregate,
                 &mut result.health,
+                &mut result.threads,
             )? {
                 ChildOutcome::Finished(reason) => {
                     result.stop_reason = reason;
@@ -388,6 +395,7 @@ struct BatchResult {
     crashes: Vec<CrashRecord>,
     stop_reason: StopReason,
     health: ForkHealth,
+    threads: ThreadSpawnStats,
 }
 
 #[cfg(unix)]
@@ -447,6 +455,7 @@ impl Executor for ForkServer {
                 scope.spawn(move || {
                     let busy_start = Instant::now();
                     let mut completed = 0u64;
+                    let mut threads = ThreadSpawnStats::default();
                     loop {
                         if bug_stop.load(Ordering::Relaxed) || failed.load(Ordering::Relaxed) {
                             break;
@@ -476,6 +485,8 @@ impl Executor for ForkServer {
                         }
                         if let Ok(batch) = &result {
                             completed += batch.aggregate.executions;
+                            threads.pooled_dispatches += batch.threads.pooled_dispatches;
+                            threads.fresh_spawns += batch.threads.fresh_spawns;
                         }
                         if tx.send(result).is_err() {
                             break;
@@ -485,6 +496,8 @@ impl Executor for ForkServer {
                         worker: w as u64,
                         executions: completed,
                         busy_nanos: busy_start.elapsed().as_nanos() as u64,
+                        pooled_dispatches: threads.pooled_dispatches,
+                        fresh_spawns: threads.fresh_spawns,
                     });
                 });
             }

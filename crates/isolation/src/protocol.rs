@@ -25,7 +25,7 @@
 //! parent surfaces that as a protocol-violation error (bounded by
 //! [`MAX_FRAME_LEN`]) rather than silently mis-aggregating.
 
-use c11tester::{ExecutionReport, Failure, RaceReport};
+use c11tester::{ExecutionReport, Failure, RaceReport, ThreadSpawnStats};
 use c11tester_campaign::baseline::JsonValue;
 use c11tester_campaign::wire::{
     access_kind_name, esc, parse_access_kind, parse_race_kind, race_kind_name,
@@ -115,6 +115,11 @@ pub struct BatchMetrics {
     /// Phase-timing profile accumulated over the batch. Empty unless
     /// the child ran with `--profile-phases`.
     pub phase: PhaseProfile,
+    /// Model-thread provisioning counters for the batch: pooled
+    /// re-dispatches vs fresh OS-thread spawns. The thread-pool analog
+    /// of `alloc`'s recycled-vs-fresh split; a warm child shows
+    /// `fresh_spawns` flat while `pooled_dispatches` grows.
+    pub threads: ThreadSpawnStats,
 }
 
 /// Encodes an `exec` frame payload.
@@ -152,6 +157,7 @@ pub fn exec_payload(report: &ExecutionReport) -> String {
                 Failure::Deadlock => (String::new(), String::from("null")),
                 Failure::Panic(msg) => (esc(msg), String::from("null")),
                 Failure::TooManyEvents(n) => (String::new(), n.to_string()),
+                Failure::Infra(msg) => (esc(msg), String::from("null")),
             };
             out.push_str(&format!(
                 ",\"failure\":{{\"kind\":\"{}\",\"message\":\"{message}\",\"events\":{events}}}",
@@ -203,13 +209,16 @@ pub fn metrics_payload(m: &BatchMetrics) -> String {
             "{{\"frame\":\"metrics\",",
             "\"alloc\":{{\"fresh_executions\":{},\"recycled_executions\":{},",
             "\"clock_spills\":{}}},",
-            "\"phase\":{{\"nanos\":{},\"calls\":{}}}}}"
+            "\"phase\":{{\"nanos\":{},\"calls\":{}}},",
+            "\"threads\":{{\"pooled_dispatches\":{},\"fresh_spawns\":{}}}}}"
         ),
         m.alloc.fresh_executions,
         m.alloc.recycled_executions,
         m.alloc.clock_spills,
         u64_array(&nanos),
         u64_array(&calls),
+        m.threads.pooled_dispatches,
+        m.threads.fresh_spawns,
     )
 }
 
@@ -311,6 +320,7 @@ fn parse_failure(doc: &JsonValue) -> Result<Option<Failure>, String> {
         "deadlock" => Failure::Deadlock,
         "panic" => Failure::Panic(str_field(failure, "message")?.to_string()),
         "too-many-events" => Failure::TooManyEvents(u64_field(failure, "events")?),
+        "infra" => Failure::Infra(str_field(failure, "message")?.to_string()),
         other => return Err(format!("unknown failure kind `{other}`")),
     }))
 }
@@ -326,6 +336,7 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
         "metrics" => {
             let alloc = doc.get("alloc").ok_or("missing `alloc`")?;
             let phase = doc.get("phase").ok_or("missing `phase`")?;
+            let threads = doc.get("threads").ok_or("missing `threads`")?;
             Ok(Frame::Metrics(BatchMetrics {
                 alloc: AllocStats {
                     fresh_executions: u64_field(alloc, "fresh_executions")?,
@@ -336,6 +347,10 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
                     phase_array_field(phase, "nanos")?,
                     phase_array_field(phase, "calls")?,
                 ),
+                threads: ThreadSpawnStats {
+                    pooled_dispatches: u64_field(threads, "pooled_dispatches")?,
+                    fresh_spawns: u64_field(threads, "fresh_spawns")?,
+                },
             }))
         }
         "exec" => {
@@ -452,6 +467,10 @@ mod tests {
                 clock_spills: 5,
             },
             phase: PhaseProfile::default(),
+            threads: ThreadSpawnStats {
+                pooled_dispatches: 188,
+                fresh_spawns: 4,
+            },
         };
         m.phase.record(Phase::Scheduling, 123_456);
         m.phase.record(Phase::Prune, 42);

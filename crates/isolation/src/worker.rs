@@ -44,6 +44,10 @@ pub struct WorkerSpec {
     /// ([`c11tester_telemetry::set_profiling`]), so the metrics frame
     /// carries nonzero phase timings.
     pub profile_phases: bool,
+    /// Run the child's model threads on the pooled runtime (the
+    /// default). `false` mirrors the parent's `--no-thread-pool` A/B
+    /// switch into the child — behaviorally invisible either way.
+    pub thread_pool: bool,
 }
 
 impl WorkerSpec {
@@ -76,13 +80,18 @@ impl WorkerSpec {
         if self.profile_phases {
             args.push("--profile-phases".to_string());
         }
+        if !self.thread_pool {
+            args.push("--no-thread-pool".to_string());
+        }
         args
     }
 
     /// The model configuration the batch runs under — identical to the
     /// parent campaign's, reconstructed from the flag surface.
     pub fn config(&self) -> Result<Config, String> {
-        let mut config = Config::for_policy(self.policy).with_seed(self.seed);
+        let mut config = Config::for_policy(self.policy)
+            .with_seed(self.seed)
+            .with_thread_pool(self.thread_pool);
         if let Some(mix) = &self.mix {
             config = config.with_mix(StrategyMix::parse(mix)?);
         }
@@ -115,6 +124,9 @@ impl WorkerSpec {
             }
         }
         if self.emit_metrics {
+            // Thread-provisioning counters are cumulative over the
+            // model's lifetime, which for a child *is* the batch.
+            batch.threads = model.thread_stats();
             write_frame(out, &metrics_payload(&batch)).map_err(|e| format!("pipe closed: {e}"))?;
         }
         write_frame(out, &done_payload(reason)).map_err(|e| format!("pipe closed: {e}"))?;
@@ -151,6 +163,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
     let mut stop_on_first_bug = false;
     let mut emit_metrics = false;
     let mut profile_phases = false;
+    let mut thread_pool = true;
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -168,6 +181,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
             "--stop-on-first-bug" => stop_on_first_bug = true,
             "--emit-metrics" => emit_metrics = true,
             "--profile-phases" => profile_phases = true,
+            "--no-thread-pool" => thread_pool = false,
             other => return Err(format!("unknown worker flag `{other}`")),
         }
     }
@@ -181,6 +195,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
         stop_on_first_bug,
         emit_metrics,
         profile_phases,
+        thread_pool,
     })
 }
 
@@ -226,6 +241,7 @@ mod tests {
             stop_on_first_bug: false,
             emit_metrics: false,
             profile_phases: false,
+            thread_pool: true,
         }
     }
 
@@ -242,6 +258,7 @@ mod tests {
         let mut diagnostic = spec.clone();
         diagnostic.emit_metrics = true;
         diagnostic.profile_phases = true;
+        diagnostic.thread_pool = false;
         let parsed = parse_worker_args(diagnostic.to_args().into_iter().skip(1)).expect("parses");
         assert_eq!(parsed, diagnostic);
     }

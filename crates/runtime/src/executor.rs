@@ -18,9 +18,10 @@
 //! this module is deliberately mechanism-only.
 
 use crate::handover::{HandoverKind, Notifier};
+use crate::pool::{panic_message, ThreadPool};
 use parking_lot::Mutex;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -37,16 +38,37 @@ pub struct Runtime {
     slots: Mutex<Vec<Arc<Notifier>>>,
     poisoned: AtomicBool,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Backing pool for model threads: `Some` dispatches workloads to
+    /// reusable pooled workers, `None` spawns a fresh OS thread per
+    /// model thread (the pre-pool behavior, kept for A/B comparison).
+    pool: Option<Arc<ThreadPool>>,
+    /// Fresh OS threads spawned by this runtime (fresh mode only; the
+    /// pool counts its own growth).
+    fresh_spawns: AtomicU64,
 }
 
 impl Runtime {
-    /// Creates a runtime using the given handover strategy.
+    /// Creates a runtime that spawns a fresh OS thread per model
+    /// thread (spawn-per-execution mode).
     pub fn new(kind: HandoverKind) -> Arc<Self> {
+        Runtime::build(kind, None)
+    }
+
+    /// Creates a runtime that dispatches model threads onto `pool`'s
+    /// reusable workers instead of spawning. The pool outlives the
+    /// runtime; `join_all` quiesces it rather than joining threads.
+    pub fn with_pool(kind: HandoverKind, pool: Arc<ThreadPool>) -> Arc<Self> {
+        Runtime::build(kind, Some(pool))
+    }
+
+    fn build(kind: HandoverKind, pool: Option<Arc<ThreadPool>>) -> Arc<Self> {
         Arc::new(Runtime {
             kind,
             slots: Mutex::new(Vec::new()),
             poisoned: AtomicBool::new(false),
             handles: Mutex::new(Vec::new()),
+            pool,
+            fresh_spawns: AtomicU64::new(0),
         })
     }
 
@@ -96,23 +118,53 @@ impl Runtime {
         Ok(())
     }
 
-    /// Spawns the OS thread backing model thread `ix`. The thread
-    /// binds its mailbox, waits to be scheduled for the first time, and
-    /// then runs `body`. Panics escaping `body` are swallowed here; the
-    /// facade records failures before unwinding.
-    pub fn spawn(self: &Arc<Self>, ix: usize, body: Box<dyn FnOnce() + Send>) {
+    /// Provisions the OS thread backing model thread `ix` — a pooled
+    /// worker when the runtime has a [`ThreadPool`], a fresh named
+    /// thread otherwise. Either way the thread binds its mailbox,
+    /// waits to be scheduled for the first time, and then runs `body`.
+    ///
+    /// The expected [`Aborted`] unwind is swallowed here (the facade
+    /// records failures before poisoning); any *other* panic escaping
+    /// `body` is re-raised so [`Runtime::join_all`] can surface it
+    /// instead of losing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error message if thread creation fails (e.g.
+    /// transient `EAGAIN`). Recoverable: the runtime is unchanged, so
+    /// the caller can poison just the current execution.
+    pub fn spawn(
+        self: &Arc<Self>,
+        ix: usize,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> Result<(), String> {
         let rt = Arc::clone(self);
-        let handle = std::thread::Builder::new()
-            .name(format!("c11tester-model-{ix}"))
-            .spawn(move || {
-                rt.bind_current(ix);
-                if rt.park(ix).is_err() {
-                    return;
+        let wrapper = move || {
+            rt.bind_current(ix);
+            if rt.park(ix).is_err() {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                if payload.downcast_ref::<Aborted>().is_none() {
+                    // Not the cooperative abort unwind: rethrow so the
+                    // join/quiesce path reports it (satellite bugfix —
+                    // previously `let _ = h.join()` dropped these).
+                    resume_unwind(payload);
                 }
-                let _ = catch_unwind(AssertUnwindSafe(body));
-            })
-            .expect("failed to spawn model thread");
-        self.handles.lock().push(handle);
+            }
+        };
+        match &self.pool {
+            Some(pool) => pool.dispatch(Box::new(wrapper)),
+            None => {
+                let handle = std::thread::Builder::new()
+                    .name(format!("c11tester-model-{ix}"))
+                    .spawn(wrapper)
+                    .map_err(|e| format!("failed to spawn model thread: {e}"))?;
+                self.fresh_spawns.fetch_add(1, Ordering::Relaxed);
+                self.handles.lock().push(handle);
+                Ok(())
+            }
+        }
     }
 
     /// Poisons the execution and wakes every parked thread so it can
@@ -130,13 +182,39 @@ impl Runtime {
         self.poisoned.load(Ordering::Acquire)
     }
 
-    /// Joins all OS threads spawned for this execution. Call only after
-    /// the execution completed or was poisoned.
-    pub fn join_all(&self) {
-        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+    /// Waits for every model thread of this execution to finish: joins
+    /// the fresh-spawned OS threads, or quiesces the backing pool
+    /// (workers return to the idle list; no thread teardown). Call
+    /// only after the execution completed or was poisoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the collected panic messages if any model thread died
+    /// of a panic that escaped its root `catch_unwind` (anything but
+    /// the cooperative [`Aborted`] unwind) — previously these were
+    /// silently discarded.
+    pub fn join_all(&self) -> Result<(), String> {
+        if let Some(pool) = &self.pool {
+            return pool.quiesce();
         }
+        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
+        let mut escaped: Vec<String> = Vec::new();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                escaped.push(panic_message(payload.as_ref()));
+            }
+        }
+        if escaped.is_empty() {
+            Ok(())
+        } else {
+            Err(escaped.join("; "))
+        }
+    }
+
+    /// Fresh OS threads this runtime spawned (always 0 in pooled mode;
+    /// pool growth is counted by the pool itself).
+    pub fn fresh_spawn_count(&self) -> u64 {
+        self.fresh_spawns.load(Ordering::Relaxed)
     }
 }
 
@@ -145,12 +223,11 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
-    /// Three model threads pass the token around a fixed ring; the
-    /// visit order must be exactly the handover order — proof that only
-    /// one thread runs at a time and control moves where directed.
-    #[test]
-    fn token_ring_runs_in_order() {
-        let rt = Runtime::new(HandoverKind::Park);
+    /// Drives three model threads around a token ring on `rt` and
+    /// asserts the visit order is exactly the handover order — proof
+    /// that only one thread runs at a time and control moves where
+    /// directed. Shared between the fresh-spawn and pooled tests.
+    fn run_token_ring(rt: &Arc<Runtime>) {
         let log = Arc::new(Mutex::new(Vec::new()));
         let counter = Arc::new(AtomicUsize::new(0));
 
@@ -161,7 +238,7 @@ mod tests {
             slots.push(rt.add_slot());
         }
         for (k, &ix) in slots.iter().enumerate().skip(1) {
-            let rt2 = Arc::clone(&rt);
+            let rt2 = Arc::clone(rt);
             let log2 = Arc::clone(&log);
             let counter2 = Arc::clone(&counter);
             let next = if k == 3 { main_slot } else { slots[k + 1] };
@@ -177,14 +254,15 @@ mod tests {
                         }
                     }
                 }),
-            );
+            )
+            .expect("spawn model thread");
         }
         // Kick the ring and wait for it to come back around 5 times.
         for _ in 0..5 {
             rt.wake(slots[1]);
             rt.park(main_slot).expect("not poisoned");
         }
-        rt.join_all();
+        rt.join_all().expect("no escaped panics");
         assert_eq!(counter.load(Ordering::Relaxed), 15);
         let log = log.lock();
         // Per round, threads appear in ring order.
@@ -196,6 +274,34 @@ mod tests {
                 .collect();
             assert_eq!(entries, vec![slots[1], slots[2], slots[3]]);
         }
+    }
+
+    #[test]
+    fn token_ring_runs_in_order() {
+        let rt = Runtime::new(HandoverKind::Park);
+        run_token_ring(&rt);
+    }
+
+    /// The same ring discipline must hold on pooled workers — and a
+    /// second execution on the same pool must reuse them instead of
+    /// spawning more.
+    #[test]
+    fn token_ring_runs_in_order_on_pooled_workers() {
+        let pool = ThreadPool::new();
+        let rt = Runtime::with_pool(HandoverKind::Park, Arc::clone(&pool));
+        run_token_ring(&rt);
+        let warm = pool.workers_spawned();
+        assert!(warm > 0 && warm <= 3);
+        assert_eq!(rt.fresh_spawn_count(), 0);
+
+        let rt2 = Runtime::with_pool(HandoverKind::Park, Arc::clone(&pool));
+        run_token_ring(&rt2);
+        assert_eq!(
+            pool.workers_spawned(),
+            warm,
+            "second execution must not grow the pool"
+        );
+        assert_eq!(pool.dispatches_reused(), 3);
     }
 
     /// Poisoning wakes parked threads and park reports the abort.
@@ -215,12 +321,14 @@ mod tests {
                     std::panic::panic_any(Aborted);
                 }
             }),
-        );
+        )
+        .expect("spawn model thread");
         // Let the thread start and park (first park is inside spawn).
         rt.wake(parked);
         std::thread::sleep(std::time::Duration::from_millis(20));
         rt.poison();
-        rt.join_all();
+        // The Aborted unwind is cooperative, not an escaped panic.
+        rt.join_all().expect("Aborted unwind is swallowed");
         assert!(witnessed_abort.load(Ordering::Acquire));
         assert!(rt.is_poisoned());
     }
@@ -237,9 +345,10 @@ mod tests {
             Box::new(move || {
                 r2.store(true, Ordering::Release);
             }),
-        );
+        )
+        .expect("spawn model thread");
         rt.poison();
-        rt.join_all();
+        rt.join_all().expect("unscheduled exit is clean");
         assert!(
             !ran.load(Ordering::Acquire),
             "body must not run after abort"
@@ -254,5 +363,36 @@ mod tests {
         rt.bind_current(ix);
         rt.poison();
         assert_eq!(rt.park(ix), Err(Aborted));
+    }
+
+    /// Regression (silent-loss bugfix): a panic that escapes a model
+    /// thread's root `catch_unwind` — anything but the cooperative
+    /// `Aborted` unwind — must surface from `join_all`, not vanish.
+    #[test]
+    fn join_all_surfaces_escaped_panics() {
+        let rt = Runtime::new(HandoverKind::Park);
+        let ix = rt.add_slot();
+        rt.spawn(ix, Box::new(|| panic!("model thread exploded")))
+            .expect("spawn model thread");
+        rt.wake(ix);
+        let err = rt.join_all().expect_err("escaped panic must surface");
+        assert!(err.contains("model thread exploded"), "got: {err}");
+    }
+
+    /// The pooled path has the same obligation: quiesce reports
+    /// escaped panics and leaves the pool reusable.
+    #[test]
+    fn pooled_join_all_surfaces_escaped_panics() {
+        let pool = ThreadPool::new();
+        let rt = Runtime::with_pool(HandoverKind::Park, Arc::clone(&pool));
+        let ix = rt.add_slot();
+        rt.spawn(ix, Box::new(|| panic!("pooled thread exploded")))
+            .expect("dispatch model thread");
+        rt.wake(ix);
+        let err = rt.join_all().expect_err("escaped panic must surface");
+        assert!(err.contains("pooled thread exploded"), "got: {err}");
+        // The pool recovered: the next execution is clean.
+        let rt2 = Runtime::with_pool(HandoverKind::Park, pool);
+        run_token_ring(&rt2);
     }
 }

@@ -20,8 +20,10 @@
 
 pub mod executor;
 pub mod handover;
+pub mod pool;
 pub mod scheduler;
 
 pub use executor::{Aborted, Runtime};
 pub use handover::{HandoverKind, Notifier};
+pub use pool::ThreadPool;
 pub use scheduler::{BurstScheduler, PctScheduler, RandomScheduler, Scheduler, ScriptedScheduler};

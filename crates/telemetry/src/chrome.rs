@@ -127,6 +127,7 @@ mod tests {
                 worker: 0,
                 executions: 10,
                 busy_nanos: 2_000_000,
+                ..WorkerMetrics::default()
             }],
             executions: 10,
             wall_nanos: 3_000_000,

@@ -49,6 +49,15 @@ pub struct WorkerMetrics {
     /// Wall time the worker spent running executions (vs. idle at the
     /// stop barrier).
     pub busy_nanos: u64,
+    /// Model threads provisioned by re-dispatching onto an already-live
+    /// pooled worker thread (0 with the thread pool disabled). The
+    /// "recycled" side of the provisioning split, mirroring
+    /// `AllocStats`' fresh/recycled executions.
+    pub pooled_dispatches: u64,
+    /// Model threads provisioned by creating a new OS thread: every
+    /// spawn with the pool disabled, only pool growth with it enabled —
+    /// so a warmed-up pooled worker's count stays flat.
+    pub fresh_spawns: u64,
 }
 
 /// Fork-server child health counters.
@@ -150,6 +159,8 @@ impl CampaignMetrics {
                 Some(mine) => {
                     mine.executions += w.executions;
                     mine.busy_nanos = mine.busy_nanos.saturating_add(w.busy_nanos);
+                    mine.pooled_dispatches += w.pooled_dispatches;
+                    mine.fresh_spawns += w.fresh_spawns;
                 }
                 None => self.workers.push(*w),
             }
@@ -233,11 +244,14 @@ impl CampaignMetrics {
                 0.0
             };
             out.push_str(&format!(
-                "{{\"worker\":{},\"executions\":{},\"busy_nanos\":{},\"utilization\":{}}}",
+                "{{\"worker\":{},\"executions\":{},\"busy_nanos\":{},\"utilization\":{},\
+                 \"pooled_dispatches\":{},\"fresh_spawns\":{}}}",
                 w.worker,
                 w.executions,
                 w.busy_nanos,
                 json_f64(utilization),
+                w.pooled_dispatches,
+                w.fresh_spawns,
             ));
         }
         out.push(']');
@@ -283,6 +297,7 @@ mod tests {
             worker,
             executions,
             busy_nanos,
+            ..WorkerMetrics::default()
         }
     }
 
@@ -325,6 +340,38 @@ mod tests {
         assert_eq!(ab.fork.respawns, 2);
         let w0 = ab.workers.iter().find(|w| w.worker == 0).expect("w0");
         assert_eq!(w0.executions, 15);
+    }
+
+    #[test]
+    fn worker_fold_sums_thread_provisioning_counters() {
+        let mut a = CampaignMetrics {
+            workers: vec![WorkerMetrics {
+                worker: 0,
+                executions: 10,
+                busy_nanos: 100,
+                pooled_dispatches: 30,
+                fresh_spawns: 3,
+            }],
+            executions: 10,
+            ..CampaignMetrics::default()
+        };
+        let b = CampaignMetrics {
+            workers: vec![WorkerMetrics {
+                worker: 0,
+                executions: 5,
+                busy_nanos: 50,
+                pooled_dispatches: 15,
+                fresh_spawns: 0,
+            }],
+            executions: 5,
+            ..CampaignMetrics::default()
+        };
+        a.absorb(&b);
+        let w0 = &a.workers[0];
+        assert_eq!(w0.pooled_dispatches, 45);
+        assert_eq!(w0.fresh_spawns, 3);
+        let json = a.to_json(&MetricsMeta::default());
+        assert!(json.contains("\"pooled_dispatches\":45,\"fresh_spawns\":3"));
     }
 
     #[test]
