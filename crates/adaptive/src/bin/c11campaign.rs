@@ -14,10 +14,12 @@
 //! c11campaign --list
 //! ```
 
-use c11tester::{Config, Policy, StrategyMix};
+use c11tester::{Config, DedupHistory, Model, Policy, StrategyMix};
 use c11tester_adaptive::AdaptiveCampaign;
 use c11tester_campaign::baseline::{BaselineDiff, BaselineSummary};
-use c11tester_campaign::{targets, Campaign, CampaignBudget};
+use c11tester_campaign::cli::{parse_u64, usage_error};
+use c11tester_campaign::forensics::{self, CaptureSink, Witness};
+use c11tester_campaign::{targets, Campaign, CampaignBudget, EpochTrace};
 use c11tester_isolation::ForkServer;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -44,10 +46,12 @@ OPTIONS:
     --adaptive <POLICY>     close the loop: split the budget into epochs and
                             reweight the mix between epochs from the
                             per-strategy detection columns. POLICY is fixed,
-                            ucb1[@<c>], or exp3[@<eta>]. Without --mix the
-                            default arm set random:1,pct2:1,pct3:1,burst:1 is
-                            used; the report becomes a c11campaign/v3 epoch
-                            trace.
+                            ucb1[@<c>], coverage-ucb[@<c>] (rewards arms by
+                            *new behaviors* discovered — enables coverage
+                            collection automatically), or exp3[@<eta>].
+                            Without --mix the default arm set
+                            random:1,pct2:1,pct3:1,burst:1 is used; the
+                            report becomes a c11campaign/v3 epoch trace.
     --epoch <N>             epoch length in executions [default: 64;
                             requires --adaptive]
     --isolate               run executions in child worker processes (fork
@@ -94,6 +98,22 @@ OPTIONS:
     --metrics-format <FMT>  json (default) | chrome: with chrome, FILE gets
                             a Chrome trace-event array — open it in
                             chrome://tracing or https://ui.perfetto.dev
+    --coverage-out <FILE>   write a c11coverage/v1 behavior-coverage report to
+                            FILE: the distinct rf edges, mo adjacencies, race
+                            classes, and interleaving signatures the campaign
+                            explored, plus a per-epoch new-behavior growth
+                            curve for adaptive runs (see docs/COVERAGE.md).
+                            Enables coverage collection for the run; stdout
+                            stays byte-identical with or without this flag,
+                            and the file is byte-identical for any worker
+                            count, in-process or --isolate
+    --forensics-dir <DIR>   write one race-NNN.{json,dot} provenance bundle
+                            per deduplicated race into DIR: the replay key
+                            (seed, epoch, index), every access-pair shape seen
+                            behind the dedup key, a committed-event window
+                            around the racing object, and a po/rf/mo event
+                            graph in Graphviz DOT — rebuilt by re-running each
+                            race's witness execution with tracing enabled
     --list                  list available targets
     --help                  show this help
 
@@ -128,16 +148,9 @@ struct Args {
     alloc_stats: bool,
     metrics_out: Option<String>,
     metrics_chrome: bool,
+    coverage_out: Option<String>,
+    forensics_dir: Option<String>,
     list: bool,
-}
-
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    parsed.map_err(|_| format!("not a number: `{s}`"))
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -163,6 +176,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         alloc_stats: false,
         metrics_out: None,
         metrics_chrome: false,
+        coverage_out: None,
+        forensics_dir: None,
         list: false,
     };
     while let Some(flag) = argv.next() {
@@ -251,6 +266,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     _ => return Err(format!("unknown metrics format `{v}` (json | chrome)")),
                 };
             }
+            "--coverage-out" => args.coverage_out = Some(value()?),
+            "--forensics-dir" => args.forensics_dir = Some(value()?),
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -341,6 +358,72 @@ fn diff_against_baseline(current_canonical: &str, baseline_path: &str, threshold
     }
 }
 
+/// Replays global execution `index` under `config` with schedule
+/// tracing enabled and returns the forensics witness. Deterministic:
+/// executions are pure functions of `(seed, index)`, so the replay
+/// commits the same events the campaign's worker did.
+fn replay_witness(config: &Config, target: targets::Target, epoch: u64, index: u64) -> Witness {
+    let was_tracing = c11tester_telemetry::tracing_enabled();
+    c11tester_telemetry::set_tracing(true);
+    let sink = CaptureSink::new();
+    let mut model = Model::new(config.clone()).with_trace_sink(Box::new(sink.clone()));
+    model.set_trace_epoch(epoch);
+    let report = model.run_at(index, move || target.run());
+    c11tester_telemetry::set_tracing(was_tracing);
+    let events = sink
+        .take()
+        .into_iter()
+        .find(|(k, _)| k.index == index)
+        .map(|(_, ev)| ev)
+        .unwrap_or_default();
+    Witness {
+        epoch,
+        report,
+        events,
+    }
+}
+
+/// Forensics bundles for a plain campaign: every witness replays under
+/// the campaign's own config (epoch 0).
+fn write_plain_forensics(
+    dir: &str,
+    seed: u64,
+    config: &Config,
+    target: targets::Target,
+    races: &DedupHistory,
+) -> Result<forensics::ForensicsSummary, String> {
+    forensics::write_bundles(std::path::Path::new(dir), seed, races, |index| {
+        Ok(replay_witness(config, target, 0, index))
+    })
+}
+
+/// Forensics bundles for an adaptive campaign: each witness index is
+/// mapped to the epoch that ran it, and replays under that epoch's
+/// recorded mix on the base config.
+fn write_adaptive_forensics(
+    dir: &str,
+    seed: u64,
+    base_config: &Config,
+    target: targets::Target,
+    trace: &EpochTrace,
+) -> Result<forensics::ForensicsSummary, String> {
+    forensics::write_bundles(
+        std::path::Path::new(dir),
+        seed,
+        &trace.aggregate.races,
+        |index| {
+            let record = trace
+                .records
+                .iter()
+                .find(|r| index >= r.start_index && index < r.start_index + trace.epoch_len)
+                .ok_or_else(|| format!("witness execution {index} falls outside every epoch"))?;
+            let mix = StrategyMix::parse(&record.mix)?;
+            let config = base_config.clone().with_mix(mix);
+            Ok(replay_witness(&config, target, record.epoch, index))
+        },
+    )
+}
+
 fn main() -> ExitCode {
     reset_sigpipe();
     // Hidden fork-server re-entry: `c11campaign --worker …` runs one
@@ -359,8 +442,7 @@ fn main() -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::from(2);
+            return usage_error(&msg, USAGE);
         }
     };
     if args.list {
@@ -368,8 +450,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let Some(name) = args.target.as_deref() else {
-        eprintln!("error: --target (or --list) is required\n\n{USAGE}");
-        return ExitCode::from(2);
+        return usage_error("--target (or --list) is required", USAGE);
     };
     let Some(target) = targets::find(name) else {
         eprintln!("error: unknown target `{name}`; available targets:\n");
@@ -384,6 +465,18 @@ fn main() -> ExitCode {
         c11tester_telemetry::set_profiling(true);
     }
 
+    // Coverage collection is opt-in the same way: --coverage-out, or a
+    // coverage-driven adaptive policy (which reweights from the deltas),
+    // arms the per-execution capture. Child workers inherit the gate
+    // through the fork server's --coverage flag.
+    let coverage_policy = args
+        .adaptive
+        .as_deref()
+        .is_some_and(|p| p.trim().to_ascii_lowercase().starts_with("coverage"));
+    if args.coverage_out.is_some() || coverage_policy {
+        c11tester_telemetry::set_coverage(true);
+    }
+
     let mut config = Config::for_policy(args.policy)
         .with_seed(args.seed)
         .with_thread_pool(args.thread_pool);
@@ -392,6 +485,8 @@ fn main() -> ExitCode {
     } else if args.adaptive.is_some() {
         config = config.with_mix(StrategyMix::parse(DEFAULT_ADAPTIVE_MIX).expect("valid default"));
     }
+    // Kept aside for forensics replays (the campaign consumes `config`).
+    let base_config = config.clone();
     let mut budget =
         CampaignBudget::executions(args.executions).with_stop_on_first_bug(args.stop_on_first_bug);
     if let Some(secs) = args.deadline_secs {
@@ -420,74 +515,111 @@ fn main() -> ExitCode {
 
     // Run the campaign (adaptive or plain, in-process or isolated) and
     // collect the output forms the tail of main needs.
-    let (text, full_json, canonical_json, metrics, workers_used) =
-        if let Some(policy) = args.adaptive.as_deref() {
-            let mut campaign = AdaptiveCampaign::new(config)
-                .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
-            campaign = match campaign.with_policy(policy) {
-                Ok(c) => c,
+    let (text, full_json, canonical_json, metrics, workers_used) = if let Some(policy) =
+        args.adaptive.as_deref()
+    {
+        let mut campaign = AdaptiveCampaign::new(config)
+            .with_epoch_len(args.epoch.unwrap_or(c11tester_adaptive::DEFAULT_EPOCH_LEN));
+        campaign = match campaign.with_policy(policy) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(w) = args.workers {
+            campaign = campaign.with_workers(w);
+        }
+        let report = if let Some(fork) = &fork {
+            match campaign.run_target(fork, &target, &budget) {
+                Ok(report) => report,
                 Err(msg) => {
                     eprintln!("error: {msg}");
                     return ExitCode::from(2);
                 }
-            };
-            if let Some(w) = args.workers {
-                campaign = campaign.with_workers(w);
             }
-            let report = if let Some(fork) = &fork {
-                match campaign.run_target(fork, &target, &budget) {
-                    Ok(report) => report,
-                    Err(msg) => {
-                        eprintln!("error: {msg}");
-                        return ExitCode::from(2);
-                    }
-                }
-            } else {
-                campaign.run(&budget, move || target.run())
-            };
-            let canonical = if args.alloc_stats {
-                report.canonical_json_with_alloc_stats()
-            } else {
-                report.canonical_json()
-            };
-            let workers = report.workers;
-            (
-                report.to_string(),
-                report.to_json(),
-                canonical,
-                report.metrics,
-                workers,
-            )
         } else {
-            let mut campaign = Campaign::new(config);
-            if let Some(w) = args.workers {
-                campaign = campaign.with_workers(w);
-            }
-            let report = if let Some(fork) = &fork {
-                match campaign.run_target(fork, &target, &budget) {
-                    Ok(report) => report,
-                    Err(msg) => {
-                        eprintln!("error: {msg}");
-                        return ExitCode::from(2);
-                    }
-                }
-            } else {
-                campaign.run(&budget, move || target.run())
-            };
-            let canonical = if args.alloc_stats {
-                report.canonical_json_with_alloc_stats()
-            } else {
-                report.canonical_json()
-            };
-            let workers = report.workers;
-            (
-                report.to_string(),
-                report.to_json(),
-                canonical,
-                report.metrics,
-                workers,
-            )
+            campaign.run(&budget, move || target.run())
         };
+        if let Some(path) = args.coverage_out.as_deref() {
+            if let Err(e) = std::fs::write(path, report.coverage_json() + "\n") {
+                eprintln!("error: cannot write coverage to `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(dir) = args.forensics_dir.as_deref() {
+            match write_adaptive_forensics(dir, args.seed, &base_config, target, &report.trace) {
+                Ok(summary) => eprintln!("forensics: {summary} -> {dir}"),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let canonical = if args.alloc_stats {
+            report.canonical_json_with_alloc_stats()
+        } else {
+            report.canonical_json()
+        };
+        let workers = report.workers;
+        (
+            report.to_string(),
+            report.to_json(),
+            canonical,
+            report.metrics,
+            workers,
+        )
+    } else {
+        let mut campaign = Campaign::new(config);
+        if let Some(w) = args.workers {
+            campaign = campaign.with_workers(w);
+        }
+        let report = if let Some(fork) = &fork {
+            match campaign.run_target(fork, &target, &budget) {
+                Ok(report) => report,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            campaign.run(&budget, move || target.run())
+        };
+        if let Some(path) = args.coverage_out.as_deref() {
+            if let Err(e) = std::fs::write(path, report.coverage_json() + "\n") {
+                eprintln!("error: cannot write coverage to `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(dir) = args.forensics_dir.as_deref() {
+            match write_plain_forensics(
+                dir,
+                args.seed,
+                &base_config,
+                target,
+                &report.aggregate.races,
+            ) {
+                Ok(summary) => eprintln!("forensics: {summary} -> {dir}"),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let canonical = if args.alloc_stats {
+            report.canonical_json_with_alloc_stats()
+        } else {
+            report.canonical_json()
+        };
+        let workers = report.workers;
+        (
+            report.to_string(),
+            report.to_json(),
+            canonical,
+            report.metrics,
+            workers,
+        )
+    };
 
     if let Some(path) = args.metrics_out.as_deref() {
         let meta = c11tester_telemetry::MetricsMeta {

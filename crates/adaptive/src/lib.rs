@@ -55,9 +55,9 @@
 
 pub mod reweight;
 
-pub use reweight::{parse_policy, ExpWeights, Fixed, ReweightCtx, Reweighter, Ucb1};
+pub use reweight::{parse_policy, CoverageUcb, ExpWeights, Fixed, ReweightCtx, Reweighter, Ucb1};
 
-use c11tester::{Config, ExecutionReport, Model, StrategyMix, TestReport};
+use c11tester::{Config, CoverageMap, ExecutionReport, Model, StrategyMix, TestReport};
 use c11tester_campaign::targets::Target;
 use c11tester_campaign::{Campaign, CampaignBudget, EpochRecord, EpochTrace, Executor, StopReason};
 use c11tester_telemetry::{CampaignMetrics, EpochMetric};
@@ -237,6 +237,12 @@ impl AdaptiveCampaign {
         // separate from `aggregate.per_strategy` so report invariants
         // (bucket counters sum to completed executions) still hold.
         let mut reward_ledger = c11tester::StrategyLedger::new();
+        // Coverage bookkeeping for reweighters that reward discovery:
+        // the cumulative behavior map plus, per epoch, how many new
+        // behaviors each strategy spec was first to exhibit. Both stay
+        // empty (and cost nothing) without coverage collection.
+        let mut coverage_cumulative = CoverageMap::new();
+        let mut coverage_deltas: Vec<std::collections::BTreeMap<String, u64>> = Vec::new();
         let mut stop_reason = StopReason::BudgetExhausted;
         let mut next_index = 0u64;
         let mut epoch = 0u64;
@@ -269,6 +275,19 @@ impl AdaptiveCampaign {
             for crash in &crashes {
                 reward_ledger.record(&crash.strategy, crash.index, &[], true);
             }
+            // Attribute each behavior this epoch was first to exhibit
+            // to the strategy that drove its first execution (a pure
+            // function of (epoch mix, global index), so the delta is
+            // worker-count independent like everything else here).
+            let mut delta = std::collections::BTreeMap::new();
+            epoch_aggregate
+                .coverage
+                .for_each_new(&coverage_cumulative, |first_execution| {
+                    let spec = config.strategy_for(first_execution).spec();
+                    *delta.entry(spec).or_insert(0u64) += 1;
+                });
+            coverage_cumulative.merge(&epoch_aggregate.coverage);
+            coverage_deltas.push(delta);
             records.push(EpochRecord {
                 epoch,
                 start_index: next_index,
@@ -291,6 +310,7 @@ impl AdaptiveCampaign {
                 initial_mix: &self.initial_mix,
                 epochs: &records,
                 cumulative: &reward_ledger,
+                coverage_deltas: &coverage_deltas,
             };
             mix = self.policy.reweight(&ctx);
         }
@@ -405,6 +425,12 @@ impl AdaptiveReport {
     /// contract.
     pub fn canonical_json_with_alloc_stats(&self) -> String {
         self.trace.canonical_json_with_alloc_stats()
+    }
+
+    /// The `c11coverage/v1` behavior-coverage object with per-epoch
+    /// growth curves (see [`EpochTrace::coverage_json`]).
+    pub fn coverage_json(&self) -> String {
+        self.trace.coverage_json()
     }
 
     /// The full JSON form: the canonical trace plus campaign timing.

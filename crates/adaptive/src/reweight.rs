@@ -21,6 +21,7 @@
 use c11tester::{Strategy, StrategyMix};
 use c11tester_campaign::EpochRecord;
 use c11tester_race::StrategyLedger;
+use std::collections::BTreeMap;
 
 /// Everything a reweighter may condition on: the campaign's base seed,
 /// the arms (the initial mix), and the completed epochs' aggregates.
@@ -38,6 +39,14 @@ pub struct ReweightCtx<'a> {
     pub epochs: &'a [EpochRecord],
     /// Per-strategy detection columns merged over all completed epochs.
     pub cumulative: &'a StrategyLedger,
+    /// Per-epoch coverage deltas, aligned with `epochs`: for each
+    /// completed epoch, how many **new** behaviors (rf edges, mo
+    /// adjacencies, race classes, interleaving signatures not seen in
+    /// any earlier epoch) each strategy spec first discovered. Empty
+    /// maps when the campaign runs without coverage collection — the
+    /// detection-driven policies ignore this field entirely, so their
+    /// mix trajectories are unchanged by its presence.
+    pub coverage_deltas: &'a [BTreeMap<String, u64>],
 }
 
 impl ReweightCtx<'_> {
@@ -57,6 +66,16 @@ impl ReweightCtx<'_> {
             Some(b) => (b.executions, b.executions_with_bug),
             None => (0, 0),
         }
+    }
+
+    /// Total new behaviors one arm first discovered over all completed
+    /// epochs (zero when the campaign runs without coverage).
+    pub fn arm_new_behaviors(&self, arm: &Strategy) -> u64 {
+        let spec = arm.spec();
+        self.coverage_deltas
+            .iter()
+            .filter_map(|d| d.get(&spec))
+            .sum()
     }
 }
 
@@ -170,6 +189,77 @@ impl Reweighter for Ucb1 {
     }
 }
 
+/// Coverage-driven UCB: like [`Ucb1`], but the reward of an arm is its
+/// mean **new-behavior discovery rate** (new rf edges, mo adjacencies,
+/// race classes, and interleaving signatures it was first to exhibit,
+/// per execution — [`ReweightCtx::arm_new_behaviors`]) instead of its
+/// bug rate. This closes the ROADMAP's coverage loop: the budget flows
+/// toward strategies that keep *exploring*, which front-loads distinct
+/// behaviors even on targets where every strategy's bug column is flat
+/// zero. Requires coverage collection
+/// ([`c11tester_telemetry::set_coverage`] — `c11campaign` enables it
+/// automatically for this policy); without it every delta is zero and
+/// the policy degenerates to pure exploration (uniform-ish mixing).
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageUcb {
+    /// Exploration constant (`√2` is the classical choice).
+    pub exploration: f64,
+}
+
+impl Default for CoverageUcb {
+    fn default() -> Self {
+        CoverageUcb {
+            exploration: std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+impl Reweighter for CoverageUcb {
+    fn spec(&self) -> String {
+        if (self.exploration - std::f64::consts::SQRT_2).abs() < 1e-12 {
+            "coverage-ucb".to_string()
+        } else {
+            format!("coverage-ucb@{}", self.exploration)
+        }
+    }
+
+    fn reweight(&self, ctx: &ReweightCtx<'_>) -> StrategyMix {
+        let arms = ctx.arms();
+        let total = ctx.total_executions().max(1) as f64;
+        // Normalize discovery counts so the exploration bonus keeps its
+        // classical scale: rewards land in [0, 1] with the best
+        // discoverer at 1.
+        let raw: Vec<f64> = arms
+            .iter()
+            .map(|arm| {
+                let (n, _) = ctx.arm_counts(arm);
+                if n == 0 {
+                    return f64::NAN; // marked unplayed below
+                }
+                ctx.arm_new_behaviors(arm) as f64 / n as f64
+            })
+            .collect();
+        let best = raw
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .fold(0.0f64, f64::max);
+        let scores: Vec<f64> = arms
+            .iter()
+            .zip(&raw)
+            .map(|(arm, &rate)| {
+                if rate.is_nan() {
+                    return f64::INFINITY;
+                }
+                let mean = if best > 0.0 { rate / best } else { 0.0 };
+                let (n, _) = ctx.arm_counts(arm);
+                mean + self.exploration * (total.ln().max(0.0) / n as f64).sqrt()
+            })
+            .collect();
+        mix_from_scores(&arms, &scores)
+    }
+}
+
 /// Exponential-weights (EXP3-style): each arm accumulates
 /// `η · (epoch bug rate)` in the log domain over the completed epochs,
 /// the next mix is the softmax of those totals blended with a `γ`
@@ -240,9 +330,9 @@ impl Reweighter for ExpWeights {
     }
 }
 
-/// Parses a reweighting-policy spec: `fixed`, `ucb1[@<c>]`, or
-/// `exp3[@<eta>[,<gamma>]]` (case-insensitive). The inverse of
-/// [`Reweighter::spec`].
+/// Parses a reweighting-policy spec: `fixed`, `ucb1[@<c>]`,
+/// `coverage-ucb[@<c>]`, or `exp3[@<eta>[,<gamma>]]`
+/// (case-insensitive). The inverse of [`Reweighter::spec`].
 pub fn parse_policy(token: &str) -> Result<Box<dyn Reweighter>, String> {
     let token = token.trim().to_ascii_lowercase();
     let (name, param) = match token.split_once('@') {
@@ -275,6 +365,11 @@ pub fn parse_policy(token: &str) -> Result<Box<dyn Reweighter>, String> {
                 param_f64(param, "exploration constant")?.unwrap_or(std::f64::consts::SQRT_2);
             Ok(Box::new(Ucb1 { exploration }))
         }
+        "coverage-ucb" => {
+            let exploration =
+                param_f64(param, "exploration constant")?.unwrap_or(std::f64::consts::SQRT_2);
+            Ok(Box::new(CoverageUcb { exploration }))
+        }
         "exp3" | "exp" => {
             let (eta_raw, gamma_raw) = match param.and_then(|p| p.split_once(',')) {
                 Some((e, g)) => (Some(e), Some(g)),
@@ -296,7 +391,8 @@ pub fn parse_policy(token: &str) -> Result<Box<dyn Reweighter>, String> {
             Ok(Box::new(ExpWeights { eta, gamma }))
         }
         other => Err(format!(
-            "unknown adaptive policy `{other}` (expected fixed, ucb1[@c], or exp3[@eta])"
+            "unknown adaptive policy `{other}` \
+             (expected fixed, ucb1[@c], coverage-ucb[@c], or exp3[@eta])"
         )),
     }
 }
@@ -342,6 +438,7 @@ mod tests {
             initial_mix: initial,
             epochs,
             cumulative: ledger,
+            coverage_deltas: &[],
         }
     }
 
@@ -383,6 +480,53 @@ mod tests {
     }
 
     #[test]
+    fn coverage_ucb_prefers_the_arm_that_discovers_more_behaviors() {
+        let initial = StrategyMix::parse("pct1:1,pct2:1").expect("valid");
+        // Equal play, zero bugs everywhere — the detection-driven
+        // policies see a flat landscape, but pct2 keeps finding new
+        // behaviors.
+        let (ledger, epochs) = synthetic(&[("pct1", 50, 0), ("pct2", 50, 0)]);
+        let deltas = vec![BTreeMap::from([
+            ("pct1".to_string(), 2u64),
+            ("pct2".to_string(), 40u64),
+        ])];
+        let mut c = ctx(&initial, &ledger, &epochs);
+        c.coverage_deltas = &deltas;
+        let mix = CoverageUcb::default().reweight(&c);
+        assert!(
+            weight_of(&mix, "pct2") > weight_of(&mix, "pct1"),
+            "pct2 discovered 20x the behaviors: {}",
+            mix.spec()
+        );
+        assert!(mix.entries().iter().all(|(_, w)| *w >= 1));
+        // Unplayed arms still win the exploration bonus.
+        let initial3 = StrategyMix::parse("pct1:1,pct2:1,burst:1").expect("valid");
+        let mut c = ctx(&initial3, &ledger, &epochs);
+        c.coverage_deltas = &deltas;
+        let mix = CoverageUcb::default().reweight(&c);
+        assert!(weight_of(&mix, "burst") >= weight_of(&mix, "pct1"));
+    }
+
+    #[test]
+    fn coverage_deltas_do_not_perturb_detection_driven_policies() {
+        let initial = StrategyMix::parse("random:2,pct2:1").expect("valid");
+        let (ledger, epochs) = synthetic(&[("random", 30, 3), ("pct2", 20, 10)]);
+        let deltas = vec![BTreeMap::from([("random".to_string(), 99u64)])];
+        for policy in ["fixed", "ucb1", "exp3"] {
+            let p = parse_policy(policy).expect("valid policy");
+            let without = p.reweight(&ctx(&initial, &ledger, &epochs));
+            let mut c = ctx(&initial, &ledger, &epochs);
+            c.coverage_deltas = &deltas;
+            let with = p.reweight(&c);
+            assert_eq!(
+                without.spec(),
+                with.spec(),
+                "policy {policy} must ignore coverage deltas"
+            );
+        }
+    }
+
+    #[test]
     fn exp_weights_shift_toward_the_rewarding_arm_but_keep_the_floor() {
         let initial = StrategyMix::parse("pct1:1,pct2:1").expect("valid");
         let (ledger, epochs) = synthetic(&[("pct1", 50, 0), ("pct2", 50, 50)]);
@@ -402,7 +546,14 @@ mod tests {
     fn reweighting_is_a_pure_function_of_the_context() {
         let initial = StrategyMix::parse("random:2,pct2:1").expect("valid");
         let (ledger, epochs) = synthetic(&[("random", 30, 3), ("pct2", 20, 10)]);
-        for policy in ["fixed", "ucb1", "exp3", "ucb1@2", "exp3@0.25"] {
+        for policy in [
+            "fixed",
+            "ucb1",
+            "exp3",
+            "ucb1@2",
+            "exp3@0.25",
+            "coverage-ucb",
+        ] {
             let p = parse_policy(policy).expect("valid policy");
             let a = p.reweight(&ctx(&initial, &ledger, &epochs));
             let b = p.reweight(&ctx(&initial, &ledger, &epochs));
@@ -429,6 +580,8 @@ mod tests {
             ("exp3", "exp3"),
             ("exp3@0.25", "exp3@0.25"),
             ("exp3@0.25,0.3", "exp3@0.25,0.3"),
+            ("coverage-ucb", "coverage-ucb"),
+            ("Coverage-UCB@2", "coverage-ucb@2"),
         ] {
             let p = parse_policy(token).expect("valid policy");
             assert_eq!(p.spec(), spec);
@@ -446,6 +599,7 @@ mod tests {
         );
         assert!(parse_policy("thompson").is_err());
         assert!(parse_policy("ucb1@0").is_err());
+        assert!(parse_policy("coverage-ucb@0").is_err());
         assert!(parse_policy("ucb1@x").is_err());
         assert!(parse_policy("fixed@1").is_err());
         assert!(parse_policy("exp3@-1").is_err());

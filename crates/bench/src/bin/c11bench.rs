@@ -18,6 +18,7 @@
 use c11tester_bench::statbench::{
     bench_target, parse_baseline_medians, render_json, validate, BenchConfig, DEFAULT_BENCH_TARGETS,
 };
+use c11tester_campaign::cli::{parse_u64, usage_error};
 use c11tester_campaign::targets;
 use std::process::ExitCode;
 
@@ -65,15 +66,6 @@ struct Args {
     baseline_file: Option<String>,
     min_speedup: Option<f64>,
     smoke: bool,
-}
-
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    parsed.map_err(|_| format!("not a number: `{s}`"))
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -139,9 +131,7 @@ fn main() -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {msg}\n");
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
+            return usage_error(&msg, USAGE);
         }
     };
 

@@ -89,6 +89,12 @@ pub struct TargetResult {
     /// Whether every trial produced byte-identical canonical JSON
     /// (the determinism self-check; must always hold).
     pub deterministic: bool,
+    /// Distinct behaviors (rf edges + mo adjacencies + race classes +
+    /// interleaving signatures) one trial budget explores on this
+    /// target, measured by an extra *untimed* campaign with the
+    /// coverage gate armed. Diagnostic column — timed trials run with
+    /// coverage off, so medians measure the product configuration.
+    pub coverage_behaviors: u64,
     /// Baseline median executions/second, when a baseline file names
     /// this target.
     pub baseline_median: Option<f64>,
@@ -165,6 +171,17 @@ pub fn bench_target(
             }
         }
     }
+    // Coverage column: one extra untimed campaign with the behavior-
+    // coverage gate armed (the gate is a process global — restore it
+    // so timed trials elsewhere stay coverage-free).
+    let was_coverage = c11tester::coverage_enabled();
+    c11tester::set_coverage(true);
+    let coverage_behaviors = campaign()
+        .run(&budget, || target.run())
+        .aggregate
+        .coverage
+        .distinct_total();
+    c11tester::set_coverage(was_coverage);
     let mut sorted = rates.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
     TargetResult {
@@ -174,6 +191,7 @@ pub fn bench_target(
         iqr: iqr_sorted(&sorted),
         trial_rates: rates,
         deterministic,
+        coverage_behaviors,
         baseline_median,
     }
 }
@@ -258,6 +276,7 @@ pub fn render_json(cfg: &BenchConfig, results: &[TargetResult]) -> String {
             json_opt_f64(r.speedup())
         ));
         out.push_str(&format!(",\"deterministic\":{}", r.deterministic));
+        out.push_str(&format!(",\"coverage_behaviors\":{}", r.coverage_behaviors));
         out.push_str(",\"trial_execs_per_sec\":[");
         for (j, rate) in r.trial_rates.iter().enumerate() {
             if j > 0 {
@@ -303,6 +322,15 @@ pub fn validate(results: &[TargetResult], cfg: &BenchConfig) -> Result<(), Strin
                 r.name
             ));
         }
+        // Every execution contributes at least its interleaving
+        // signature, so a zero here means the coverage pass never ran.
+        if r.coverage_behaviors == 0 {
+            return Err(format!(
+                "target `{}`: coverage column is zero — the coverage campaign \
+                 collected nothing",
+                r.name
+            ));
+        }
     }
     Ok(())
 }
@@ -334,8 +362,17 @@ mod tests {
         assert!(result.deterministic, "canonical JSON must not vary");
         assert!(result.median > 0.0);
         assert!(result.speedup().is_some());
+        assert!(
+            result.coverage_behaviors > 0,
+            "coverage pass collects behaviors"
+        );
+        assert!(
+            !c11tester::coverage_enabled(),
+            "bench restores the coverage gate"
+        );
         let json = render_json(&cfg, std::slice::from_ref(&result));
         assert!(json.starts_with("{\"schema\":\"c11bench/v1\""));
+        assert!(json.contains("\"coverage_behaviors\":"));
         validate(std::slice::from_ref(&result), &cfg).expect("valid");
         // The emitted file parses back as its own baseline.
         let medians = parse_baseline_medians(&json).expect("parse back");
@@ -355,9 +392,13 @@ mod tests {
             median: 1.0,
             iqr: 0.0,
             deterministic: true,
+            coverage_behaviors: 3,
             baseline_median: None,
         };
         assert!(validate(std::slice::from_ref(&good), &cfg).is_ok());
+        let mut no_cov = good.clone();
+        no_cov.coverage_behaviors = 0;
+        assert!(validate(&[no_cov], &cfg).is_err());
         let mut nondet = good.clone();
         nondet.deterministic = false;
         assert!(validate(&[nondet], &cfg).is_err());

@@ -63,19 +63,21 @@ pub use config::{
 };
 pub use model::{Model, ModelParts, ThreadSpawnStats};
 pub use report::{
-    AccessKind, DedupEntry, DedupHistory, ExecutionReport, Failure, RaceKey, RaceKind, RaceReport,
-    StrategyBucket, StrategyLedger, TestReport,
+    AccessKind, AccessShape, BehaviorStats, CoverageMap, DedupEntry, DedupHistory, ExecutionReport,
+    Failure, RaceKey, RaceKind, RaceReport, StrategyBucket, StrategyLedger, TestReport,
 };
 pub use volatile::{VolatileBool, VolatileU32, VolatileU64, VolatileUsize};
 
 pub use c11tester_core::{
-    ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId, TraceEvent, TraceKey, TraceKind,
-    TraceSink,
+    ExecCoverage, ExecStats, MemOrder, Policy, PruneConfig, PruneMode, ThreadId, TraceEvent,
+    TraceKey, TraceKind, TraceSink,
 };
 pub use c11tester_runtime::{
     BurstScheduler, HandoverKind, PctScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
 };
-pub use c11tester_telemetry::{set_tracing, tracing_enabled, JsonlSink, MemorySink, StderrSink};
+pub use c11tester_telemetry::{
+    coverage_enabled, set_coverage, set_tracing, tracing_enabled, JsonlSink, MemorySink, StderrSink,
+};
 
 /// Synchronization primitives (`std::sync` shaped).
 pub mod sync {

@@ -432,6 +432,7 @@ impl Model {
             failure: eng.failure.clone(),
             stats: *eng.exec.stats(),
             elided_volatile_races: elided,
+            coverage: eng.exec.take_coverage(),
         };
         // Reclaim the execution state for recycling into the next run
         // (the placeholder left behind is never driven).

@@ -6,10 +6,10 @@
 //! many executions exhibited a bug (the *detection rate* of Tables 2
 //! and §8.1) while deduplicating the distinct reports.
 
-use c11tester_core::ExecStats;
+use c11tester_core::{ExecCoverage, ExecStats};
 pub use c11tester_race::{
-    AccessKind, DedupEntry, DedupHistory, RaceKey, RaceKind, RaceReport, StrategyBucket,
-    StrategyLedger,
+    AccessKind, AccessShape, BehaviorStats, CoverageMap, DedupEntry, DedupHistory, RaceKey,
+    RaceKind, RaceReport, StrategyBucket, StrategyLedger,
 };
 use std::fmt;
 
@@ -75,6 +75,10 @@ pub struct ExecutionReport {
     pub stats: ExecStats,
     /// Races detected but elided because they involve volatile cells.
     pub elided_volatile_races: u64,
+    /// Behavior-coverage signature of this execution (disarmed —
+    /// `collected == false` — unless coverage collection was enabled).
+    /// Diagnostic only, like the alloc/phase blocks of `stats`.
+    pub coverage: ExecCoverage,
 }
 
 impl ExecutionReport {
@@ -143,6 +147,12 @@ pub struct TestReport {
     pub total_stats: ExecStats,
     /// Volatile-race elisions accumulated over all executions.
     pub elided_volatile_races: u64,
+    /// Behavior-coverage map over the collecting executions (empty —
+    /// and equality-neutral — unless coverage collection was enabled).
+    /// Accumulation follows the same partition-invariant discipline as
+    /// [`TestReport::races`], so the map is byte-stable across worker
+    /// counts and isolation modes.
+    pub coverage: CoverageMap,
 }
 
 impl TestReport {
@@ -216,6 +226,8 @@ impl TestReport {
         }
         self.total_stats.absorb(&report.stats);
         self.elided_volatile_races += report.elided_volatile_races;
+        self.coverage
+            .record(report.execution_index, &report.coverage, &report.races);
     }
 
     /// Folds another aggregate into this one. Commutative and
@@ -251,6 +263,7 @@ impl TestReport {
         self.failures = merged;
         self.total_stats.absorb(&other.total_stats);
         self.elided_volatile_races += other.elided_volatile_races;
+        self.coverage.merge(&other.coverage);
     }
 }
 
@@ -307,6 +320,7 @@ mod tests {
             failure: None,
             stats: ExecStats::default(),
             elided_volatile_races: 0,
+            coverage: ExecCoverage::default(),
         }
     }
 

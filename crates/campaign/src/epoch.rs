@@ -107,6 +107,15 @@ impl EpochTrace {
         json::canonical_trace_with(self, true)
     }
 
+    /// The `c11coverage/v1` behavior-coverage object for the adaptive
+    /// run: the overall behavior arrays plus a per-epoch
+    /// `new_behaviors` growth curve (see `docs/COVERAGE.md`).
+    /// Meaningful only when the run collected coverage; byte-identical
+    /// across worker counts, like [`EpochTrace::canonical_json`].
+    pub fn coverage_json(&self) -> String {
+        json::coverage_trace(self)
+    }
+
     /// The record for epoch `e`, if it completed.
     pub fn record(&self, epoch: u64) -> Option<&EpochRecord> {
         self.records.iter().find(|r| r.epoch == epoch)

@@ -12,7 +12,7 @@ use crate::epoch::EpochTrace;
 use crate::exec::CrashRecord;
 use crate::wire::{access_kind_name, esc, race_kind_name};
 use crate::{CampaignBudget, CampaignReport};
-use c11tester::{DedupHistory, Failure, StrategyLedger, TestReport};
+use c11tester::{CoverageMap, DedupHistory, Failure, StrategyLedger, TestReport};
 use c11tester_core::ExecStats;
 
 fn failure(f: &Failure) -> (&'static str, String) {
@@ -328,6 +328,139 @@ pub(crate) fn canonical_trace_with(t: &EpochTrace, alloc: bool) -> String {
     push_crash_records(&mut out, &all_crashes);
     push_aggregate_tail(&mut out, &t.aggregate, alloc);
     out.push('}');
+    out
+}
+
+/// Emits `"distinct":{…}`-shaped behavior counts for `map`.
+fn distinct_counts(map: &CoverageMap) -> String {
+    format!(
+        concat!(
+            "{{\"rf_edges\":{},\"mo_edges\":{},\"races\":{},",
+            "\"interleavings\":{},\"total\":{}}}"
+        ),
+        map.distinct_rf_edges(),
+        map.distinct_mo_edges(),
+        map.distinct_races(),
+        map.distinct_interleavings(),
+        map.distinct_total(),
+    )
+}
+
+/// Emits the behavior arrays shared by both coverage forms:
+/// `,"collected_executions":…,"distinct":{…},"rf_edges":[…],…`.
+fn push_coverage_body(out: &mut String, map: &CoverageMap) {
+    out.push_str(&format!(
+        ",\"collected_executions\":{}",
+        map.collected_executions()
+    ));
+    out.push_str(&format!(",\"distinct\":{}", distinct_counts(map)));
+    out.push_str(",\"rf_edges\":[");
+    for (i, ((obj, store, load), s)) in map.rf_edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"obj\":{},\"store_tid\":{},\"load_tid\":{},",
+                "\"first_execution\":{},\"occurrences\":{}}}"
+            ),
+            obj, store, load, s.first_execution, s.occurrences,
+        ));
+    }
+    out.push_str("],\"mo_edges\":[");
+    for (i, ((obj, from, to), s)) in map.mo_edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"obj\":{},\"from_tid\":{},\"to_tid\":{},",
+                "\"first_execution\":{},\"occurrences\":{}}}"
+            ),
+            obj, from, to, s.first_execution, s.occurrences,
+        ));
+    }
+    out.push_str("],\"races\":[");
+    for (i, (key, s)) in map.races().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"label\":\"{}\",\"kind\":\"{}\",",
+                "\"first_execution\":{},\"occurrences\":{}}}"
+            ),
+            esc(&key.label),
+            race_kind_name(key.kind),
+            s.first_execution,
+            s.occurrences,
+        ));
+    }
+    out.push_str("],\"interleavings\":[");
+    for (i, (hash, s)) in map.interleavings().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"hash\":{},\"first_execution\":{},\"occurrences\":{}}}",
+            hash, s.first_execution, s.occurrences,
+        ));
+    }
+    out.push(']');
+}
+
+/// The `c11coverage/v1` object for a plain (single-mix) campaign.
+///
+/// Everything inside is determined by `(config, budget)` alone when
+/// coverage collection was enabled for the whole run, so — exactly like
+/// the canonical campaign form — the emitted JSON is byte-identical
+/// across worker counts and across in-process vs fork-isolated
+/// backends. A plain campaign has no epoch structure; its `epochs`
+/// growth-curve array is empty.
+pub(crate) fn coverage(r: &CampaignReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"c11coverage/v1\"");
+    out.push_str(&format!(",\"base_seed\":{}", r.base_seed));
+    out.push_str(&format!(",\"policy\":\"{}\"", esc(r.policy)));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&r.strategy)));
+    push_coverage_body(&mut out, &r.aggregate.coverage);
+    out.push_str(",\"epochs\":[]}");
+    out
+}
+
+/// The `c11coverage/v1` object for an adaptive campaign: the overall
+/// behavior arrays plus a per-epoch growth curve (`new_behaviors` =
+/// behaviors first exhibited in that epoch, and the cumulative distinct
+/// counts after it).
+pub(crate) fn coverage_trace(t: &EpochTrace) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"schema\":\"c11coverage/v1\"");
+    out.push_str(&format!(",\"base_seed\":{}", t.base_seed));
+    out.push_str(&format!(",\"policy\":\"{}\"", esc(t.policy)));
+    out.push_str(&format!(",\"strategy\":\"{}\"", esc(&t.initial_mix)));
+    push_coverage_body(&mut out, &t.aggregate.coverage);
+    out.push_str(",\"epochs\":[");
+    let mut cumulative = CoverageMap::new();
+    for (i, rec) in t.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let new_behaviors = rec.aggregate.coverage.count_new(&cumulative);
+        cumulative.merge(&rec.aggregate.coverage);
+        out.push_str(&format!(
+            concat!(
+                "{{\"epoch\":{},\"start_index\":{},\"mix\":\"{}\",",
+                "\"executions\":{},\"new_behaviors\":{},\"cumulative\":{}}}"
+            ),
+            rec.epoch,
+            rec.start_index,
+            esc(&rec.mix),
+            rec.aggregate.executions,
+            new_behaviors,
+            distinct_counts(&cumulative),
+        ));
+    }
+    out.push_str("]}");
     out
 }
 

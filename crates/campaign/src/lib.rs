@@ -65,14 +65,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod cli;
 mod epoch;
 mod exec;
+pub mod forensics;
 mod json;
 pub mod targets;
 pub mod wire;
 
 pub use epoch::{EpochRecord, EpochTrace};
 pub use exec::{CrashKind, CrashRecord, Executor, InProcess, RangeOutcome};
+pub use forensics::{CaptureSink, ForensicsSummary, Witness};
 
 use c11tester::{Config, ExecutionReport, Model, TestReport};
 use c11tester_telemetry::{CampaignMetrics, WorkerMetrics};
@@ -236,6 +239,18 @@ impl CampaignReport {
     /// (workers, wall seconds, throughput).
     pub fn to_json(&self) -> String {
         json::full(self)
+    }
+
+    /// The `c11coverage/v1` behavior-coverage object (see
+    /// `docs/COVERAGE.md`): distinct rf edges, mo adjacencies, race
+    /// classes, and interleaving signatures with per-behavior
+    /// provenance. Meaningful only when the campaign ran with coverage
+    /// collection enabled ([`c11tester::set_coverage`] /
+    /// `c11campaign --coverage-out`); otherwise every array is empty.
+    /// Byte-identical across worker counts and across in-process vs
+    /// fork-isolated backends, like the canonical form.
+    pub fn coverage_json(&self) -> String {
+        json::coverage(self)
     }
 }
 

@@ -25,7 +25,7 @@ use crate::mograph::{MoGraph, NodeId};
 use crate::policy::Policy;
 use crate::prune::PruneConfig;
 use crate::stats::{AllocStats, ExecStats};
-use c11tester_telemetry::{phase_start, Phase, PhaseProfile, TraceEvent, TraceKind};
+use c11tester_telemetry::{phase_start, ExecCoverage, Phase, PhaseProfile, TraceEvent, TraceKind};
 
 /// Per-thread model state (`ThrState` of Fig. 10).
 #[derive(Clone, Debug)]
@@ -112,6 +112,15 @@ pub struct Execution {
     /// (and allocation-free) unless tracing is enabled; drained by the
     /// model layer into a `TraceSink` after each execution.
     pub(crate) trace_buf: Vec<TraceEvent>,
+    /// Behavior-coverage signature of this execution. Disarmed
+    /// (`collected == false`, no recording) unless coverage collection
+    /// was enabled when the execution started — the global gate is
+    /// sampled once per execution, so the hot path pays one boolean
+    /// test per commit point. Drained by the model layer.
+    pub(crate) coverage: ExecCoverage,
+    /// Thread of the most recently committed event, for detecting the
+    /// preemption points the interleaving signature hashes.
+    last_event_tid: ThreadId,
 }
 
 impl Execution {
@@ -151,6 +160,12 @@ impl Execution {
             prune_cfg,
             pset_buf: Vec::new(),
             trace_buf: Vec::new(),
+            coverage: if c11tester_telemetry::coverage_enabled() {
+                ExecCoverage::collecting()
+            } else {
+                ExecCoverage::default()
+            },
+            last_event_tid: ThreadId::MAIN,
         }
     }
 
@@ -186,6 +201,8 @@ impl Execution {
         self.free_loads.clear();
         self.next_obj = 0;
         self.trace_buf.clear();
+        self.coverage.reset(c11tester_telemetry::coverage_enabled());
+        self.last_event_tid = ThreadId::MAIN;
         self.stats = ExecStats {
             alloc: AllocStats {
                 recycled_executions: 1,
@@ -339,6 +356,15 @@ impl Execution {
         std::mem::take(&mut self.trace_buf)
     }
 
+    /// Drains the behavior-coverage signature (disarmed — `collected ==
+    /// false` — unless coverage collection was enabled when this
+    /// execution started). The model layer calls this once per
+    /// execution; the next [`Execution::reset`] re-arms against the
+    /// global gate.
+    pub fn take_coverage(&mut self) -> ExecCoverage {
+        std::mem::take(&mut self.coverage)
+    }
+
     /// Mutable access to the per-execution phase profile, for timing
     /// phases that live outside this crate (scheduling in the engine,
     /// race detection in the facade).
@@ -369,6 +395,10 @@ impl Execution {
     /// and advances the thread's own clock slot.
     fn next_event(&mut self, t: ThreadId) -> SeqNum {
         self.seq += 1;
+        if self.coverage.collected && t != self.last_event_tid {
+            self.coverage.record_switch(self.seq, t.index() as u64);
+        }
+        self.last_event_tid = t;
         self.threads[t.index()].cv.set(t, self.seq);
         SeqNum(self.seq)
     }
@@ -425,6 +455,14 @@ impl Execution {
             }
             let ne = self.node_of(e);
             self.graph.add_edge(ne, ns);
+            if self.coverage.collected {
+                let to = &self.stores[s.index()];
+                self.coverage.record_mo(
+                    to.obj.0,
+                    self.stores[e.index()].tid.index() as u64,
+                    to.tid.index() as u64,
+                );
+            }
         }
         self.stats.mograph = self.graph.stats();
         if let Some(timer) = timer {
@@ -760,6 +798,13 @@ impl Execution {
             pruned: false,
         };
         let lidx = self.alloc_load(record);
+        if self.coverage.collected {
+            self.coverage.record_rf(
+                obj.0,
+                self.stores[cand.index()].tid.index() as u64,
+                t.index() as u64,
+            );
+        }
         if Self::trace_enabled() {
             self.trace_buf.push(TraceEvent {
                 kind: TraceKind::Load,
@@ -834,6 +879,13 @@ impl Execution {
         }
         self.apply_load_clocks(t, order, cand);
         let old = self.stores[cand.index()].value;
+        if self.coverage.collected {
+            self.coverage.record_rf(
+                obj.0,
+                self.stores[cand.index()].tid.index() as u64,
+                t.index() as u64,
+            );
+        }
 
         // Store half (assigns the event's sequence number; installs the
         // rmw edge before the write-prior-set edges, per Fig. 11).

@@ -79,5 +79,9 @@ pub use prune::{PruneConfig, PruneMode};
 pub use stats::{AllocStats, ExecStats};
 
 // Re-exported so the layers above can record phases and consume trace
-// events without naming the telemetry crate directly.
-pub use c11tester_telemetry::{Phase, PhaseProfile, TraceEvent, TraceKey, TraceKind, TraceSink};
+// events and coverage signatures without naming the telemetry crate
+// directly.
+pub use c11tester_telemetry::{
+    coverage_enabled, set_coverage, ExecCoverage, Phase, PhaseProfile, TraceEvent, TraceKey,
+    TraceKind, TraceSink,
+};

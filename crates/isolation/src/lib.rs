@@ -60,6 +60,16 @@
 pub mod protocol;
 pub mod worker;
 
+/// Serializes tests that either flip the process-global coverage gate
+/// or compare `TestReport`s built from live executions (which the gate
+/// perturbs). Lib tests share one process, so they must not interleave.
+#[cfg(test)]
+pub(crate) fn coverage_gate_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub use worker::{parse_worker_args, worker_main, WorkerSpec};
 
 use crate::protocol::{read_frame, Frame};
@@ -249,6 +259,13 @@ impl ForkServer {
                             threads.pooled_dispatches += m.threads.pooled_dispatches;
                             threads.fresh_spawns += m.threads.fresh_spawns;
                         }
+                        Ok(Frame::Coverage(map)) => {
+                            // Diagnostic-only, and mergeable: the
+                            // child's batched fold aggregates to the
+                            // exact map an in-process run would have
+                            // built from the same executions.
+                            report.coverage.merge(&map);
+                        }
                         Ok(Frame::Done(reason)) => {
                             let _ = child.wait();
                             break Ok(ChildOutcome::Finished(reason));
@@ -321,6 +338,7 @@ impl ForkServer {
                 // only when the parent itself is profiling.
                 emit_metrics: true,
                 profile_phases: c11tester_telemetry::profiling_enabled(),
+                collect_coverage: c11tester_telemetry::coverage_enabled(),
                 thread_pool: config.thread_pool,
             };
             if cursor != start {

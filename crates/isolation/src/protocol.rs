@@ -25,7 +25,9 @@
 //! parent surfaces that as a protocol-violation error (bounded by
 //! [`MAX_FRAME_LEN`]) rather than silently mis-aggregating.
 
-use c11tester::{ExecutionReport, Failure, RaceReport, ThreadSpawnStats};
+use c11tester::{
+    BehaviorStats, CoverageMap, ExecutionReport, Failure, RaceKey, RaceReport, ThreadSpawnStats,
+};
 use c11tester_campaign::baseline::JsonValue;
 use c11tester_campaign::wire::{
     access_kind_name, esc, parse_access_kind, parse_race_kind, race_kind_name,
@@ -96,6 +98,12 @@ pub enum Frame {
     /// Per-batch diagnostic counters, sent once just before `done`
     /// when the batch ran with [`crate::WorkerSpec::emit_metrics`].
     Metrics(BatchMetrics),
+    /// The batch's merged behavior-coverage map, sent once just before
+    /// `done` when the batch ran with
+    /// [`crate::WorkerSpec::collect_coverage`]. Batched rather than
+    /// per-execution: [`CoverageMap::merge`] is order-independent, so
+    /// shipping the child's fold cannot change the parent's aggregate.
+    Coverage(CoverageMap),
     /// The batch finished; no further frames follow.
     Done(StopReason),
 }
@@ -227,6 +235,147 @@ fn u64_array(xs: &[u64]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Encodes a `coverage` frame payload. Edge and interleaving behaviors
+/// travel as flat number rows (`[key..., first_execution,
+/// occurrences]`); iteration order is the map's `BTreeMap` order, so
+/// the payload is byte-stable for a given map.
+pub fn coverage_payload(map: &CoverageMap) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"frame\":\"coverage\"");
+    out.push_str(&format!(
+        ",\"collected_executions\":{}",
+        map.collected_executions()
+    ));
+    out.push_str(",\"rf\":[");
+    for (i, ((obj, from, to), s)) in map.rf_edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{obj},{from},{to},{},{}]",
+            s.first_execution, s.occurrences
+        ));
+    }
+    out.push_str("],\"mo\":[");
+    for (i, ((obj, from, to), s)) in map.mo_edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{obj},{from},{to},{},{}]",
+            s.first_execution, s.occurrences
+        ));
+    }
+    out.push_str("],\"races\":[");
+    for (i, (key, s)) in map.races().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"kind\":\"{}\",\"first_execution\":{},\"occurrences\":{}}}",
+            esc(&key.label),
+            race_kind_name(key.kind),
+            s.first_execution,
+            s.occurrences,
+        ));
+    }
+    out.push_str("],\"interleavings\":[");
+    for (i, (hash, s)) in map.interleavings().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{hash},{},{}]", s.first_execution, s.occurrences));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn coverage_rows<'a>(
+    doc: &'a JsonValue,
+    key: &str,
+    width: usize,
+) -> Result<Vec<&'a [JsonValue]>, String> {
+    let mut rows = Vec::new();
+    for row in doc
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or(format!("missing `{key}` array"))?
+    {
+        let cells = row.as_array().ok_or(format!("non-array row in `{key}`"))?;
+        if cells.len() != width {
+            return Err(format!(
+                "`{key}` row has {} cells, expected {width}",
+                cells.len()
+            ));
+        }
+        rows.push(cells);
+    }
+    Ok(rows)
+}
+
+fn row_u64(cells: &[JsonValue], i: usize, key: &str) -> Result<u64, String> {
+    cells[i]
+        .as_u64()
+        .ok_or(format!("non-integer cell in `{key}`"))
+}
+
+fn parse_coverage(doc: &JsonValue) -> Result<CoverageMap, String> {
+    let mut map = CoverageMap::new();
+    map.add_collected_executions(u64_field(doc, "collected_executions")?);
+    for cells in coverage_rows(doc, "rf", 5)? {
+        map.absorb_rf_edge(
+            (
+                row_u64(cells, 0, "rf")?,
+                row_u64(cells, 1, "rf")?,
+                row_u64(cells, 2, "rf")?,
+            ),
+            BehaviorStats {
+                first_execution: row_u64(cells, 3, "rf")?,
+                occurrences: row_u64(cells, 4, "rf")?,
+            },
+        );
+    }
+    for cells in coverage_rows(doc, "mo", 5)? {
+        map.absorb_mo_edge(
+            (
+                row_u64(cells, 0, "mo")?,
+                row_u64(cells, 1, "mo")?,
+                row_u64(cells, 2, "mo")?,
+            ),
+            BehaviorStats {
+                first_execution: row_u64(cells, 3, "mo")?,
+                occurrences: row_u64(cells, 4, "mo")?,
+            },
+        );
+    }
+    for row in doc
+        .get("races")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `races` array")?
+    {
+        map.absorb_race(
+            RaceKey {
+                label: str_field(row, "label")?.to_string(),
+                kind: parse_race_kind(str_field(row, "kind")?)?,
+            },
+            BehaviorStats {
+                first_execution: u64_field(row, "first_execution")?,
+                occurrences: u64_field(row, "occurrences")?,
+            },
+        );
+    }
+    for cells in coverage_rows(doc, "interleavings", 3)? {
+        map.absorb_interleaving(
+            row_u64(cells, 0, "interleavings")?,
+            BehaviorStats {
+                first_execution: row_u64(cells, 1, "interleavings")?,
+                occurrences: row_u64(cells, 2, "interleavings")?,
+            },
+        );
+    }
+    Ok(map)
+}
+
 /// Encodes a `done` frame payload.
 pub fn done_payload(stop_reason: StopReason) -> String {
     format!(
@@ -333,6 +482,7 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
             &doc,
             "stop_reason",
         )?)?)),
+        "coverage" => Ok(Frame::Coverage(parse_coverage(&doc)?)),
         "metrics" => {
             let alloc = doc.get("alloc").ok_or("missing `alloc`")?;
             let phase = doc.get("phase").ok_or("missing `phase`")?;
@@ -378,6 +528,11 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
                 failure: parse_failure(&doc)?,
                 stats: parse_stats(doc.get("stats").ok_or("missing `stats`")?)?,
                 elided_volatile_races: u64_field(&doc, "elided_volatile_races")?,
+                // Coverage is not carried per execution: the child folds
+                // its executions' signatures locally and ships one
+                // batched `coverage` frame (mergeable, so batching
+                // cannot change the aggregate).
+                coverage: Default::default(),
             })))
         }
         other => Err(format!("unknown frame type `{other}`")),
@@ -410,6 +565,7 @@ mod tests {
         // Run real executions (some racy) and require the decoded
         // report to absorb identically to the original — the exact
         // property fork-isolated byte-identity rests on.
+        let _gate = crate::coverage_gate_lock();
         let mut model = Model::new(Config::new().with_seed(0xF0));
         let mut direct = TestReport::default();
         let mut wired = TestReport::default();
@@ -447,6 +603,7 @@ mod tests {
                 failure: Some(failure.clone()),
                 stats: Default::default(),
                 elided_volatile_races: 2,
+                coverage: Default::default(),
             };
             let Frame::Exec(decoded) = parse_frame(&exec_payload(&report)).expect("parses") else {
                 panic!("wrong frame type");
@@ -454,6 +611,52 @@ mod tests {
             assert_eq!(decoded.failure, Some(failure));
             assert_eq!(decoded.elided_volatile_races, 2);
         }
+    }
+
+    #[test]
+    fn coverage_frames_round_trip() {
+        use c11tester::{AccessKind, RaceKind};
+        use c11tester_core::ExecCoverage;
+
+        let mut sig = ExecCoverage::collecting();
+        sig.record_rf(3, 0, 1);
+        sig.record_rf(3, 1, 0);
+        sig.record_mo(3, 0, 1);
+        sig.record_switch(17, 1);
+        sig.record_switch(29, 0);
+        let race = RaceReport {
+            label: "flag \"x\"".to_string(),
+            obj: c11tester_core::ObjId(3),
+            offset: 0,
+            kind: RaceKind::ReadAfterWrite,
+            current_tid: ThreadId::from_index(1),
+            current_kind: AccessKind::NonAtomic,
+            prior_tid: ThreadId::from_index(0),
+            prior_atomic: false,
+        };
+        let mut map = CoverageMap::new();
+        map.record(4, &sig, std::slice::from_ref(&race));
+        map.record(9, &sig, &[race]);
+        // Hashes use the full u64 range; make sure a top-bit-set value
+        // survives the wire as a plain JSON number.
+        let mut wide = ExecCoverage::collecting();
+        wide.record_switch(u64::MAX, u64::MAX - 1);
+        map.record(11, &wide, &[]);
+
+        let payload = coverage_payload(&map);
+        let Frame::Coverage(decoded) = parse_frame(&payload).expect("parses") else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(decoded, map);
+        // Re-encoding the decoded map is byte-identical (stable order).
+        assert_eq!(coverage_payload(&decoded), payload);
+        // An empty map round-trips too (coverage-enabled raceless batch).
+        let empty = CoverageMap::new();
+        let Frame::Coverage(decoded) = parse_frame(&coverage_payload(&empty)).expect("parses")
+        else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(decoded, empty);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! dies before `done` was mid-execution, and the parent derives the
 //! crashing index as `first_index + frames received`.
 
-use crate::protocol::{done_payload, exec_payload, metrics_payload, write_frame, BatchMetrics};
-use c11tester::{Config, Model, Policy, StrategyMix};
+use crate::protocol::{
+    coverage_payload, done_payload, exec_payload, metrics_payload, write_frame, BatchMetrics,
+};
+use c11tester::{Config, CoverageMap, Model, Policy, StrategyMix};
 use c11tester_campaign::{targets, StopReason};
 use std::io::Write;
 use std::process::ExitCode;
@@ -44,6 +46,11 @@ pub struct WorkerSpec {
     /// ([`c11tester_telemetry::set_profiling`]), so the metrics frame
     /// carries nonzero phase timings.
     pub profile_phases: bool,
+    /// Enable behavior-coverage collection in the child
+    /// ([`c11tester_telemetry::set_coverage`]); the child folds its
+    /// executions' signatures into one [`CoverageMap`] and ships it as
+    /// a single `coverage` frame before `done`.
+    pub collect_coverage: bool,
     /// Run the child's model threads on the pooled runtime (the
     /// default). `false` mirrors the parent's `--no-thread-pool` A/B
     /// switch into the child — behaviorally invisible either way.
@@ -80,6 +87,9 @@ impl WorkerSpec {
         if self.profile_phases {
             args.push("--profile-phases".to_string());
         }
+        if self.collect_coverage {
+            args.push("--coverage".to_string());
+        }
         if !self.thread_pool {
             args.push("--no-thread-pool".to_string());
         }
@@ -106,10 +116,14 @@ impl WorkerSpec {
         if self.profile_phases {
             c11tester_telemetry::set_profiling(true);
         }
+        if self.collect_coverage {
+            c11tester_telemetry::set_coverage(true);
+        }
         let config = self.config()?;
         let mut model = Model::for_shard_from(config, self.first_index, 1);
         let mut reason = StopReason::BudgetExhausted;
         let mut batch = BatchMetrics::default();
+        let mut coverage = CoverageMap::new();
         for _ in 0..self.executions {
             let report = model.run(|| target.run());
             let bug = report.found_bug();
@@ -117,11 +131,18 @@ impl WorkerSpec {
                 batch.alloc.absorb(&report.stats.alloc);
                 batch.phase.absorb(&report.stats.phase);
             }
+            if self.collect_coverage {
+                coverage.record(report.execution_index, &report.coverage, &report.races);
+            }
             write_frame(out, &exec_payload(&report)).map_err(|e| format!("pipe closed: {e}"))?;
             if bug && self.stop_on_first_bug {
                 reason = StopReason::FirstBug;
                 break;
             }
+        }
+        if self.collect_coverage {
+            write_frame(out, &coverage_payload(&coverage))
+                .map_err(|e| format!("pipe closed: {e}"))?;
         }
         if self.emit_metrics {
             // Thread-provisioning counters are cumulative over the
@@ -163,6 +184,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
     let mut stop_on_first_bug = false;
     let mut emit_metrics = false;
     let mut profile_phases = false;
+    let mut collect_coverage = false;
     let mut thread_pool = true;
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -181,6 +203,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
             "--stop-on-first-bug" => stop_on_first_bug = true,
             "--emit-metrics" => emit_metrics = true,
             "--profile-phases" => profile_phases = true,
+            "--coverage" => collect_coverage = true,
             "--no-thread-pool" => thread_pool = false,
             other => return Err(format!("unknown worker flag `{other}`")),
         }
@@ -195,6 +218,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
         stop_on_first_bug,
         emit_metrics,
         profile_phases,
+        collect_coverage,
         thread_pool,
     })
 }
@@ -241,6 +265,7 @@ mod tests {
             stop_on_first_bug: false,
             emit_metrics: false,
             profile_phases: false,
+            collect_coverage: false,
             thread_pool: true,
         }
     }
@@ -258,6 +283,7 @@ mod tests {
         let mut diagnostic = spec.clone();
         diagnostic.emit_metrics = true;
         diagnostic.profile_phases = true;
+        diagnostic.collect_coverage = true;
         diagnostic.thread_pool = false;
         let parsed = parse_worker_args(diagnostic.to_args().into_iter().skip(1)).expect("parses");
         assert_eq!(parsed, diagnostic);
@@ -279,6 +305,7 @@ mod tests {
         use crate::protocol::{parse_frame, read_frame, Frame};
         use c11tester::TestReport;
 
+        let _gate = crate::coverage_gate_lock();
         let spec = spec();
         let mut buf = Vec::new();
         let reason = spec.run(&mut buf).expect("runs");
@@ -292,6 +319,7 @@ mod tests {
             match parse_frame(&payload).expect("parses") {
                 Frame::Exec(report) => wired.absorb(&report),
                 Frame::Metrics(_) => panic!("metrics frame without --emit-metrics"),
+                Frame::Coverage(_) => panic!("coverage frame without --coverage"),
                 Frame::Done(r) => {
                     assert_eq!(r, StopReason::BudgetExhausted);
                     saw_done = true;
@@ -329,6 +357,7 @@ mod tests {
             match parse_frame(&payload).expect("parses") {
                 Frame::Exec(_) => execs += 1,
                 Frame::Metrics(m) => metrics = Some(m),
+                Frame::Coverage(_) => panic!("coverage frame without --coverage"),
                 Frame::Done(_) => done_after_metrics = metrics.is_some(),
             }
         }
@@ -341,5 +370,51 @@ mod tests {
             metrics.alloc.fresh_executions + metrics.alloc.recycled_executions,
             spec.executions
         );
+    }
+
+    #[test]
+    fn coverage_batch_ships_the_direct_fold_as_one_frame() {
+        use crate::protocol::{parse_frame, read_frame, Frame};
+
+        let _gate = crate::coverage_gate_lock();
+        let mut spec = spec();
+        spec.collect_coverage = true;
+        let mut buf = Vec::new();
+        spec.run(&mut buf).expect("runs");
+        c11tester_telemetry::set_coverage(false);
+
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let mut shipped = None;
+        let mut done_after_coverage = false;
+        while let Some(payload) = read_frame(&mut reader).expect("frame") {
+            match parse_frame(&payload).expect("parses") {
+                Frame::Exec(report) => {
+                    // Exec frames never carry coverage; it travels batched.
+                    assert_eq!(report.coverage, Default::default());
+                }
+                Frame::Metrics(_) => {}
+                Frame::Coverage(map) => shipped = Some(map),
+                Frame::Done(_) => done_after_coverage = shipped.is_some(),
+            }
+        }
+        assert!(done_after_coverage, "coverage frame must precede done");
+        let shipped = shipped.expect("coverage frame present");
+
+        // Reference: the same index range run directly with coverage on.
+        c11tester_telemetry::set_coverage(true);
+        let config = spec.config().expect("valid config");
+        let mut model = Model::for_shard_from(config, spec.first_index, 1);
+        let mut direct = CoverageMap::new();
+        for _ in 0..spec.executions {
+            let report = model.run(|| {
+                c11tester_workloads::ds::rwlock_buggy::run_buggy();
+            });
+            direct.record(report.execution_index, &report.coverage, &report.races);
+        }
+        c11tester_telemetry::set_coverage(false);
+
+        assert_eq!(shipped, direct);
+        assert_eq!(shipped.collected_executions(), spec.executions);
+        assert!(shipped.distinct_total() > 0, "workload explores behaviors");
     }
 }

@@ -1,0 +1,346 @@
+//! Mergeable cross-execution behavior-coverage maps.
+//!
+//! A campaign's throughput numbers say how *fast* the checker ran;
+//! a [`CoverageMap`] says *what* it explored. Each execution that ran
+//! with coverage collection enabled contributes its
+//! [`ExecCoverage`] signature (distinct rf edges, mo adjacencies, and
+//! a coarse interleaving hash, captured at the core commit points)
+//! plus its race keys; the map accumulates them under the same
+//! discipline as [`crate::DedupHistory`]:
+//!
+//! * `BTreeMap`-backed, so iteration (and any JSON emitted from it)
+//!   is byte-stable;
+//! * each behavior keeps the **lowest execution index** that first
+//!   exhibited it plus an occurrence count (executions, not events);
+//! * [`CoverageMap::merge`] is commutative and associative, so any
+//!   partition of the execution stream over any number of workers —
+//!   or fork-server children — aggregates to an identical map.
+//!
+//! Coverage is diagnostic only: it never enters default canonical
+//! campaign JSON and collection defaults off (see
+//! `c11tester_telemetry::set_coverage`).
+
+use crate::dedup::RaceKey;
+use crate::report::RaceReport;
+use c11tester_core::ExecCoverage;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// Provenance of one distinct behavior: when it was first seen and in
+/// how many executions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BehaviorStats {
+    /// Lowest execution index that exhibited the behavior.
+    pub first_execution: u64,
+    /// Number of collecting executions that exhibited it.
+    pub occurrences: u64,
+}
+
+fn fold<K: Ord + Clone>(map: &mut BTreeMap<K, BehaviorStats>, key: &K, execution_index: u64) {
+    match map.entry(key.clone()) {
+        Entry::Vacant(v) => {
+            v.insert(BehaviorStats {
+                first_execution: execution_index,
+                occurrences: 1,
+            });
+        }
+        Entry::Occupied(mut o) => {
+            let s = o.get_mut();
+            s.occurrences += 1;
+            s.first_execution = s.first_execution.min(execution_index);
+        }
+    }
+}
+
+fn merge_into<K: Ord + Clone>(
+    map: &mut BTreeMap<K, BehaviorStats>,
+    other: &BTreeMap<K, BehaviorStats>,
+) {
+    for (key, os) in other {
+        match map.entry(key.clone()) {
+            Entry::Vacant(v) => {
+                v.insert(*os);
+            }
+            Entry::Occupied(mut cur) => {
+                let s = cur.get_mut();
+                s.occurrences += os.occurrences;
+                s.first_execution = s.first_execution.min(os.first_execution);
+            }
+        }
+    }
+}
+
+/// An order-independent, mergeable map of the distinct behaviors a set
+/// of executions exhibited.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    /// Distinct reads-from edges `(obj, store thread, load thread)`.
+    rf_edges: BTreeMap<(u64, u64, u64), BehaviorStats>,
+    /// Distinct mo adjacencies `(obj, from thread, to thread)`.
+    mo_edges: BTreeMap<(u64, u64, u64), BehaviorStats>,
+    /// Distinct race classes observed.
+    races: BTreeMap<RaceKey, BehaviorStats>,
+    /// Distinct coarse interleaving signatures.
+    interleavings: BTreeMap<u64, BehaviorStats>,
+    /// Executions that contributed a signature (`collected == true`).
+    collected_executions: u64,
+}
+
+impl CoverageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Folds one execution's signature and race reports into the map.
+    /// No-op when the signature was not collected — an execution run
+    /// with coverage disabled contributes nothing (not even to
+    /// [`CoverageMap::collected_executions`]).
+    pub fn record(&mut self, execution_index: u64, sig: &ExecCoverage, races: &[RaceReport]) {
+        if !sig.collected {
+            return;
+        }
+        self.collected_executions += 1;
+        for edge in &sig.rf_edges {
+            fold(&mut self.rf_edges, edge, execution_index);
+        }
+        for edge in &sig.mo_edges {
+            fold(&mut self.mo_edges, edge, execution_index);
+        }
+        fold(
+            &mut self.interleavings,
+            &sig.interleaving_hash,
+            execution_index,
+        );
+        for race in races {
+            fold(&mut self.races, &race.key(), execution_index);
+        }
+    }
+
+    /// Folds another map into this one. Commutative and associative:
+    /// any partition of the execution stream aggregates identically.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.collected_executions += other.collected_executions;
+        merge_into(&mut self.rf_edges, &other.rf_edges);
+        merge_into(&mut self.mo_edges, &other.mo_edges);
+        merge_into(&mut self.races, &other.races);
+        merge_into(&mut self.interleavings, &other.interleavings);
+    }
+
+    /// Executions that contributed a collected signature.
+    pub fn collected_executions(&self) -> u64 {
+        self.collected_executions
+    }
+
+    /// Number of distinct reads-from edges.
+    pub fn distinct_rf_edges(&self) -> u64 {
+        self.rf_edges.len() as u64
+    }
+
+    /// Number of distinct mo adjacencies.
+    pub fn distinct_mo_edges(&self) -> u64 {
+        self.mo_edges.len() as u64
+    }
+
+    /// Number of distinct race classes.
+    pub fn distinct_races(&self) -> u64 {
+        self.races.len() as u64
+    }
+
+    /// Number of distinct interleaving signatures.
+    pub fn distinct_interleavings(&self) -> u64 {
+        self.interleavings.len() as u64
+    }
+
+    /// Total distinct behaviors across all four dimensions.
+    pub fn distinct_total(&self) -> u64 {
+        self.distinct_rf_edges()
+            + self.distinct_mo_edges()
+            + self.distinct_races()
+            + self.distinct_interleavings()
+    }
+
+    /// Whether the map holds no behavior at all.
+    pub fn is_empty(&self) -> bool {
+        self.collected_executions == 0
+            && self.rf_edges.is_empty()
+            && self.mo_edges.is_empty()
+            && self.races.is_empty()
+            && self.interleavings.is_empty()
+    }
+
+    /// Reads-from edges in key order: `((obj, store thread, load
+    /// thread), stats)`.
+    pub fn rf_edges(&self) -> impl Iterator<Item = (&(u64, u64, u64), &BehaviorStats)> {
+        self.rf_edges.iter()
+    }
+
+    /// Mo adjacencies in key order: `((obj, from thread, to thread),
+    /// stats)`.
+    pub fn mo_edges(&self) -> impl Iterator<Item = (&(u64, u64, u64), &BehaviorStats)> {
+        self.mo_edges.iter()
+    }
+
+    /// Race classes in key order.
+    pub fn races(&self) -> impl Iterator<Item = (&RaceKey, &BehaviorStats)> {
+        self.races.iter()
+    }
+
+    /// Interleaving signatures in key order.
+    pub fn interleavings(&self) -> impl Iterator<Item = (&u64, &BehaviorStats)> {
+        self.interleavings.iter()
+    }
+
+    /// Calls `f` with the first-discovery execution index of every
+    /// behavior present here but absent from `baseline` — the
+    /// new-behavior delta a cumulative map enables (reweighting
+    /// policies attribute each discovery to the strategy that drove
+    /// that index).
+    pub fn for_each_new(&self, baseline: &CoverageMap, mut f: impl FnMut(u64)) {
+        for (k, s) in &self.rf_edges {
+            if !baseline.rf_edges.contains_key(k) {
+                f(s.first_execution);
+            }
+        }
+        for (k, s) in &self.mo_edges {
+            if !baseline.mo_edges.contains_key(k) {
+                f(s.first_execution);
+            }
+        }
+        for (k, s) in &self.races {
+            if !baseline.races.contains_key(k) {
+                f(s.first_execution);
+            }
+        }
+        for (k, s) in &self.interleavings {
+            if !baseline.interleavings.contains_key(k) {
+                f(s.first_execution);
+            }
+        }
+    }
+
+    /// Number of behaviors present here but absent from `baseline`.
+    pub fn count_new(&self, baseline: &CoverageMap) -> u64 {
+        let mut n = 0;
+        self.for_each_new(baseline, |_| n += 1);
+        n
+    }
+
+    // -----------------------------------------------------------------
+    // Entry-level absorption, for wire decoders that reconstruct a map
+    // from a lossless serialized form. Each call merges one behavior
+    // with the usual min-first / sum-occurrences rule.
+    // -----------------------------------------------------------------
+
+    /// Merges one reads-from-edge behavior.
+    pub fn absorb_rf_edge(&mut self, key: (u64, u64, u64), stats: BehaviorStats) {
+        merge_one(&mut self.rf_edges, key, stats);
+    }
+
+    /// Merges one mo-adjacency behavior.
+    pub fn absorb_mo_edge(&mut self, key: (u64, u64, u64), stats: BehaviorStats) {
+        merge_one(&mut self.mo_edges, key, stats);
+    }
+
+    /// Merges one race-class behavior.
+    pub fn absorb_race(&mut self, key: RaceKey, stats: BehaviorStats) {
+        merge_one(&mut self.races, key, stats);
+    }
+
+    /// Merges one interleaving-signature behavior.
+    pub fn absorb_interleaving(&mut self, hash: u64, stats: BehaviorStats) {
+        merge_one(&mut self.interleavings, hash, stats);
+    }
+
+    /// Adds to the collected-execution counter (wire decoding).
+    pub fn add_collected_executions(&mut self, n: u64) {
+        self.collected_executions += n;
+    }
+}
+
+fn merge_one<K: Ord>(map: &mut BTreeMap<K, BehaviorStats>, key: K, stats: BehaviorStats) {
+    match map.entry(key) {
+        Entry::Vacant(v) => {
+            v.insert(stats);
+        }
+        Entry::Occupied(mut cur) => {
+            let s = cur.get_mut();
+            s.occurrences += stats.occurrences;
+            s.first_execution = s.first_execution.min(stats.first_execution);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AccessKind, RaceKind};
+    use c11tester_core::{ObjId, ThreadId};
+
+    fn sig(rf: &[(u64, u64, u64)], mo: &[(u64, u64, u64)], hash: u64) -> ExecCoverage {
+        let mut s = ExecCoverage::collecting();
+        for &(o, f, t) in rf {
+            s.record_rf(o, f, t);
+        }
+        for &(o, f, t) in mo {
+            s.record_mo(o, f, t);
+        }
+        s.interleaving_hash = hash;
+        s
+    }
+
+    fn race(label: &str) -> RaceReport {
+        RaceReport {
+            label: label.into(),
+            obj: ObjId(1),
+            offset: 0,
+            kind: RaceKind::WriteAfterWrite,
+            current_tid: ThreadId::from_index(1),
+            current_kind: AccessKind::NonAtomic,
+            prior_tid: ThreadId::from_index(0),
+            prior_atomic: false,
+        }
+    }
+
+    #[test]
+    fn record_counts_distinct_behaviors_with_provenance() {
+        let mut m = CoverageMap::new();
+        m.record(4, &sig(&[(0, 0, 1)], &[(0, 0, 1)], 7), &[race("x")]);
+        m.record(2, &sig(&[(0, 0, 1), (1, 1, 0)], &[], 7), &[]);
+        assert_eq!(m.collected_executions(), 2);
+        assert_eq!(m.distinct_rf_edges(), 2);
+        assert_eq!(m.distinct_mo_edges(), 1);
+        assert_eq!(m.distinct_races(), 1);
+        assert_eq!(m.distinct_interleavings(), 1);
+        assert_eq!(m.distinct_total(), 5);
+        let (_, s) = m.rf_edges().next().expect("rf edge");
+        assert_eq!(s.first_execution, 2, "lowest index wins");
+        assert_eq!(s.occurrences, 2);
+    }
+
+    #[test]
+    fn uncollected_signatures_contribute_nothing() {
+        let mut m = CoverageMap::new();
+        m.record(0, &ExecCoverage::default(), &[race("x")]);
+        assert!(m.is_empty());
+        assert_eq!(m.distinct_total(), 0);
+    }
+
+    #[test]
+    fn new_behavior_delta_vs_baseline() {
+        let mut base = CoverageMap::new();
+        base.record(0, &sig(&[(0, 0, 1)], &[], 7), &[]);
+        let mut next = base.clone();
+        next.record(
+            5,
+            &sig(&[(0, 0, 1), (0, 1, 0)], &[(0, 0, 1)], 9),
+            &[race("x")],
+        );
+        // New vs base: rf (0,1,0), mo (0,0,1), race x, interleaving 9.
+        assert_eq!(next.count_new(&base), 4);
+        let mut firsts = Vec::new();
+        next.for_each_new(&base, |ix| firsts.push(ix));
+        assert_eq!(firsts, [5, 5, 5, 5]);
+        assert_eq!(base.count_new(&next), 0);
+    }
+}

@@ -17,9 +17,9 @@
 //! * iteration is sorted by key (`BTreeMap`), making downstream
 //!   reports byte-stable.
 
-use crate::report::{RaceKind, RaceReport};
+use crate::report::{AccessKind, RaceKind, RaceReport};
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The identity of a race class: what the detector and the model layer
 /// deduplicate on. Two reports with equal keys are "the same race"
@@ -40,6 +40,34 @@ impl RaceReport {
             kind: self.kind,
         }
     }
+
+    /// The access-pair shape of this report — the forensic detail a
+    /// [`RaceKey`] deliberately collapses.
+    pub fn shape(&self) -> AccessShape {
+        AccessShape {
+            current_tid: self.current_tid.index() as u64,
+            current_kind: self.current_kind,
+            prior_tid: self.prior_tid.index() as u64,
+            prior_atomic: self.prior_atomic,
+        }
+    }
+}
+
+/// One concrete access-pair shape observed for a race class: which
+/// threads collided and how. Several shapes can hide behind one
+/// [`RaceKey`] (the dedup identity is `(label, kind)` only); entries
+/// record the distinct shapes so forensics output can surface them.
+/// Diagnostic — never part of canonical campaign JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessShape {
+    /// Thread performing the access that completed the race.
+    pub current_tid: u64,
+    /// Kind of the current access.
+    pub current_kind: AccessKind,
+    /// Thread that performed the earlier conflicting access.
+    pub prior_tid: u64,
+    /// Whether the earlier access was atomic (incl. volatile).
+    pub prior_atomic: bool,
 }
 
 /// One deduplicated race class with provenance.
@@ -52,6 +80,12 @@ pub struct DedupEntry {
     pub first_execution: u64,
     /// Number of executions that exhibited the race.
     pub occurrences: u64,
+    /// Every distinct access-pair shape observed for this race class
+    /// (the exemplar's shape is always a member). Shapes are rebuilt
+    /// from each recorded report, so the set is identical however the
+    /// execution stream is partitioned. Diagnostic only — excluded
+    /// from canonical JSON.
+    pub shapes: BTreeSet<AccessShape>,
 }
 
 /// An order-independent, mergeable history of deduplicated races.
@@ -77,11 +111,13 @@ impl DedupHistory {
                     report: report.clone(),
                     first_execution: execution_index,
                     occurrences: 1,
+                    shapes: BTreeSet::from([report.shape()]),
                 });
             }
             Entry::Occupied(mut o) => {
                 let e = o.get_mut();
                 e.occurrences += 1;
+                e.shapes.insert(report.shape());
                 if execution_index < e.first_execution {
                     e.first_execution = execution_index;
                     e.report = report.clone();
@@ -102,6 +138,7 @@ impl DedupHistory {
                 Entry::Occupied(mut cur) => {
                     let e = cur.get_mut();
                     e.occurrences += oe.occurrences;
+                    e.shapes.extend(oe.shapes.iter().copied());
                     if oe.first_execution < e.first_execution {
                         e.first_execution = oe.first_execution;
                         e.report = oe.report.clone();
@@ -217,6 +254,29 @@ mod tests {
         h.record(0, &report("alpha", RaceKind::WriteAfterWrite, 1));
         let labels: Vec<&str> = h.reports().iter().map(|r| r.label.as_str()).collect();
         assert_eq!(labels, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn entries_collect_distinct_access_shapes_without_splitting_keys() {
+        let mut h = DedupHistory::new();
+        // Same (label, kind) key, three observations, two distinct
+        // shapes (tid 1 twice, tid 2 once).
+        h.record(0, &report("x", RaceKind::WriteAfterWrite, 1));
+        h.record(1, &report("x", RaceKind::WriteAfterWrite, 2));
+        h.record(2, &report("x", RaceKind::WriteAfterWrite, 1));
+        assert_eq!(h.len(), 1, "shapes must not widen the dedup key");
+        let (_, e) = h.iter().next().expect("entry");
+        assert_eq!(e.occurrences, 3);
+        assert_eq!(e.shapes.len(), 2);
+        assert!(e.shapes.contains(&e.report.shape()));
+        // Shape union is partition-invariant too.
+        let mut a = DedupHistory::new();
+        a.record(0, &report("x", RaceKind::WriteAfterWrite, 1));
+        a.record(2, &report("x", RaceKind::WriteAfterWrite, 1));
+        let mut b = DedupHistory::new();
+        b.record(1, &report("x", RaceKind::WriteAfterWrite, 2));
+        a.merge(&b);
+        assert_eq!(a, h);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coverage;
 pub mod dedup;
 pub mod detect;
 pub mod ledger;
 pub mod report;
 pub mod shadow;
 
-pub use dedup::{DedupEntry, DedupHistory, RaceKey};
+pub use coverage::{BehaviorStats, CoverageMap};
+pub use dedup::{AccessShape, DedupEntry, DedupHistory, RaceKey};
 pub use detect::RaceDetector;
 pub use ledger::{StrategyBucket, StrategyLedger};
 pub use report::{AccessKind, RaceKind, RaceReport};

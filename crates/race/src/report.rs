@@ -4,7 +4,7 @@ use c11tester_core::{ObjId, ThreadId};
 use std::fmt;
 
 /// How an access participated in the model.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccessKind {
     /// A plain, non-atomic access.
     NonAtomic,

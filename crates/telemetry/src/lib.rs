@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod coverage;
 pub mod metrics;
 pub mod phase;
 pub mod trace;
 
 pub use chrome::chrome_trace;
+pub use coverage::{coverage_enabled, set_coverage, ExecCoverage};
 pub use metrics::{CampaignMetrics, EpochMetric, ForkHealth, MetricsMeta, WorkerMetrics};
 pub use phase::{
     phase_start, profiling_enabled, set_profiling, Phase, PhaseProfile, PhaseTimer, PHASE_COUNT,
