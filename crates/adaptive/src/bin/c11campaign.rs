@@ -32,7 +32,9 @@ USAGE:
     c11campaign --list
 
 OPTIONS:
-    --target <NAME>         workload to campaign on (see --list)
+    --target <NAME>         workload to campaign on (see --list). The open-ended
+                            gen:<PSEED> namespace (decimal or 0x-hex) names
+                            seed-generated programs beyond the showcase list
     --executions <N>        execution budget [default: 1000]
     --workers <N>           worker threads [default: all CPUs]
     --seed <N>              base seed (decimal or 0x-hex) [default: 0xC11]
@@ -452,10 +454,14 @@ fn main() -> ExitCode {
     let Some(name) = args.target.as_deref() else {
         return usage_error("--target (or --list) is required", USAGE);
     };
-    let Some(target) = targets::find(name) else {
-        eprintln!("error: unknown target `{name}`; available targets:\n");
-        list_targets();
-        return ExitCode::from(2);
+    let target = match targets::resolve(name) {
+        targets::Lookup::Found(t) => t,
+        targets::Lookup::MalformedGen(msg) => return usage_error(&msg, USAGE),
+        targets::Lookup::Unknown => {
+            eprintln!("error: unknown target `{name}`; available targets:\n");
+            list_targets();
+            return ExitCode::from(2);
+        }
     };
 
     // Phase profiling is opt-in: off, each timer site costs one relaxed

@@ -1,0 +1,150 @@
+//! `c11fuzz` — differential fuzzing of the model engine against the
+//! independent C11-axiom oracle.
+//!
+//! Each program seed (`pseed`) deterministically names a generated
+//! atomic-op program (the same namespace as the `gen:<pseed>` campaign
+//! targets). For every pseed in the range, the fuzzer sweeps the
+//! program through the model, re-validates each committed trace with
+//! the oracle, and — for the small-scope variant — checks every
+//! observed outcome against the exhaustively enumerated axiom-allowed
+//! set. Mismatches are shrunk and reported as `c11fuzz/v1` JSON.
+//!
+//! ```text
+//! c11fuzz --count 64
+//! c11fuzz --pseed 3 --executions 128 --print
+//! c11fuzz --start 1000 --count 256 --seed 0xC11 --report mismatches.json
+//! ```
+//!
+//! Exit code 0 when every pseed agreed, 1 when any mismatch was found,
+//! 2 on usage errors.
+
+use c11tester_campaign::cli::{parse_u64, usage_error};
+use c11tester_genprog::{fuzz_pseed, FuzzParams, MismatchReport, Program};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+c11fuzz — generated-program fuzzing with an independent C11-axiom oracle
+
+USAGE:
+    c11fuzz [OPTIONS]
+
+OPTIONS:
+    --pseed <N>        fuzz exactly one program seed (decimal or 0x-hex);
+                       shorthand for --start <N> --count 1
+    --start <N>        first program seed of the range [default: 0]
+    --count <N>        how many consecutive program seeds to fuzz
+                       [default: 64]
+    --executions <N>   model executions per program sweep [default: 32]
+    --seed <N>         model seed for the sweeps [default: 0xC11]
+    --no-tiny          skip the small-scope enumerator cross-check and
+                       only run the oracle over the full-grammar programs
+    --print            print each generated program before fuzzing it
+    --report <FILE>    write all mismatch reports to FILE as a JSON array
+                       (written even when empty, so CI can always upload)
+    --help             show this help
+";
+
+struct Args {
+    start: u64,
+    count: u64,
+    params: FuzzParams,
+    print: bool,
+    report: Option<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut start = 0u64;
+    let mut count = 64u64;
+    let mut pseed: Option<u64> = None;
+    let mut params = FuzzParams::default();
+    let mut print = false;
+    let mut report = None;
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--pseed" => pseed = Some(parse_u64(&value("--pseed")?)?),
+            "--start" => start = parse_u64(&value("--start")?)?,
+            "--count" => count = parse_u64(&value("--count")?)?,
+            "--executions" => params.executions = parse_u64(&value("--executions")?)?,
+            "--seed" => params.seed = parse_u64(&value("--seed")?)?,
+            "--no-tiny" => params.check_tiny = false,
+            "--print" => print = true,
+            "--report" => report = Some(value("--report")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if let Some(p) = pseed {
+        start = p;
+        count = 1;
+    }
+    if count == 0 {
+        return Err("--count must be at least 1".to_string());
+    }
+    if params.executions == 0 {
+        return Err("--executions must be at least 1".to_string());
+    }
+    Ok(Args {
+        start,
+        count,
+        params,
+        print,
+        report,
+    })
+}
+
+fn write_report(path: &str, reports: &[MismatchReport]) -> std::io::Result<()> {
+    let body: Vec<String> = reports.iter().map(MismatchReport::to_json).collect();
+    std::fs::write(path, format!("[{}]\n", body.join(",\n")))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            return usage_error(&msg, USAGE);
+        }
+    };
+    let mut all: Vec<MismatchReport> = Vec::new();
+    let mut swept = 0u64;
+    for pseed in args.start..args.start.saturating_add(args.count) {
+        if args.print {
+            for line in Program::generate(pseed).render() {
+                println!("{line}");
+            }
+        }
+        let reports = fuzz_pseed(pseed, args.params);
+        swept += 1;
+        for r in &reports {
+            eprintln!("MISMATCH {}", r.to_json());
+        }
+        all.extend(reports);
+    }
+    if let Some(path) = &args.report {
+        if let Err(e) = write_report(path, &all) {
+            eprintln!("error: cannot write report to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if all.is_empty() {
+        println!(
+            "c11fuzz: {swept} program seed(s) x {} execution(s): no mismatches",
+            args.params.executions
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "c11fuzz: {swept} program seed(s) x {} execution(s): {} mismatch(es)",
+            args.params.executions,
+            all.len()
+        );
+        ExitCode::FAILURE
+    }
+}

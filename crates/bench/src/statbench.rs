@@ -25,8 +25,9 @@ use std::time::Instant;
 
 /// Targets measured when `c11bench` is given no `--targets` list: a
 /// litmus-style pair (dekker, barrier), the lock-free data structures,
-/// the lock implementations, the §8.1 seeded-bug workloads, and one
-/// application simulation.
+/// the lock implementations, the §8.1 seeded-bug workloads, one
+/// application simulation, and one generated program (the interpreter
+/// hot path the fuzzer sweeps).
 pub const DEFAULT_BENCH_TARGETS: &[&str] = &[
     "dekker-fences",
     "barrier",
@@ -38,6 +39,7 @@ pub const DEFAULT_BENCH_TARGETS: &[&str] = &[
     "seqlock-buggy",
     "rwlock-buggy",
     "silo",
+    "gen:5",
 ];
 
 /// Harness parameters (all fixed and recorded in the output so a run

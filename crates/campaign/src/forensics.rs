@@ -30,51 +30,18 @@
 
 use crate::wire::{access_kind_name, esc, race_kind_name};
 use c11tester::{DedupEntry, DedupHistory, ExecutionReport, RaceKey};
-use c11tester_telemetry::{TraceEvent, TraceKey, TraceKind, TraceSink};
+use c11tester_telemetry::{TraceEvent, TraceKind};
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
 
 /// Committed events kept on each side of the racing object's accesses
 /// in the bundled window.
 const WINDOW: usize = 16;
 
-/// One captured execution: its trace key and committed events.
-type Capture = (TraceKey, Vec<TraceEvent>);
-
-/// A cloneable [`TraceSink`] whose buffer is shared between the clone
-/// handed to the model ([`c11tester::Model::set_trace_sink`] takes the
-/// sink by `Box`) and the clone the caller keeps to read the capture
-/// back out afterwards.
-#[derive(Clone, Debug, Default)]
-pub struct CaptureSink {
-    records: Arc<Mutex<Vec<Capture>>>,
-}
-
-impl CaptureSink {
-    /// Creates an empty shared sink.
-    pub fn new() -> Self {
-        CaptureSink::default()
-    }
-
-    /// Drains everything recorded so far.
-    pub fn take(&self) -> Vec<Capture> {
-        let mut guard = self
-            .records
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        std::mem::take(&mut *guard)
-    }
-}
-
-impl TraceSink for CaptureSink {
-    fn record(&mut self, key: TraceKey, events: &[TraceEvent]) {
-        self.records
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push((key, events.to_vec()));
-    }
-}
+// The shared-buffer capture sink moved down into the telemetry crate
+// (the fuzz oracle in `c11tester-genprog` needs it below this crate);
+// re-exported here so forensics callers keep their import path.
+pub use c11tester_telemetry::CaptureSink;
 
 /// One re-run of a race's witness execution, produced by the replay
 /// closure handed to [`write_bundles`].
@@ -324,6 +291,7 @@ mod tests {
     use super::*;
     use c11tester::{AccessKind, RaceKind, RaceReport, ThreadId};
     use c11tester_core::ObjId;
+    use c11tester_telemetry::{TraceKey, TraceSink};
 
     fn event(kind: TraceKind, thread: u64, seq: u64, obj: u64, rf: Option<u64>) -> TraceEvent {
         TraceEvent {

@@ -3,14 +3,21 @@
 //!
 //! Covers the Table-2 data-structure suite, the §8.1 injected-bug
 //! benchmarks (buggy *and* fixed variants), the Table-1 application
-//! simulations, and the crash-prone isolation targets (group `crash`
-//! — run those under `--isolate` only; see `c11tester-isolation`).
+//! simulations, the crash-prone isolation targets (group `crash`
+//! — run those under `--isolate` only; see `c11tester-isolation`),
+//! and the **generated programs** of `c11tester-genprog` (group
+//! `gen`): any `gen:<pseed>` name resolves to the seeded program that
+//! pseed generates, so the whole campaign stack — sharding,
+//! `--isolate`, coverage maps, adaptive policies — runs over fuzzed
+//! programs unchanged.
 //!
 //! Named targets are also the unit of **process isolation**: a fork
 //! server child cannot be handed a closure, so `c11campaign --worker`
 //! re-resolves the target by name in the child via [`find`].
 
 use c11tester_workloads::{ds, AppBench, DsBench};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 
 /// How a target's body is invoked.
 #[derive(Copy, Clone, Debug)]
@@ -18,6 +25,8 @@ enum Body {
     Ds(DsBench),
     App(AppBench),
     Free(fn()),
+    /// A generated program, regenerated from its pseed per execution.
+    Gen(u64),
 }
 
 /// A named workload a campaign can run.
@@ -40,7 +49,51 @@ impl Target {
             Body::Ds(b) => b.run(),
             Body::App(a) => a.run_default(),
             Body::Free(f) => f(),
+            Body::Gen(pseed) => c11tester_genprog::run_generated(pseed),
         }
+    }
+}
+
+/// Shared description of every `gen:<pseed>` target.
+const GEN_DESCRIPTION: &str =
+    "seeded generated program over the atomic-op grammar (pure function of the pseed)";
+
+/// Showcase pseeds listed by `--list-targets` / `all()`; any other
+/// `gen:<pseed>` still resolves via [`resolve`].
+const GEN_SHOWCASE: &[(&str, u64)] = &[
+    ("gen:1", 1),
+    ("gen:2", 2),
+    ("gen:3", 3),
+    ("gen:4", 4),
+    ("gen:5", 5),
+    ("gen:6", 6),
+    ("gen:7", 7),
+    ("gen:8", 8),
+];
+
+/// Interns the canonical name of a dynamic `gen` target. `Target`
+/// stays `Copy` with a `&'static str` name (every existing use site —
+/// fork-server children, move closures, bench tables — depends on
+/// that), so non-showcase names are leaked once per distinct pseed
+/// and cached.
+fn gen_name(pseed: u64) -> &'static str {
+    if let Some((name, _)) = GEN_SHOWCASE.iter().find(|(_, p)| *p == pseed) {
+        return name;
+    }
+    static CACHE: OnceLock<Mutex<BTreeMap<u64, &'static str>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().expect("gen-name cache poisoned");
+    map.entry(pseed)
+        .or_insert_with(|| Box::leak(format!("gen:{pseed}").into_boxed_str()))
+}
+
+/// Builds the target for a program seed.
+fn gen_target(pseed: u64) -> Target {
+    Target {
+        name: gen_name(pseed),
+        group: "gen",
+        description: GEN_DESCRIPTION,
+        body: Body::Gen(pseed),
     }
 }
 
@@ -107,14 +160,53 @@ pub fn all() -> Vec<Target> {
             body: Body::App(a),
         });
     }
+    for &(_, pseed) in GEN_SHOWCASE {
+        targets.push(gen_target(pseed));
+    }
     targets
 }
 
-/// Looks a target up by its CLI name (case-insensitive).
-pub fn find(name: &str) -> Option<Target> {
-    all()
+/// The result of resolving a target name.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// The name resolved to a runnable target.
+    Found(Target),
+    /// The name used the `gen:<pseed>` form but the pseed did not
+    /// parse; the payload is the error to report (a usage error —
+    /// exit 2 — not an unknown-target error).
+    MalformedGen(String),
+    /// No such target.
+    Unknown,
+}
+
+/// Resolves a target name (case-insensitive): first the built-in
+/// table, then the open-ended `gen:<pseed>` namespace (pseed decimal
+/// or `0x` hex, canonicalized to `gen:<decimal>`).
+pub fn resolve(name: &str) -> Lookup {
+    if let Some(t) = all()
         .into_iter()
         .find(|t| t.name.eq_ignore_ascii_case(name))
+    {
+        return Lookup::Found(t);
+    }
+    let lower = name.to_ascii_lowercase();
+    if let Some(spec) = lower.strip_prefix("gen:") {
+        return match crate::cli::parse_u64(spec) {
+            Ok(pseed) => Lookup::Found(gen_target(pseed)),
+            Err(e) => Lookup::MalformedGen(format!("malformed gen target `{name}`: {e}")),
+        };
+    }
+    Lookup::Unknown
+}
+
+/// Looks a target up by its CLI name (case-insensitive); malformed
+/// `gen:` specs resolve to `None` here — CLI front ends should prefer
+/// [`resolve`] to report them as usage errors instead.
+pub fn find(name: &str) -> Option<Target> {
+    match resolve(name) {
+        Lookup::Found(t) => Some(t),
+        Lookup::MalformedGen(_) | Lookup::Unknown => None,
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +235,59 @@ mod tests {
         assert_eq!(group_count("section8.1"), 4);
         assert_eq!(group_count("crash"), 2);
         assert_eq!(group_count("table1"), 5);
+        assert_eq!(group_count("gen"), 8);
+    }
+
+    #[test]
+    fn gen_names_resolve_beyond_the_showcase_table() {
+        // Round-trips: hex and decimal specs canonicalize to the same
+        // decimal name, pointing at the same generated program.
+        let t = find("gen:0x8").expect("hex spec resolves");
+        assert_eq!(t.name, "gen:8");
+        assert_eq!(t.group, "gen");
+        assert_eq!(find("gen:8").unwrap().name, "gen:8");
+        assert_eq!(find("GEN:8").unwrap().name, "gen:8", "case-insensitive");
+        // A pseed outside the showcase interns a canonical name; the
+        // same pseed yields the same &'static str.
+        let a = find("gen:123456").unwrap();
+        let b = find("gen:0x1E240").unwrap();
+        assert_eq!(a.name, "gen:123456");
+        assert!(std::ptr::eq(a.name, b.name), "names are interned once");
+    }
+
+    #[test]
+    fn malformed_gen_specs_are_usage_errors_not_unknown() {
+        for bad in ["gen:", "gen:x", "gen:12z", "gen:0x"] {
+            match resolve(bad) {
+                Lookup::MalformedGen(msg) => {
+                    assert!(msg.contains("malformed gen target"), "{msg}");
+                    assert!(msg.contains(bad), "{msg}");
+                }
+                other => panic!("expected MalformedGen for {bad:?}, got {other:?}"),
+            }
+            assert!(find(bad).is_none());
+        }
+        assert!(matches!(resolve("no-such-target"), Lookup::Unknown));
+        assert!(matches!(resolve("silo"), Lookup::Found(_)));
+    }
+
+    #[test]
+    fn gen_targets_run_deterministically_inside_a_campaign() {
+        use crate::{Campaign, CampaignBudget};
+        let target = find("gen:3").expect("target exists");
+        let run = |workers| {
+            Campaign::new(c11tester::Config::new().with_seed(5))
+                .with_workers(workers)
+                .run(&CampaignBudget::executions(8), move || target.run())
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.aggregate.executions, 8);
+        assert_eq!(
+            one.canonical_json(),
+            four.canonical_json(),
+            "gen campaigns are worker-count invariant"
+        );
     }
 
     #[test]

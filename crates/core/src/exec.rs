@@ -693,7 +693,12 @@ impl Execution {
     // ------------------------------------------------------------------
 
     /// Step 2 of a load: is reading from `cand` feasible, i.e. does the
-    /// implied set of mo edges keep the mo-graph acyclic (§4.3)?
+    /// implied set of mo edges keep the mo-graph acyclic (§4.3)? Also
+    /// re-applies the seq_cst read filter (Fig. 12 lines 9–11) so the
+    /// check is complete for candidates that were *not* produced by
+    /// [`Execution::read_candidates_into`] with the same order — the
+    /// failed-compare-exchange path, where the candidate was chosen
+    /// under the success ordering.
     pub fn check_read_feasible(
         &mut self,
         t: ThreadId,
@@ -701,6 +706,10 @@ impl Execution {
         order: MemOrder,
         cand: StoreIdx,
     ) -> bool {
+        if !self.sc_read_allowed(obj, order, cand) {
+            self.stats.candidates_rejected += 1;
+            return false;
+        }
         let mut pset = std::mem::take(&mut self.pset_buf);
         let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
         pset.clear();
@@ -721,6 +730,10 @@ impl Execution {
         order: MemOrder,
         cand: StoreIdx,
     ) -> bool {
+        if !self.sc_read_allowed(obj, order, cand) {
+            self.stats.candidates_rejected += 1;
+            return false;
+        }
         let mut pset = std::mem::take(&mut self.pset_buf);
         let ok = self.read_prior_set_into(t, obj, order, cand, &mut pset);
         pset.clear();
@@ -928,6 +941,19 @@ impl Execution {
             return;
         }
         let seq = self.next_event(t);
+        if Self::trace_enabled() {
+            self.trace_buf.push(TraceEvent {
+                kind: TraceKind::Fence,
+                thread: t.index() as u64,
+                seq: seq.0,
+                obj: c11tester_telemetry::FENCE_OBJ,
+                order: Self::order_name(order),
+                access: "fence",
+                value: 0,
+                rf: None,
+                old: None,
+            });
+        }
         if order.is_acquire() {
             let acq = self.threads[t.index()].fence_acq.clone();
             self.threads[t.index()].cv.union_with(&acq);

@@ -82,6 +82,6 @@ pub use stats::{AllocStats, ExecStats};
 // events and coverage signatures without naming the telemetry crate
 // directly.
 pub use c11tester_telemetry::{
-    coverage_enabled, set_coverage, ExecCoverage, Phase, PhaseProfile, TraceEvent, TraceKey,
-    TraceKind, TraceSink,
+    coverage_enabled, set_coverage, CaptureSink, ExecCoverage, Phase, PhaseProfile, TraceEvent,
+    TraceKey, TraceKind, TraceSink, FENCE_OBJ,
 };

@@ -52,11 +52,6 @@ impl Execution {
         let Some(loc) = self.loc(obj) else {
             return;
         };
-        let sc_anchor = if order.is_seq_cst() {
-            loc.last_sc_store
-        } else {
-            None
-        };
         let ct = &self.threads[t.index()].cv;
         for (uix, h) in loc.threads() {
             let bound = ct.get(ThreadId::from_index(uix));
@@ -71,26 +66,44 @@ impl Execution {
             }
             ret.extend_from_slice(&h.stores[pos..]);
         }
-        if let Some(anchor) = sc_anchor {
-            let aref = &self.stores[anchor.index()];
-            let (a_seq, a_hb) = (aref.seq, &aref.hb_cv);
-            ret.retain(|&x| {
-                if x == anchor {
-                    return true;
-                }
-                let xr = &self.stores[x.index()];
-                // X sc→ anchor: both seq_cst, X earlier in the SC order
-                // (= execution order under sequentialized visible ops).
-                let sc_before = xr.is_seq_cst() && xr.seq < a_seq;
-                // X hb→ anchor, answered with the anchor's recorded
-                // happens-before clock.
-                let hb_before = xr.seq.0 <= a_hb.get(xr.tid);
-                !(sc_before || hb_before)
-            });
+        if order.is_seq_cst() {
+            ret.retain(|&x| self.sc_read_allowed(obj, order, x));
         }
         if for_rmw {
             ret.retain(|&x| self.stores[x.index()].rmw_read_by.is_none());
         }
+    }
+
+    /// Fig. 12 lines 9–11 as a single-candidate predicate: may a load
+    /// with `order` read from `cand` given the current last seq_cst
+    /// store at `obj` (C++11 §29.3p3)? Non-seq_cst orders are
+    /// unconstrained.
+    ///
+    /// This is both the filter [`Execution::read_candidates_into`]
+    /// applies to the whole candidate set and part of
+    /// [`Execution::check_read_feasible`] — the latter matters for
+    /// failed compare-exchanges, whose candidate was selected under
+    /// the *success* ordering and must be re-vetted under the failure
+    /// ordering.
+    pub(crate) fn sc_read_allowed(&self, obj: ObjId, order: MemOrder, cand: StoreIdx) -> bool {
+        if !order.is_seq_cst() {
+            return true;
+        }
+        let Some(anchor) = self.loc(obj).and_then(|l| l.last_sc_store) else {
+            return true;
+        };
+        if cand == anchor {
+            return true;
+        }
+        let aref = &self.stores[anchor.index()];
+        let xr = &self.stores[cand.index()];
+        // X sc→ anchor: both seq_cst, X earlier in the SC order
+        // (= execution order under sequentialized visible ops).
+        let sc_before = xr.is_seq_cst() && xr.seq < aref.seq;
+        // X hb→ anchor, answered with the anchor's recorded
+        // happens-before clock.
+        let hb_before = xr.seq.0 <= aref.hb_cv.get(xr.tid);
+        !(sc_before || hb_before)
     }
 }
 

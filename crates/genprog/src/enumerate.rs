@@ -1,0 +1,378 @@
+//! Small-scope exhaustive outcome enumeration.
+//!
+//! [`enumerate_outcomes`] computes the **full set of axiom-allowed
+//! outcomes** of a small program by brute force: depth-first search
+//! over every thread interleaving × every reads-from choice among the
+//! already-committed stores, synthesizing a trace for each leaf and
+//! keeping the outcomes of exactly those traces the
+//! [`crate::oracle`] accepts.
+//!
+//! Restricting reads to *already-committed* stores matches the
+//! engine's no-future-reads fragment (paper §3: C11 without
+//! load-buffering cycles), so the soundness check the fuzzer runs is
+//! `observed ⊆ allowed` — every outcome the model exhibits must be in
+//! the enumerated set. The converse need not hold: a finite schedule
+//! sweep has no completeness obligation.
+
+use crate::oracle;
+use crate::program::{order_name, Op, Program};
+use c11tester::{TraceEvent, TraceKind};
+use std::collections::BTreeSet;
+
+/// An outcome: per worker thread, the values its reads observed in
+/// program order (same shape as [`oracle::outcome`]).
+pub type Outcome = Vec<Vec<u64>>;
+
+/// Caps keeping the search tractable; [`Program::is_small_scope`] is
+/// stricter (≤ 3 threads, ≤ 6 ops) — the looser limits here admit the
+/// hand-written 4-thread litmus programs (IRIW).
+const MAX_THREADS: usize = 4;
+const MAX_OPS: usize = 10;
+
+/// A committed store during enumeration.
+#[derive(Clone)]
+struct StoreRec {
+    seq: u64,
+    value: u64,
+    /// Consumed by an RMW (atomicity: at most one).
+    consumed: bool,
+}
+
+struct Search<'a> {
+    prog: &'a Program,
+    /// Per-location committed stores, index = location.
+    stores: Vec<Vec<StoreRec>>,
+    events: Vec<TraceEvent>,
+    pcs: Vec<usize>,
+    next_seq: u64,
+    outcomes: BTreeSet<Outcome>,
+}
+
+/// Enumerates the axiom-allowed outcome set of `p`.
+///
+/// # Panics
+///
+/// Panics if `p` exceeds the enumeration caps (> 4 threads, > 10 ops)
+/// or contains mutex regions — callers gate on
+/// [`Program::is_small_scope`] or construct litmus-sized programs.
+pub fn enumerate_outcomes(p: &Program) -> BTreeSet<Outcome> {
+    assert!(p.threads.len() <= MAX_THREADS, "too many threads");
+    assert!(p.total_ops() <= MAX_OPS, "too many ops");
+    assert!(
+        p.threads
+            .iter()
+            .all(|t| t.iter().all(|op| !matches!(op, Op::Region { .. }))),
+        "regions are not enumerable"
+    );
+    let mut s = Search {
+        prog: p,
+        stores: vec![Vec::new(); p.locs],
+        events: Vec::new(),
+        pcs: vec![0; p.threads.len()],
+        next_seq: 1,
+        outcomes: BTreeSet::new(),
+    };
+    // Init prefix: one non-atomic thread-0 store of 0 per location,
+    // mirroring the interpreter's `RawAtomic::new` calls.
+    for loc in 0..p.locs {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.stores[loc].push(StoreRec {
+            seq,
+            value: 0,
+            consumed: false,
+        });
+        s.events.push(TraceEvent {
+            kind: TraceKind::Store,
+            thread: 0,
+            seq,
+            obj: loc as u64,
+            order: "Relaxed",
+            access: "non-atomic",
+            value: 0,
+            rf: None,
+            old: None,
+        });
+    }
+    dfs(&mut s);
+    s.outcomes
+}
+
+fn dfs(s: &mut Search<'_>) {
+    let mut done = true;
+    for t in 0..s.prog.threads.len() {
+        if s.pcs[t] >= s.prog.threads[t].len() {
+            continue;
+        }
+        done = false;
+        let op = s.prog.threads[t][s.pcs[t]].clone();
+        s.pcs[t] += 1;
+        step(s, t, &op);
+        s.pcs[t] -= 1;
+    }
+    if done {
+        let trace = &s.events;
+        if oracle::check_trace(trace).is_empty() {
+            s.outcomes.insert(oracle::outcome(trace));
+        }
+    }
+}
+
+/// Executes one op of thread `t` (trace thread `t + 1`), branching
+/// over reads-from choices, then recurses.
+fn step(s: &mut Search<'_>, t: usize, op: &Op) {
+    let thread = (t + 1) as u64;
+    match op {
+        Op::Store { loc, ord, value } => {
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.stores[*loc].push(StoreRec {
+                seq,
+                value: *value,
+                consumed: false,
+            });
+            s.events.push(TraceEvent {
+                kind: TraceKind::Store,
+                thread,
+                seq,
+                obj: *loc as u64,
+                order: order_name(*ord),
+                access: "atomic",
+                value: *value,
+                rf: None,
+                old: None,
+            });
+            dfs(s);
+            s.events.pop();
+            s.stores[*loc].pop();
+            s.next_seq -= 1;
+        }
+        Op::Load { loc, ord } => {
+            for i in 0..s.stores[*loc].len() {
+                let (src_seq, src_value) = (s.stores[*loc][i].seq, s.stores[*loc][i].value);
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                s.events.push(TraceEvent {
+                    kind: TraceKind::Load,
+                    thread,
+                    seq,
+                    obj: *loc as u64,
+                    order: order_name(*ord),
+                    access: "atomic",
+                    value: src_value,
+                    rf: Some(src_seq),
+                    old: None,
+                });
+                dfs(s);
+                s.events.pop();
+                s.next_seq -= 1;
+            }
+        }
+        Op::Rmw { loc, ord, addend } => {
+            for i in 0..s.stores[*loc].len() {
+                if s.stores[*loc][i].consumed {
+                    continue;
+                }
+                let (src_seq, old) = (s.stores[*loc][i].seq, s.stores[*loc][i].value);
+                let new = old.wrapping_add(*addend);
+                s.stores[*loc][i].consumed = true;
+                commit_rmw_branch(s, thread, *loc, order_name(*ord), src_seq, old, new);
+                s.stores[*loc][i].consumed = false;
+            }
+        }
+        Op::Cas {
+            loc,
+            success,
+            failure,
+            expected,
+            new,
+        } => {
+            for i in 0..s.stores[*loc].len() {
+                let (src_seq, old) = (s.stores[*loc][i].seq, s.stores[*loc][i].value);
+                if old == *expected {
+                    // Successful CAS: an RMW consuming the source.
+                    if s.stores[*loc][i].consumed {
+                        continue;
+                    }
+                    s.stores[*loc][i].consumed = true;
+                    commit_rmw_branch(s, thread, *loc, order_name(*success), src_seq, old, *new);
+                    s.stores[*loc][i].consumed = false;
+                } else {
+                    // Failed CAS commits as a plain load with the
+                    // failure ordering.
+                    let seq = s.next_seq;
+                    s.next_seq += 1;
+                    s.events.push(TraceEvent {
+                        kind: TraceKind::Load,
+                        thread,
+                        seq,
+                        obj: *loc as u64,
+                        order: order_name(*failure),
+                        access: "atomic",
+                        value: old,
+                        rf: Some(src_seq),
+                        old: None,
+                    });
+                    dfs(s);
+                    s.events.pop();
+                    s.next_seq -= 1;
+                }
+            }
+        }
+        Op::Fence { ord } => {
+            // Relaxed fences never reach the grammar; others commit
+            // one fence event.
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.events.push(TraceEvent {
+                kind: TraceKind::Fence,
+                thread,
+                seq,
+                obj: c11tester::FENCE_OBJ,
+                order: order_name(*ord),
+                access: "fence",
+                value: 0,
+                rf: None,
+                old: None,
+            });
+            dfs(s);
+            s.events.pop();
+            s.next_seq -= 1;
+        }
+        Op::Region { .. } => unreachable!("gated by the caps check"),
+    }
+}
+
+fn commit_rmw_branch(
+    s: &mut Search<'_>,
+    thread: u64,
+    loc: usize,
+    order: &'static str,
+    src_seq: u64,
+    old: u64,
+    new: u64,
+) {
+    let seq = s.next_seq;
+    s.next_seq += 1;
+    s.stores[loc].push(StoreRec {
+        seq,
+        value: new,
+        consumed: false,
+    });
+    s.events.push(TraceEvent {
+        kind: TraceKind::Rmw,
+        thread,
+        seq,
+        obj: loc as u64,
+        order,
+        access: "atomic",
+        value: new,
+        rf: Some(src_seq),
+        old: Some(old),
+    });
+    dfs(s);
+    s.events.pop();
+    s.stores[loc].pop();
+    s.next_seq -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11tester::MemOrder;
+
+    fn prog(locs: usize, threads: Vec<Vec<Op>>) -> Program {
+        Program {
+            pseed: 0,
+            locs,
+            mutexes: 0,
+            threads,
+        }
+    }
+
+    fn store(loc: usize, ord: MemOrder, value: u64) -> Op {
+        Op::Store { loc, ord, value }
+    }
+
+    fn load(loc: usize, ord: MemOrder) -> Op {
+        Op::Load { loc, ord }
+    }
+
+    #[test]
+    fn store_buffering_allows_both_zero_under_relaxed() {
+        // SB: T1: x=1; r1=y.  T2: y=1; r2=x.  (0,0) allowed.
+        let p = prog(
+            2,
+            vec![
+                vec![store(0, MemOrder::Relaxed, 1), load(1, MemOrder::Relaxed)],
+                vec![store(1, MemOrder::Relaxed, 1), load(0, MemOrder::Relaxed)],
+            ],
+        );
+        let outcomes = enumerate_outcomes(&p);
+        assert!(outcomes.contains(&vec![vec![0], vec![0]]));
+        assert!(outcomes.contains(&vec![vec![1], vec![1]]));
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn message_passing_release_acquire_forbids_stale_data() {
+        // MP: T1: x=1 rlx; f=1 rel.  T2: r1=f acq; r2=x rlx.
+        let p = prog(
+            2,
+            vec![
+                vec![
+                    store(0, MemOrder::Relaxed, 1),
+                    store(1, MemOrder::Release, 1),
+                ],
+                vec![load(1, MemOrder::Acquire), load(0, MemOrder::Relaxed)],
+            ],
+        );
+        let outcomes = enumerate_outcomes(&p);
+        // Saw the flag → must see the data.
+        assert!(!outcomes.contains(&vec![vec![], vec![1, 0]]));
+        assert!(outcomes.contains(&vec![vec![], vec![1, 1]]));
+        assert!(outcomes.contains(&vec![vec![], vec![0, 0]]));
+    }
+
+    #[test]
+    fn load_buffering_cycle_is_outside_the_fragment() {
+        // LB: T1: r1=x; y=1.  T2: r2=y; x=1.  (1,1) needs a future
+        // read — the no-future-reads fragment forbids it.
+        let p = prog(
+            2,
+            vec![
+                vec![load(0, MemOrder::Relaxed), store(1, MemOrder::Relaxed, 1)],
+                vec![load(1, MemOrder::Relaxed), store(0, MemOrder::Relaxed, 1)],
+            ],
+        );
+        let outcomes = enumerate_outcomes(&p);
+        assert!(!outcomes.contains(&vec![vec![1], vec![1]]));
+        assert!(outcomes.contains(&vec![vec![0], vec![0]]));
+    }
+
+    #[test]
+    fn rmw_chain_outcomes_are_exact() {
+        // Two fetch-adds on one cell: one of them reads 0, the other
+        // reads the first's result — never both 0.
+        let p = prog(
+            1,
+            vec![
+                vec![Op::Rmw {
+                    loc: 0,
+                    ord: MemOrder::Relaxed,
+                    addend: 1,
+                }],
+                vec![Op::Rmw {
+                    loc: 0,
+                    ord: MemOrder::Relaxed,
+                    addend: 2,
+                }],
+            ],
+        );
+        let outcomes = enumerate_outcomes(&p);
+        let expected: BTreeSet<Outcome> = [vec![vec![0], vec![1]], vec![vec![2], vec![0]]]
+            .into_iter()
+            .collect();
+        assert_eq!(outcomes, expected);
+    }
+}

@@ -1,0 +1,144 @@
+//! The per-pseed fuzz check: sweep, oracle, small-scope enumerator,
+//! shrink. The `c11fuzz` binary is a thin CLI over [`fuzz_pseed`].
+
+use crate::enumerate::enumerate_outcomes;
+use crate::oracle;
+use crate::program::Program;
+use crate::report::MismatchReport;
+use crate::run::sweep;
+use crate::shrink::shrink;
+use c11tester::Config;
+
+/// How many model executions each sweep runs.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzParams {
+    /// Model seed of the sweep.
+    pub seed: u64,
+    /// Executions per program.
+    pub executions: u64,
+    /// Also run the tiny-program enumerator soundness check.
+    pub check_tiny: bool,
+}
+
+impl Default for FuzzParams {
+    fn default() -> Self {
+        FuzzParams {
+            seed: 0xC11,
+            executions: 32,
+            check_tiny: true,
+        }
+    }
+}
+
+fn config(seed: u64) -> Config {
+    Config::new().with_seed(seed)
+}
+
+/// Fuzzes one program seed: sweeps the full-grammar program through
+/// the axiom oracle, and (when `check_tiny`) sweeps the small-scope
+/// program checking `observed ⊆ enumerated` as well. Every mismatch
+/// is shrunk and reported; an empty return means the model and the
+/// oracle agreed on every execution.
+pub fn fuzz_pseed(pseed: u64, params: FuzzParams) -> Vec<MismatchReport> {
+    let mut reports = Vec::new();
+    oracle_sweep(&Program::generate(pseed), params, &mut reports);
+    if params.check_tiny {
+        tiny_sweep(&Program::generate_tiny(pseed), params, &mut reports);
+    }
+    reports
+}
+
+/// Sweeps `p` and oracle-checks every committed trace.
+fn oracle_sweep(p: &Program, params: FuzzParams, reports: &mut Vec<MismatchReport>) {
+    for (key, events) in sweep(p, config(params.seed), params.executions) {
+        let violations = oracle::check_trace(&events);
+        if violations.is_empty() {
+            continue;
+        }
+        let shrunk = shrink(p, |cand| {
+            sweep(cand, config(params.seed), params.executions)
+                .iter()
+                .any(|(_, ev)| !oracle::check_trace(ev).is_empty())
+        });
+        reports.push(MismatchReport {
+            pseed: p.pseed,
+            seed: key.seed,
+            epoch: key.epoch,
+            index: key.index,
+            scope: "oracle",
+            violations,
+            outcome: None,
+            program: p.render(),
+            shrunk: shrunk.render(),
+        });
+    }
+}
+
+/// Sweeps the tiny program and checks every observed outcome against
+/// the enumerated axiom-allowed set (plus the oracle, which is
+/// implied by membership but reported separately when it fires).
+fn tiny_sweep(p: &Program, params: FuzzParams, reports: &mut Vec<MismatchReport>) {
+    debug_assert!(p.is_small_scope());
+    let allowed = enumerate_outcomes(p);
+    for (key, events) in sweep(p, config(params.seed), params.executions) {
+        let violations = oracle::check_trace(&events);
+        let outcome = oracle::outcome(&events);
+        if violations.is_empty() && allowed.contains(&outcome) {
+            continue;
+        }
+        let shrunk = shrink(p, |cand| {
+            if !cand.is_small_scope() {
+                return false;
+            }
+            let allowed = enumerate_outcomes(cand);
+            sweep(cand, config(params.seed), params.executions)
+                .iter()
+                .any(|(_, ev)| {
+                    !oracle::check_trace(ev).is_empty() || !allowed.contains(&oracle::outcome(ev))
+                })
+        });
+        reports.push(MismatchReport {
+            pseed: p.pseed,
+            seed: key.seed,
+            epoch: key.epoch,
+            index: key.index,
+            scope: if violations.is_empty() {
+                "enumerator"
+            } else {
+                "oracle"
+            },
+            violations,
+            outcome: Some(outcome),
+            program: p.render(),
+            shrunk: shrunk.render(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_sweep_finds_no_mismatches() {
+        // The real acceptance sweep (64 pseeds) runs in CI via
+        // `c11fuzz`; keep the in-tree test small.
+        let params = FuzzParams {
+            seed: 0xC11,
+            executions: 8,
+            check_tiny: true,
+        };
+        for pseed in 0..6 {
+            let reports = fuzz_pseed(pseed, params);
+            assert!(
+                reports.is_empty(),
+                "pseed {pseed}: {}",
+                reports
+                    .iter()
+                    .map(|r| r.to_json())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}

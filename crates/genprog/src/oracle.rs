@@ -1,0 +1,821 @@
+//! The independent C11-axiom trace oracle.
+//!
+//! [`check_trace`] re-validates one committed execution trace against
+//! the C11 axioms **without sharing any code with the engine**: no
+//! `ClockVector`, no mo-graph — plain `Vec<u64>` clocks and an
+//! explicit per-location coherence constraint graph, rebuilt from the
+//! trace alone. A disagreement between the two is a mismatch worth a
+//! `c11fuzz/v1` report: either the engine committed an execution the
+//! axioms forbid, or the oracle's reading of the axioms drifted.
+//!
+//! The oracle relies on the interpreter's *init-prefix contract*
+//! (see [`crate::run`]): all thread-0 events are non-atomic
+//! initialization stores that happen-before every worker event (the
+//! fork edge), and thread 0 commits nothing after the first worker
+//! event. That contract is itself checked structurally, so a trace
+//! from a different harness fails loudly instead of silently passing.
+//!
+//! Checks, in order (later phases assume earlier ones passed):
+//!
+//! 1. **structural** — strictly increasing sequence numbers, the
+//!    init-prefix shape, field well-formedness per event kind;
+//! 2. **rf** — every read's reads-from edge points at an earlier
+//!    store to the same location whose written value matches the
+//!    value read, and no store is consumed by two RMWs;
+//! 3. **coherence** — the per-location constraint graph (CoWW, CoWR,
+//!    CoRW, CoRR, RMW atomicity/immediacy, SC store order) is
+//!    acyclic;
+//! 4. **sc** — seq_cst reads obey C++11 §29.3p3 against the total SC
+//!    order (witnessed by commit order): an SC read may take its
+//!    value from the last SC write `W` preceding it in SC order, or
+//!    from a non-SC write that does not happen-before `W`. The three
+//!    SC *fence* rules (§29.3p4–6) constrain modification order
+//!    instead, so those are flagged only when the coherence graph
+//!    *entails* the forbidden mo — never on an undetermined mo.
+
+use c11tester::{TraceEvent, TraceKind, FENCE_OBJ};
+use std::collections::BTreeMap;
+
+/// One axiom violation found in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule family that failed: `structural`, `rf`, `coherence`
+    /// or `sc`.
+    pub rule: &'static str,
+    /// Human-readable description with the offending sequence numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+fn is_acquire(order: &str) -> bool {
+    matches!(order, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+fn is_release(order: &str) -> bool {
+    matches!(order, "Release" | "AcqRel" | "SeqCst")
+}
+
+/// Naive clock helpers over plain `Vec<u64>` (deliberately not the
+/// engine's `ClockVector`).
+fn cv_union(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn cv_set(dst: &mut Vec<u64>, slot: usize, value: u64) {
+    if dst.len() <= slot {
+        dst.resize(slot + 1, 0);
+    }
+    dst[slot] = value;
+}
+
+/// Per-event derived state after the clock replay.
+struct EvState {
+    /// The thread's clock right after this event committed (includes
+    /// the event's own slot and any acquire union it performed).
+    clock: Vec<u64>,
+    /// For writes: the clock an acquiring reader obtains (`RF_s`).
+    rf_cv: Vec<u64>,
+}
+
+/// The oracle's view of one trace, built by [`check_trace`].
+struct Analysis<'a> {
+    events: &'a [TraceEvent],
+    /// seq → event index.
+    by_seq: BTreeMap<u64, usize>,
+    state: Vec<EvState>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Happens-before between trace events (strict).
+    fn hb(&self, a: usize, b: usize) -> bool {
+        let (ea, eb) = (&self.events[a], &self.events[b]);
+        if ea.seq >= eb.seq {
+            return false;
+        }
+        if ea.thread == 0 {
+            // Init-prefix contract: thread 0 forked every worker after
+            // all of its events, so the fork edge orders them.
+            return true;
+        }
+        if eb.thread == 0 {
+            return false;
+        }
+        self.state[b]
+            .clock
+            .get(ea.thread as usize)
+            .is_some_and(|&c| c >= ea.seq)
+    }
+
+    fn is_write(&self, i: usize) -> bool {
+        matches!(self.events[i].kind, TraceKind::Store | TraceKind::Rmw)
+    }
+}
+
+/// Re-validates a committed execution trace against the C11 axioms.
+/// Returns every violation found (empty = the trace is axiom-
+/// consistent).
+pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    structural(events, &mut out);
+    if !out.is_empty() {
+        return out;
+    }
+    let by_seq: BTreeMap<u64, usize> = events.iter().enumerate().map(|(i, e)| (e.seq, i)).collect();
+    rf_validity(events, &by_seq, &mut out);
+    if !out.is_empty() {
+        return out;
+    }
+    let analysis = Analysis {
+        events,
+        state: replay_clocks(events, &by_seq),
+        by_seq,
+    };
+    let graphs = coherence(&analysis, &mut out);
+    sc_checks(&analysis, &graphs, &mut out);
+    out
+}
+
+/// Phase 1: trace shape.
+fn structural(events: &[TraceEvent], out: &mut Vec<Violation>) {
+    let mut last_seq = 0;
+    let mut seen_worker = false;
+    for e in events {
+        if e.seq <= last_seq {
+            out.push(Violation {
+                rule: "structural",
+                detail: format!("seq {} not strictly increasing (prev {})", e.seq, last_seq),
+            });
+            return;
+        }
+        last_seq = e.seq;
+        if e.thread == 0 {
+            if seen_worker {
+                out.push(Violation {
+                    rule: "structural",
+                    detail: format!("thread-0 event at seq {} after a worker event", e.seq),
+                });
+            }
+            if e.kind != TraceKind::Store || e.access != "non-atomic" {
+                out.push(Violation {
+                    rule: "structural",
+                    detail: format!(
+                        "thread-0 event at seq {} is not a non-atomic init store",
+                        e.seq
+                    ),
+                });
+            }
+        } else {
+            seen_worker = true;
+            if e.access == "non-atomic" {
+                out.push(Violation {
+                    rule: "structural",
+                    detail: format!("worker non-atomic access at seq {}", e.seq),
+                });
+            }
+        }
+        let shape_ok = match e.kind {
+            TraceKind::Load => e.rf.is_some() && e.old.is_none(),
+            TraceKind::Store => e.rf.is_none() && e.old.is_none(),
+            TraceKind::Rmw => e.rf.is_some() && e.old.is_some(),
+            TraceKind::Fence => e.rf.is_none() && e.old.is_none() && e.obj == FENCE_OBJ,
+        };
+        if !shape_ok {
+            out.push(Violation {
+                rule: "structural",
+                detail: format!("malformed {} event at seq {}", e.kind.name(), e.seq),
+            });
+        }
+    }
+}
+
+/// Phase 2: reads-from edges.
+fn rf_validity(events: &[TraceEvent], by_seq: &BTreeMap<u64, usize>, out: &mut Vec<Violation>) {
+    let mut rmw_consumed: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        let Some(rf) = e.rf else { continue };
+        let src = by_seq.get(&rf).map(|&i| &events[i]);
+        let Some(src) = src else {
+            out.push(Violation {
+                rule: "rf",
+                detail: format!("seq {} reads from nonexistent seq {rf}", e.seq),
+            });
+            continue;
+        };
+        if !matches!(src.kind, TraceKind::Store | TraceKind::Rmw) {
+            out.push(Violation {
+                rule: "rf",
+                detail: format!("seq {} reads from non-store seq {rf}", e.seq),
+            });
+            continue;
+        }
+        if src.obj != e.obj {
+            out.push(Violation {
+                rule: "rf",
+                detail: format!(
+                    "seq {} (obj {}) reads from seq {rf} (obj {})",
+                    e.seq, e.obj, src.obj
+                ),
+            });
+        }
+        if rf >= e.seq {
+            out.push(Violation {
+                rule: "rf",
+                detail: format!("seq {} reads from the future (seq {rf})", e.seq),
+            });
+        }
+        let read = match e.kind {
+            TraceKind::Load => e.value,
+            TraceKind::Rmw => e.old.unwrap_or(0),
+            _ => continue,
+        };
+        if read != src.value {
+            out.push(Violation {
+                rule: "rf",
+                detail: format!(
+                    "seq {} read {read} but its rf source seq {rf} wrote {}",
+                    e.seq, src.value
+                ),
+            });
+        }
+        if e.kind == TraceKind::Rmw {
+            if let Some(prev) = rmw_consumed.insert(rf, e.seq) {
+                out.push(Violation {
+                    rule: "rf",
+                    detail: format!("RMWs at seqs {prev} and {} both read seq {rf}", e.seq),
+                });
+            }
+        }
+    }
+}
+
+/// Phase 3 input: mirrors the Fig. 9 clock rules event by event with
+/// naive vectors. The mirrored order of operations matters and is
+/// checked against the engine by the fuzz sweeps:
+///
+/// * store: own slot first, then `RF_s` = cv (release) or the
+///   thread's release-fence clock, plus the source's `RF_s` for RMWs
+///   (release-sequence continuation);
+/// * load: own slot, then acquire-union of the source's `RF_s` into
+///   cv (acquire) or the acquire-fence buffer (relaxed);
+/// * RMW: the load half's union happens **before** the store half's
+///   slot assignment;
+/// * fence: acquire side folds the acquire buffer into cv before the
+///   release side snapshots cv.
+fn replay_clocks(events: &[TraceEvent], by_seq: &BTreeMap<u64, usize>) -> Vec<EvState> {
+    struct Thread {
+        cv: Vec<u64>,
+        fence_acq: Vec<u64>,
+        fence_rel: Vec<u64>,
+    }
+    let nthreads = events.iter().map(|e| e.thread + 1).max().unwrap_or(1) as usize;
+    let mut threads: Vec<Thread> = (0..nthreads)
+        .map(|_| Thread {
+            cv: Vec::new(),
+            fence_acq: Vec::new(),
+            fence_rel: Vec::new(),
+        })
+        .collect();
+    let mut state: Vec<EvState> = Vec::with_capacity(events.len());
+    for e in events {
+        let t = e.thread as usize;
+        let mut rf_cv = Vec::new();
+        match e.kind {
+            TraceKind::Store => {
+                cv_set(&mut threads[t].cv, t, e.seq);
+                if e.access != "non-atomic" {
+                    rf_cv = if is_release(e.order) {
+                        threads[t].cv.clone()
+                    } else {
+                        threads[t].fence_rel.clone()
+                    };
+                }
+            }
+            TraceKind::Load => {
+                cv_set(&mut threads[t].cv, t, e.seq);
+                let src_rf = state[by_seq[&e.rf.unwrap()]].rf_cv.clone();
+                if is_acquire(e.order) {
+                    cv_union(&mut threads[t].cv, &src_rf);
+                } else {
+                    cv_union(&mut threads[t].fence_acq, &src_rf);
+                }
+            }
+            TraceKind::Rmw => {
+                let src_rf = state[by_seq[&e.rf.unwrap()]].rf_cv.clone();
+                if is_acquire(e.order) {
+                    cv_union(&mut threads[t].cv, &src_rf);
+                } else {
+                    cv_union(&mut threads[t].fence_acq, &src_rf);
+                }
+                cv_set(&mut threads[t].cv, t, e.seq);
+                rf_cv = if is_release(e.order) {
+                    threads[t].cv.clone()
+                } else {
+                    threads[t].fence_rel.clone()
+                };
+                cv_union(&mut rf_cv, &src_rf);
+            }
+            TraceKind::Fence => {
+                cv_set(&mut threads[t].cv, t, e.seq);
+                if is_acquire(e.order) {
+                    let acq = threads[t].fence_acq.clone();
+                    cv_union(&mut threads[t].cv, &acq);
+                }
+                if is_release(e.order) {
+                    threads[t].fence_rel = threads[t].cv.clone();
+                }
+            }
+        }
+        state.push(EvState {
+            clock: threads[t].cv.clone(),
+            rf_cv,
+        });
+    }
+    state
+}
+
+/// One location's coherence constraint graph: nodes are the write
+/// events (by trace index), `edge[i][j]` means "write i is
+/// modification-order-before write j".
+struct LocGraph {
+    obj: u64,
+    writes: Vec<usize>,
+    edge: Vec<Vec<bool>>,
+}
+
+impl LocGraph {
+    /// Transitive closure (the graphs are tiny — Floyd-Warshall).
+    fn close(&self) -> Vec<Vec<bool>> {
+        let n = self.writes.len();
+        let mut r = self.edge.clone();
+        for k in 0..n {
+            // Row k is fixed during round k (r[k][j] |= r[k][k] && r[k][j]
+            // changes nothing), so a snapshot is safe.
+            let row_k = r[k].clone();
+            for row in &mut r {
+                if row[k] {
+                    for (rij, &rkj) in row.iter_mut().zip(&row_k) {
+                        *rij = *rij || rkj;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Whether the entailed modification order puts the write at trace
+    /// index `a` before the one at `b`.
+    fn entails_before(&self, a: usize, b: usize) -> bool {
+        let (Some(ia), Some(ib)) = (
+            self.writes.iter().position(|&w| w == a),
+            self.writes.iter().position(|&w| w == b),
+        ) else {
+            return false;
+        };
+        self.close()[ia][ib]
+    }
+}
+
+/// Phase 3: per-location coherence. Returns the (post-fixpoint)
+/// graphs so the SC phase can query entailed mo.
+fn coherence(an: &Analysis<'_>, out: &mut Vec<Violation>) -> Vec<LocGraph> {
+    let mut objs: Vec<u64> = an
+        .events
+        .iter()
+        .filter(|e| e.obj != FENCE_OBJ)
+        .map(|e| e.obj)
+        .collect();
+    objs.sort_unstable();
+    objs.dedup();
+
+    let mut graphs = Vec::new();
+    for obj in objs {
+        let writes: Vec<usize> = (0..an.events.len())
+            .filter(|&i| an.events[i].obj == obj && an.is_write(i))
+            .collect();
+        let reads: Vec<usize> = (0..an.events.len())
+            .filter(|&i| {
+                an.events[i].obj == obj
+                    && matches!(an.events[i].kind, TraceKind::Load | TraceKind::Rmw)
+            })
+            .collect();
+        let n = writes.len();
+        let windex: BTreeMap<u64, usize> = writes
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (an.events[i].seq, k))
+            .collect();
+        let src_of = |r: usize| windex[&an.events[r].rf.unwrap()];
+        let mut g = LocGraph {
+            obj,
+            writes: writes.clone(),
+            edge: vec![vec![false; n]; n],
+        };
+
+        // CoWW: hb between writes orders mo.
+        for (a, &wa) in writes.iter().enumerate() {
+            for (b, &wb) in writes.iter().enumerate() {
+                if a != b && an.hb(wa, wb) {
+                    g.edge[a][b] = true;
+                }
+            }
+        }
+        for &r in &reads {
+            let s = src_of(r);
+            // CoWR: a write hb-before the read cannot be mo-after the
+            // store read from.
+            for (w, &we) in writes.iter().enumerate() {
+                if w != s && an.hb(we, r) {
+                    g.edge[w][s] = true;
+                }
+            }
+            // CoRW: a write hb-after the read is mo-after the store
+            // read from.
+            for (w, &we) in writes.iter().enumerate() {
+                if w != s && an.hb(r, we) {
+                    g.edge[s][w] = true;
+                }
+            }
+        }
+        // CoRR: hb-ordered reads of the same location see mo-ordered
+        // stores.
+        for (i, &r1) in reads.iter().enumerate() {
+            for &r2 in &reads[i + 1..] {
+                let (s1, s2) = (src_of(r1), src_of(r2));
+                if s1 != s2 && an.hb(r1, r2) {
+                    g.edge[s1][s2] = true;
+                }
+            }
+        }
+        // SC stores to one location appear in mo in commit order (the
+        // commit order witnesses the SC total order).
+        let sc_writes: Vec<usize> = (0..n)
+            .filter(|&k| an.events[writes[k]].order == "SeqCst")
+            .collect();
+        for pair in sc_writes.windows(2) {
+            g.edge[pair[0]][pair[1]] = true;
+        }
+        // RMW: reads-from edge is an mo edge, and the RMW is the
+        // *immediate* mo-successor — every other write mo-after the
+        // source must be mo-after the RMW. Fixpoint: forcing edges can
+        // reveal more reachability.
+        let rmws: Vec<(usize, usize)> = reads
+            .iter()
+            .filter(|&&r| an.events[r].kind == TraceKind::Rmw)
+            .map(|&r| (windex[&an.events[r].seq], src_of(r)))
+            .collect();
+        for &(rmw, s) in &rmws {
+            g.edge[s][rmw] = true;
+        }
+        loop {
+            let reach = g.close();
+            let mut changed = false;
+            for &(rmw, s) in &rmws {
+                for (w, &after_s) in reach[s].iter().enumerate() {
+                    if w != rmw && w != s && after_s && !g.edge[rmw][w] {
+                        g.edge[rmw][w] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let reach = g.close();
+        if let Some(k) = (0..n).find(|&k| reach[k][k]) {
+            out.push(Violation {
+                rule: "coherence",
+                detail: format!(
+                    "modification-order cycle at obj {obj} through the write at seq {}",
+                    an.events[writes[k]].seq
+                ),
+            });
+        }
+        graphs.push(g);
+    }
+    graphs
+}
+
+/// Phase 4: seq_cst reads and fences against the commit-order SC
+/// witness.
+///
+/// The plain SC-read rule is C++11 §29.3p3 *to the letter*: with `W`
+/// the last SC write to the location preceding the read in the SC
+/// order, the read may take its value only from `W` itself, from an
+/// SC write after `W` (impossible here — `W` is the last one), or
+/// from a non-SC write that does **not happen before** `W`. Note the
+/// condition is happens-before, not modification order — C++11
+/// famously permits an SC read of a non-SC store that is mo-before
+/// `W` (the weakness C++20 closed with coherence-ordered-before), and
+/// the engine's Fig. 12 candidate filter implements exactly the C++11
+/// reading, so the oracle must too.
+///
+/// The three SC *fence* rules (§29.3p4–6) constrain modification
+/// order, so those are flagged only when the coherence graph
+/// *entails* that the store read is mo-before the fence-required
+/// write — never on an undetermined mo (no false positives).
+fn sc_checks(an: &Analysis<'_>, graphs: &[LocGraph], out: &mut Vec<Violation>) {
+    let sc_fences: Vec<usize> = (0..an.events.len())
+        .filter(|&i| an.events[i].kind == TraceKind::Fence && an.events[i].order == "SeqCst")
+        .collect();
+    for r in 0..an.events.len() {
+        let e = &an.events[r];
+        if !matches!(e.kind, TraceKind::Load | TraceKind::Rmw) {
+            continue;
+        }
+        let Some(g) = graphs.iter().find(|g| g.obj == e.obj) else {
+            continue;
+        };
+        let src = an.by_seq[&e.rf.unwrap()];
+        let require = |out: &mut Vec<Violation>, w: usize, why: &str| {
+            if w != src && g.entails_before(src, w) {
+                out.push(Violation {
+                    rule: "sc",
+                    detail: format!(
+                        "seq {} reads seq {} which is mo-before the {why} at seq {}",
+                        e.seq, an.events[src].seq, an.events[w].seq
+                    ),
+                });
+            }
+        };
+        let last_sc_write_before = |seq: u64| {
+            g.writes
+                .iter()
+                .copied()
+                .filter(|&w| an.events[w].order == "SeqCst" && an.events[w].seq < seq)
+                .max_by_key(|&w| an.events[w].seq)
+        };
+        // [SC READ] §29.3p3: an SC read must read the last SC write
+        // `W` preceding it in the SC order, or a non-SC write that
+        // does not happen-before `W`.
+        if e.order == "SeqCst" {
+            if let Some(w) = last_sc_write_before(e.seq) {
+                if w != src {
+                    let src_sc = an.events[src].order == "SeqCst";
+                    if src_sc || an.hb(src, w) {
+                        out.push(Violation {
+                            rule: "sc",
+                            detail: format!(
+                                "SC read at seq {} reads seq {} which is {} the last SC write at seq {}",
+                                e.seq,
+                                an.events[src].seq,
+                                if src_sc { "SC-before" } else { "hb-before" },
+                                an.events[w].seq
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // [SC FENCE / READ] a read po-after an SC fence must not read
+        // mo-before the last SC write preceding the fence.
+        if let Some(&f) = sc_fences
+            .iter()
+            .filter(|&&f| an.events[f].thread == e.thread && an.events[f].seq < e.seq)
+            .max_by_key(|&&f| an.events[f].seq)
+        {
+            if let Some(w) = last_sc_write_before(an.events[f].seq) {
+                require(out, w, "SC-fenced write");
+            }
+        }
+        for &f in &sc_fences {
+            if an.events[f].seq >= e.seq {
+                continue;
+            }
+            // [WRITE / SC FENCE] an SC read must not read mo-before a
+            // write po-sequenced before an earlier SC fence.
+            let w_before_f = g
+                .writes
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    an.events[w].thread == an.events[f].thread
+                        && an.events[w].seq < an.events[f].seq
+                })
+                .max_by_key(|&w| an.events[w].seq);
+            if e.order == "SeqCst" {
+                if let Some(w) = w_before_f {
+                    require(out, w, "write before an SC fence");
+                }
+            }
+            // [FENCE / FENCE] with an SC fence also po-before the read.
+            if let Some(w) = w_before_f {
+                let fenced_read = sc_fences.iter().any(|&f2| {
+                    an.events[f2].thread == e.thread
+                        && an.events[f2].seq < e.seq
+                        && an.events[f].seq < an.events[f2].seq
+                });
+                if fenced_read {
+                    require(out, w, "write fence-ordered before the read");
+                }
+            }
+        }
+    }
+}
+
+/// The observable outcome of a trace: for each worker thread (1-based,
+/// in thread order) the sequence of values its reads observed (loads
+/// and the read halves of RMWs, in program order).
+pub fn outcome(events: &[TraceEvent]) -> Vec<Vec<u64>> {
+    let nworkers = events.iter().map(|e| e.thread).max().unwrap_or(0) as usize;
+    let mut per_thread = vec![Vec::new(); nworkers];
+    let an = |e: &TraceEvent| match e.kind {
+        TraceKind::Load => Some(e.value),
+        TraceKind::Rmw => Some(e.old.unwrap_or(0)),
+        _ => None,
+    };
+    for e in events {
+        if e.thread == 0 {
+            continue;
+        }
+        if let Some(v) = an(e) {
+            per_thread[e.thread as usize - 1].push(v);
+        }
+    }
+    per_thread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn ev(
+        kind: TraceKind,
+        thread: u64,
+        seq: u64,
+        obj: u64,
+        order: &'static str,
+        value: u64,
+        rf: Option<u64>,
+        old: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind,
+            thread,
+            seq,
+            obj,
+            order,
+            access: match kind {
+                TraceKind::Fence => "fence",
+                _ if thread == 0 => "non-atomic",
+                _ => "atomic",
+            },
+            value,
+            rf,
+            old,
+        }
+    }
+
+    fn init(seq: u64, obj: u64) -> TraceEvent {
+        ev(TraceKind::Store, 0, seq, obj, "Relaxed", 0, None, None)
+    }
+
+    #[test]
+    fn accepts_a_release_acquire_handoff() {
+        // T1: x=1 rlx; f=1 rel.   T2: f==1 acq; x==1 rlx.
+        let t = vec![
+            init(1, 10),
+            init(2, 11),
+            ev(TraceKind::Store, 1, 3, 10, "Relaxed", 1, None, None),
+            ev(TraceKind::Store, 1, 4, 11, "Release", 1, None, None),
+            ev(TraceKind::Load, 2, 5, 11, "Acquire", 1, Some(4), None),
+            ev(TraceKind::Load, 2, 6, 10, "Relaxed", 1, Some(3), None),
+        ];
+        assert_eq!(check_trace(&t), vec![]);
+        assert_eq!(outcome(&t), vec![vec![], vec![1, 1]]);
+    }
+
+    #[test]
+    fn rejects_a_message_passing_violation() {
+        // Same handoff, but the acquiring reader then reads the *init*
+        // value of x — hidden by CoWR once the handoff synchronized.
+        let t = vec![
+            init(1, 10),
+            init(2, 11),
+            ev(TraceKind::Store, 1, 3, 10, "Relaxed", 1, None, None),
+            ev(TraceKind::Store, 1, 4, 11, "Release", 1, None, None),
+            ev(TraceKind::Load, 2, 5, 11, "Acquire", 1, Some(4), None),
+            ev(TraceKind::Load, 2, 6, 10, "Relaxed", 0, Some(1), None),
+        ];
+        let v = check_trace(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "coherence");
+    }
+
+    #[test]
+    fn relaxed_handoff_is_allowed_to_read_stale() {
+        // Relaxed flag: no synchronization, stale read of x is fine.
+        let t = vec![
+            init(1, 10),
+            init(2, 11),
+            ev(TraceKind::Store, 1, 3, 10, "Relaxed", 1, None, None),
+            ev(TraceKind::Store, 1, 4, 11, "Relaxed", 1, None, None),
+            ev(TraceKind::Load, 2, 5, 11, "Relaxed", 1, Some(4), None),
+            ev(TraceKind::Load, 2, 6, 10, "Relaxed", 0, Some(1), None),
+        ];
+        assert_eq!(check_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn fence_pair_synchronizes_a_relaxed_handoff() {
+        // T1: x=1 rlx; fence rel; f=1 rlx.
+        // T2: f==1 rlx; fence acq; x==0 rlx  → CoWR violation.
+        let t = vec![
+            init(1, 10),
+            init(2, 11),
+            ev(TraceKind::Store, 1, 3, 10, "Relaxed", 1, None, None),
+            ev(TraceKind::Fence, 1, 4, FENCE_OBJ, "Release", 0, None, None),
+            ev(TraceKind::Store, 1, 5, 11, "Relaxed", 1, None, None),
+            ev(TraceKind::Load, 2, 6, 11, "Relaxed", 1, Some(5), None),
+            ev(TraceKind::Fence, 2, 7, FENCE_OBJ, "Acquire", 0, None, None),
+            ev(TraceKind::Load, 2, 8, 10, "Relaxed", 0, Some(1), None),
+        ];
+        let v = check_trace(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "coherence");
+        // Without the acquire fence the same read is fine.
+        let mut ok = t.clone();
+        ok.remove(6);
+        assert_eq!(check_trace(&ok), vec![]);
+    }
+
+    #[test]
+    fn rejects_rf_value_mismatch_and_double_rmw() {
+        let bad_value = vec![
+            init(1, 10),
+            ev(TraceKind::Store, 1, 2, 10, "Relaxed", 7, None, None),
+            ev(TraceKind::Load, 2, 3, 10, "Relaxed", 8, Some(2), None),
+        ];
+        assert_eq!(check_trace(&bad_value)[0].rule, "rf");
+
+        let double = vec![
+            init(1, 10),
+            ev(TraceKind::Rmw, 1, 2, 10, "Relaxed", 5, Some(1), Some(0)),
+            ev(TraceKind::Rmw, 2, 3, 10, "Relaxed", 9, Some(1), Some(0)),
+        ];
+        assert!(check_trace(&double).iter().any(|v| v.rule == "rf"));
+    }
+
+    #[test]
+    fn rejects_coherence_cycle_via_rmw_immediacy() {
+        // Two RMWs chained off init, but a later read sees them in an
+        // order contradicting the chain.
+        let t = vec![
+            init(1, 10),
+            ev(TraceKind::Rmw, 1, 2, 10, "Relaxed", 5, Some(1), Some(0)),
+            ev(TraceKind::Rmw, 2, 3, 10, "Relaxed", 9, Some(2), Some(5)),
+            // T3 reads 9 then (hb-later, same thread) reads 5: CoRR
+            // says 9 mo-before 5, but RMW order says 5 mo-before 9.
+            ev(TraceKind::Load, 3, 4, 10, "Relaxed", 9, Some(3), None),
+            ev(TraceKind::Load, 3, 5, 10, "Relaxed", 5, Some(2), None),
+        ];
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "coherence"), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_sc_read_of_mo_hidden_store() {
+        // Two SC stores (commit order = SC order), then an SC read of
+        // the first: it is entailed mo-before the last SC write.
+        let t = vec![
+            init(1, 10),
+            ev(TraceKind::Store, 1, 2, 10, "SeqCst", 1, None, None),
+            ev(TraceKind::Store, 2, 3, 10, "SeqCst", 2, None, None),
+            ev(TraceKind::Load, 3, 4, 10, "SeqCst", 1, Some(2), None),
+        ];
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "sc"), "{v:?}");
+        // A relaxed read of the same store is *not* an SC violation
+        // (and not a coherence one either — no hb into the reader).
+        let mut relaxed = t;
+        relaxed[3].order = "Relaxed";
+        assert_eq!(check_trace(&relaxed), vec![]);
+    }
+
+    #[test]
+    fn rejects_structural_breakage() {
+        let dup_seq = vec![init(1, 10), init(1, 11)];
+        assert_eq!(check_trace(&dup_seq)[0].rule, "structural");
+
+        let late_main = vec![
+            init(1, 10),
+            ev(TraceKind::Store, 1, 2, 10, "Relaxed", 1, None, None),
+            init(3, 11),
+        ];
+        assert!(check_trace(&late_main)
+            .iter()
+            .any(|v| v.rule == "structural"));
+    }
+}

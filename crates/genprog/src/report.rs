@@ -1,0 +1,136 @@
+//! The `c11fuzz/v1` mismatch report.
+//!
+//! When a sweep finds a trace the oracle rejects — or a tiny-program
+//! outcome outside the enumerated axiom-allowed set — the fuzzer
+//! writes one JSON report carrying everything needed to replay the
+//! failure offline: the `(pseed, seed, epoch, index)` replay key, the
+//! violations, the rendered program, and its shrunk form. Hand-rolled
+//! JSON like every other report writer in the workspace (no serde).
+
+use crate::oracle::Violation;
+
+/// One fuzz mismatch, serializable as `c11fuzz/v1`.
+#[derive(Clone, Debug)]
+pub struct MismatchReport {
+    /// Program seed (regenerates the program).
+    pub pseed: u64,
+    /// Model seed of the failing sweep.
+    pub seed: u64,
+    /// Trace epoch (always 0 for single-sweep runs).
+    pub epoch: u64,
+    /// Execution index within the sweep.
+    pub index: u64,
+    /// Which check failed: `oracle` (axiom violation in a trace) or
+    /// `enumerator` (observed outcome outside the allowed set).
+    pub scope: &'static str,
+    /// The oracle violations (empty for `enumerator` mismatches).
+    pub violations: Vec<Violation>,
+    /// For `enumerator` mismatches: the forbidden observed outcome.
+    pub outcome: Option<Vec<Vec<u64>>>,
+    /// The rendered failing program.
+    pub program: Vec<String>,
+    /// The rendered shrunk program (equal to `program` when no
+    /// reduction step kept the failure).
+    pub shrunk: Vec<String>,
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(lines: &[String]) -> String {
+    let items: Vec<String> = lines.iter().map(|l| format!("\"{}\"", esc(l))).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl MismatchReport {
+    /// Renders the report as one `c11fuzz/v1` JSON object.
+    pub fn to_json(&self) -> String {
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"rule\":\"{}\",\"detail\":\"{}\"}}",
+                    esc(v.rule),
+                    esc(&v.detail)
+                )
+            })
+            .collect();
+        let outcome = match &self.outcome {
+            None => "null".to_string(),
+            Some(threads) => {
+                let ts: Vec<String> = threads
+                    .iter()
+                    .map(|vals| {
+                        let vs: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                        format!("[{}]", vs.join(","))
+                    })
+                    .collect();
+                format!("[{}]", ts.join(","))
+            }
+        };
+        format!(
+            concat!(
+                "{{\"schema\":\"c11fuzz/v1\",",
+                "\"pseed\":{},",
+                "\"replay\":{{\"seed\":{},\"epoch\":{},\"index\":{}}},",
+                "\"scope\":\"{}\",",
+                "\"violations\":[{}],",
+                "\"outcome\":{},",
+                "\"program\":{},",
+                "\"shrunk\":{}}}"
+            ),
+            self.pseed,
+            self.seed,
+            self.epoch,
+            self.index,
+            self.scope,
+            violations.join(","),
+            outcome,
+            string_array(&self.program),
+            string_array(&self.shrunk),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_escapes_and_replay_key() {
+        let r = MismatchReport {
+            pseed: 42,
+            seed: 7,
+            epoch: 0,
+            index: 3,
+            scope: "oracle",
+            violations: vec![Violation {
+                rule: "coherence",
+                detail: "cycle \"x\"".to_string(),
+            }],
+            outcome: Some(vec![vec![1, 0], vec![]]),
+            program: vec!["gen:42 threads=2 locs=1 mutexes=0".to_string()],
+            shrunk: vec!["T1:".to_string()],
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"c11fuzz/v1\",\"pseed\":42,"));
+        assert!(json.contains("\"replay\":{\"seed\":7,\"epoch\":0,\"index\":3}"));
+        assert!(json.contains("cycle \\\"x\\\""));
+        assert!(json.contains("\"outcome\":[[1,0],[]]"));
+        assert!(json.ends_with("\"shrunk\":[\"T1:\"]}"));
+    }
+}

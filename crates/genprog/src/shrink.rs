@@ -1,0 +1,137 @@
+//! Deterministic grammar reduction of a failing program.
+//!
+//! [`shrink`] greedily minimizes a program while a caller-supplied
+//! predicate keeps reproducing the failure. The passes are pure
+//! grammar operations applied in a fixed order (no randomness), so a
+//! shrink run is replayable from the same inputs:
+//!
+//! 1. drop a whole thread;
+//! 2. flatten a mutex region into its body;
+//! 3. drop a single op.
+//!
+//! Each round restarts from the first pass after any success and the
+//! loop stops at a fixpoint — the result still fails but no single
+//! reduction step keeps it failing.
+
+use crate::program::{Op, Program};
+
+/// Minimizes `p` under `failing` (which must return `true` for `p`
+/// itself — the caller established the failure before shrinking).
+pub fn shrink(p: &Program, mut failing: impl FnMut(&Program) -> bool) -> Program {
+    let mut cur = p.clone();
+    loop {
+        let mut reduced = false;
+        for cand in candidates(&cur) {
+            if failing(&cand) {
+                cur = cand;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return cur;
+        }
+    }
+}
+
+/// All single-step reductions of `p`, most aggressive first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // Pass 1: drop a thread (keep at least one).
+    if p.threads.len() > 1 {
+        for t in 0..p.threads.len() {
+            let mut q = p.clone();
+            q.threads.remove(t);
+            out.push(q);
+        }
+    }
+    // Pass 2: flatten a region into its body.
+    for (t, ops) in p.threads.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Region { ops: inner, .. } = op {
+                let mut q = p.clone();
+                q.threads[t].splice(i..=i, inner.clone());
+                out.push(q);
+            }
+        }
+    }
+    // Pass 3: drop one op (keep each thread nonempty so the program
+    // stays inside the grammar).
+    for (t, ops) in p.threads.iter().enumerate() {
+        for i in 0..ops.len() {
+            if ops.len() > 1 {
+                let mut q = p.clone();
+                q.threads[t].remove(i);
+                out.push(q);
+            }
+            if let Op::Region { ops: inner, .. } = &ops[i] {
+                for j in 0..inner.len() {
+                    if inner.len() > 1 {
+                        let mut q = p.clone();
+                        if let Op::Region { ops, .. } = &mut q.threads[t][i] {
+                            ops.remove(j);
+                        }
+                        out.push(q);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11tester::MemOrder;
+
+    fn store(loc: usize, value: u64) -> Op {
+        Op::Store {
+            loc,
+            ord: MemOrder::Relaxed,
+            value,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_smallest_program_keeping_the_marker() {
+        // Failure predicate: "some thread still stores 7".
+        let p = Program {
+            pseed: 9,
+            locs: 2,
+            mutexes: 1,
+            threads: vec![
+                vec![store(0, 1), store(1, 7), store(0, 2)],
+                vec![Op::Region {
+                    mutex: 0,
+                    ops: vec![store(1, 3)],
+                }],
+                vec![store(0, 4)],
+            ],
+        };
+        let has_7 = |q: &Program| {
+            q.threads.iter().flatten().any(|op| match op {
+                Op::Store { value, .. } => *value == 7,
+                Op::Region { ops, .. } => ops
+                    .iter()
+                    .any(|o| matches!(o, Op::Store { value, .. } if *value == 7)),
+                _ => false,
+            })
+        };
+        assert!(has_7(&p));
+        let small = shrink(&p, has_7);
+        assert_eq!(small.threads.len(), 1);
+        assert_eq!(small.threads[0], vec![store(1, 7)]);
+        assert_eq!(small.pseed, 9, "shrinking keeps the replay pseed");
+    }
+
+    #[test]
+    fn shrink_is_a_fixpoint_under_an_always_true_predicate() {
+        let p = Program::generate(4);
+        let small = shrink(&p, |_| true);
+        assert_eq!(small.threads.len(), 1);
+        assert_eq!(small.total_ops(), 1);
+        // Deterministic: same inputs, same minimum.
+        assert_eq!(shrink(&p, |_| true), small);
+    }
+}

@@ -1,0 +1,296 @@
+//! Litmus conformance: the classic C11 litmus tests, enumerated by the
+//! small-scope enumerator, cross-checked against the axiom oracle and
+//! against the model engine, and pinned to a checked-in golden table.
+//!
+//! Three layers of checking per litmus program:
+//!
+//! 1. **semantic** — the theoretically forbidden outcome is absent
+//!    from the enumerated set and the characteristic allowed outcomes
+//!    are present (independent of the golden file, so a wrong golden
+//!    cannot mask a wrong enumerator);
+//! 2. **engine** — a model sweep of the program produces only traces
+//!    the oracle accepts, with outcomes inside the enumerated set
+//!    (engine ⊆ axioms);
+//! 3. **golden** — the full outcome sets match
+//!    `tests/golden_litmus.txt` byte-for-byte, so any drift in either
+//!    the enumerator or the oracle shows up as a reviewable diff.
+//!
+//! Run with `UPDATE_LITMUS_GOLDEN=1` to print the current table when
+//! it needs regenerating (the test still fails; paste the output).
+
+use c11tester::{Config, MemOrder};
+use c11tester_genprog::{check_trace, enumerate_outcomes, outcome, sweep, Op, Program};
+
+const GOLDEN: &str = include_str!("golden_litmus.txt");
+
+fn load(loc: usize, ord: MemOrder) -> Op {
+    Op::Load { loc, ord }
+}
+
+fn store(loc: usize, ord: MemOrder, value: u64) -> Op {
+    Op::Store { loc, ord, value }
+}
+
+fn fence(ord: MemOrder) -> Op {
+    Op::Fence { ord }
+}
+
+fn program(locs: usize, threads: Vec<Vec<Op>>) -> Program {
+    Program {
+        pseed: 0,
+        locs,
+        mutexes: 0,
+        threads,
+    }
+}
+
+/// One litmus entry: a name, the program, one forbidden outcome, and
+/// a few characteristic allowed outcomes.
+struct Litmus {
+    name: &'static str,
+    program: Program,
+    forbidden: Vec<Vec<Vec<u64>>>,
+    allowed: Vec<Vec<Vec<u64>>>,
+}
+
+fn table() -> Vec<Litmus> {
+    use MemOrder::*;
+    vec![
+        // Store buffering: the outcome both loads read 0 is the SC
+        // litmus — forbidden with seq_cst, allowed relaxed.
+        Litmus {
+            name: "sb-seqcst",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, SeqCst, 1), load(1, SeqCst)],
+                    vec![store(1, SeqCst, 2), load(0, SeqCst)],
+                ],
+            ),
+            forbidden: vec![vec![vec![0], vec![0]]],
+            allowed: vec![vec![vec![2], vec![1]], vec![vec![0], vec![1]]],
+        },
+        Litmus {
+            name: "sb-relaxed",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, Relaxed, 1), load(1, Relaxed)],
+                    vec![store(1, Relaxed, 2), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![],
+            allowed: vec![vec![vec![0], vec![0]], vec![vec![2], vec![1]]],
+        },
+        // Store buffering with seq_cst fences between relaxed accesses:
+        // the fences restore the SC guarantee (§29.3p4–6).
+        Litmus {
+            name: "sb-fences",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, Relaxed, 1), fence(SeqCst), load(1, Relaxed)],
+                    vec![store(1, Relaxed, 2), fence(SeqCst), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![vec![vec![0], vec![0]]],
+            allowed: vec![vec![vec![2], vec![1]]],
+        },
+        // Message passing: the stale read behind an acquire-observed
+        // release flag is forbidden.
+        Litmus {
+            name: "mp-rel-acq",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, Relaxed, 1), store(1, Release, 2)],
+                    vec![load(1, Acquire), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![vec![vec![], vec![2, 0]]],
+            allowed: vec![vec![vec![], vec![2, 1]], vec![vec![], vec![0, 0]]],
+        },
+        Litmus {
+            name: "mp-relaxed",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, Relaxed, 1), store(1, Relaxed, 2)],
+                    vec![load(1, Relaxed), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![],
+            allowed: vec![vec![vec![], vec![2, 0]], vec![vec![], vec![2, 1]]],
+        },
+        // Message passing through release/acquire fences around
+        // relaxed accesses (§29.8 fence synchronization).
+        Litmus {
+            name: "mp-fences",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, Relaxed, 1), fence(Release), store(1, Relaxed, 2)],
+                    vec![load(1, Relaxed), fence(Acquire), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![vec![vec![], vec![2, 0]]],
+            allowed: vec![vec![vec![], vec![2, 1]]],
+        },
+        // Load buffering: both loads seeing the other thread's later
+        // store requires a future read, which the enumerated
+        // no-future-reads fragment (and the engine) excludes.
+        Litmus {
+            name: "lb-relaxed",
+            program: program(
+                2,
+                vec![
+                    vec![load(0, Relaxed), store(1, Relaxed, 1)],
+                    vec![load(1, Relaxed), store(0, Relaxed, 2)],
+                ],
+            ),
+            forbidden: vec![vec![vec![2], vec![1]]],
+            allowed: vec![
+                vec![vec![0], vec![0]],
+                vec![vec![2], vec![0]],
+                vec![vec![0], vec![1]],
+            ],
+        },
+        // Independent reads of independent writes: the two reader
+        // threads disagreeing on the store order is the seq_cst
+        // litmus (4 threads — the enumerator's small-scope maximum).
+        Litmus {
+            name: "iriw-seqcst",
+            program: program(
+                2,
+                vec![
+                    vec![store(0, SeqCst, 1)],
+                    vec![store(1, SeqCst, 2)],
+                    vec![load(0, SeqCst), load(1, SeqCst)],
+                    vec![load(1, SeqCst), load(0, SeqCst)],
+                ],
+            ),
+            forbidden: vec![vec![vec![], vec![], vec![1, 0], vec![2, 0]]],
+            allowed: vec![vec![vec![], vec![], vec![1, 2], vec![2, 1]]],
+        },
+        // Write-write coherence observed through read-read coherence:
+        // a reader can never see the same thread's stores reordered.
+        Litmus {
+            name: "coww-corr",
+            program: program(
+                1,
+                vec![
+                    vec![store(0, Relaxed, 1), store(0, Relaxed, 2)],
+                    vec![load(0, Relaxed), load(0, Relaxed)],
+                ],
+            ),
+            forbidden: vec![vec![vec![], vec![2, 1]], vec![vec![], vec![1, 0]]],
+            allowed: vec![vec![vec![], vec![1, 2]], vec![vec![], vec![2, 2]]],
+        },
+        // Write-read coherence: a thread's own load never reads a
+        // store hidden behind its latest write.
+        Litmus {
+            name: "cowr",
+            program: program(
+                1,
+                vec![
+                    vec![store(0, Relaxed, 1), load(0, Relaxed)],
+                    vec![store(0, Relaxed, 2)],
+                ],
+            ),
+            forbidden: vec![vec![vec![0], vec![]]],
+            allowed: vec![vec![vec![1], vec![]], vec![vec![2], vec![]]],
+        },
+    ]
+}
+
+fn render_outcome(o: &[Vec<u64>]) -> String {
+    let threads: Vec<String> = o
+        .iter()
+        .map(|vals| {
+            let vs: Vec<String> = vals.iter().map(u64::to_string).collect();
+            format!("[{}]", vs.join(","))
+        })
+        .collect();
+    format!("[{}]", threads.join(" "))
+}
+
+fn render_table() -> String {
+    let mut out = String::new();
+    for l in table() {
+        let outcomes = enumerate_outcomes(&l.program);
+        out.push_str(l.name);
+        out.push(':');
+        for o in &outcomes {
+            out.push(' ');
+            out.push_str(&render_outcome(o));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn litmus_outcomes_have_the_textbook_shape() {
+    for l in table() {
+        let outcomes = enumerate_outcomes(&l.program);
+        assert!(!outcomes.is_empty(), "{}: no outcomes enumerated", l.name);
+        for f in &l.forbidden {
+            assert!(
+                !outcomes.contains(f),
+                "{}: forbidden outcome {} was enumerated",
+                l.name,
+                render_outcome(f)
+            );
+        }
+        for a in &l.allowed {
+            assert!(
+                outcomes.contains(a),
+                "{}: expected outcome {} missing from {:?}",
+                l.name,
+                render_outcome(a),
+                outcomes
+                    .iter()
+                    .map(|o| render_outcome(o))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_sweeps_stay_inside_the_enumerated_sets() {
+    for l in table() {
+        let allowed = enumerate_outcomes(&l.program);
+        for (key, events) in sweep(&l.program, Config::new().with_seed(0xC11), 24) {
+            let violations = check_trace(&events);
+            assert!(
+                violations.is_empty(),
+                "{}: execution {} violated the axioms: {:?}",
+                l.name,
+                key.index,
+                violations
+            );
+            let got = outcome(&events);
+            assert!(
+                allowed.contains(&got),
+                "{}: execution {} outcome {} outside the enumerated set",
+                l.name,
+                key.index,
+                render_outcome(&got)
+            );
+        }
+    }
+}
+
+#[test]
+fn litmus_outcome_table_matches_the_golden() {
+    let current = render_table();
+    if std::env::var_os("UPDATE_LITMUS_GOLDEN").is_some() {
+        println!("{current}");
+    }
+    assert_eq!(
+        current, GOLDEN,
+        "litmus outcome table drifted; run with UPDATE_LITMUS_GOLDEN=1 \
+         and update tests/golden_litmus.txt"
+    );
+}

@@ -29,6 +29,6 @@ pub use phase::{
     phase_start, profiling_enabled, set_profiling, Phase, PhaseProfile, PhaseTimer, PHASE_COUNT,
 };
 pub use trace::{
-    event_jsonl, set_tracing, tracing_enabled, JsonlSink, MemorySink, StderrSink, TraceEvent,
-    TraceKey, TraceKind, TraceSink,
+    event_jsonl, set_tracing, tracing_enabled, CaptureSink, JsonlSink, MemorySink, StderrSink,
+    TraceEvent, TraceKey, TraceKind, TraceSink, FENCE_OBJ,
 };

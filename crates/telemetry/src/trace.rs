@@ -37,7 +37,14 @@ pub enum TraceKind {
     Load,
     /// A read-modify-write (both halves in one event).
     Rmw,
+    /// A (non-relaxed) thread fence. Carries no object: `obj` is
+    /// [`FENCE_OBJ`], `value` is 0, `rf`/`old` are `None`.
+    Fence,
 }
+
+/// Sentinel `obj` value of [`TraceKind::Fence`] events (fences target
+/// no location).
+pub const FENCE_OBJ: u64 = u64::MAX;
 
 impl TraceKind {
     /// Stable name used in the JSONL encoding.
@@ -46,6 +53,7 @@ impl TraceKind {
             TraceKind::Store => "store",
             TraceKind::Load => "load",
             TraceKind::Rmw => "rmw",
+            TraceKind::Fence => "fence",
         }
     }
 }
@@ -133,6 +141,45 @@ pub struct MemorySink {
 impl TraceSink for MemorySink {
     fn record(&mut self, key: TraceKey, events: &[TraceEvent]) {
         self.records.push((key, events.to_vec()));
+    }
+}
+
+/// The shared buffer behind a [`CaptureSink`]: recorded
+/// `(key, events)` pairs in record order.
+type SharedRecords = std::sync::Arc<std::sync::Mutex<Vec<(TraceKey, Vec<TraceEvent>)>>>;
+
+/// A cloneable [`TraceSink`] whose buffer is shared between the clone
+/// handed to the model (trace-sink installation takes the sink by
+/// `Box`) and the clone the caller keeps to read the capture back out
+/// afterwards. This is the capture primitive behind race forensics
+/// replays and the generated-program fuzz oracle.
+#[derive(Clone, Debug, Default)]
+pub struct CaptureSink {
+    records: SharedRecords,
+}
+
+impl CaptureSink {
+    /// Creates an empty shared sink.
+    pub fn new() -> Self {
+        CaptureSink::default()
+    }
+
+    /// Drains everything recorded so far.
+    pub fn take(&self) -> Vec<(TraceKey, Vec<TraceEvent>)> {
+        let mut guard = self
+            .records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut *guard)
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn record(&mut self, key: TraceKey, events: &[TraceEvent]) {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((key, events.to_vec()));
     }
 }
 
