@@ -72,6 +72,14 @@ OPTIONS:
                             3 when a rate regressed beyond the threshold
     --baseline-threshold <R> absolute rate drop tolerated by --baseline
                             [default: 0.05]
+    --memory-limit          first-class §7.1 memory limiting: windowed
+                            execution-graph pruning plus mo-graph arena
+                            compaction, so resident graph state stays bounded
+                            on long executions (old trace state is discarded,
+                            which may narrow producible behaviors). The window
+                            and compaction trigger are deterministic —
+                            canonical output is byte-identical at any worker
+                            count, in-process or --isolate
     --no-thread-pool        spawn a fresh OS thread per model thread per
                             execution instead of reusing pooled workers —
                             the pre-pool behavior, kept for A/B comparison.
@@ -143,6 +151,7 @@ struct Args {
     baseline: Option<String>,
     baseline_threshold: f64,
     thread_pool: bool,
+    memory_limit: bool,
     stop_on_first_bug: bool,
     deadline_secs: Option<f64>,
     json: bool,
@@ -171,6 +180,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         baseline: None,
         baseline_threshold: 0.05,
         thread_pool: true,
+        memory_limit: false,
         stop_on_first_bug: false,
         deadline_secs: None,
         json: false,
@@ -245,6 +255,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.baseline_threshold = t;
             }
             "--no-thread-pool" => args.thread_pool = false,
+            "--memory-limit" => args.memory_limit = true,
             "--stop-on-first-bug" => args.stop_on_first_bug = true,
             "--deadline-secs" => {
                 let v = value()?;
@@ -486,6 +497,9 @@ fn main() -> ExitCode {
     let mut config = Config::for_policy(args.policy)
         .with_seed(args.seed)
         .with_thread_pool(args.thread_pool);
+    if args.memory_limit {
+        config = config.with_memory_limit();
+    }
     if let Some(mix) = args.mix.clone() {
         config = config.with_mix(mix);
     } else if args.adaptive.is_some() {

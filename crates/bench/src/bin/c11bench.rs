@@ -31,7 +31,11 @@ USAGE:
 OPTIONS:
     --targets <a,b,c>       comma-separated target names (see `c11campaign
                             --list`) [default: a representative litmus/ds/
-                            locks/app mix]
+                            locks/app mix]. A `group:<name>` entry expands
+                            to every target of that group — e.g.
+                            `group:graph` is the coherence-graph scaling
+                            suite (mpmc-queue-large, ms-queue-large,
+                            silo-large)
     --executions <N>        executions per timed trial [default: 300]
     --trials <N>            timed trials per target [default: 7]
     --warmup <N>            untimed warmup trials per target [default: 2]
@@ -161,6 +165,18 @@ fn main() -> ExitCode {
     };
     let mut resolved = Vec::with_capacity(names.len());
     for name in &names {
+        if let Some(group) = name.strip_prefix("group:") {
+            let members: Vec<_> = targets::all()
+                .into_iter()
+                .filter(|t| t.group.eq_ignore_ascii_case(group))
+                .collect();
+            if members.is_empty() {
+                eprintln!("error: unknown target group `{group}` (see `c11campaign --list`)");
+                return ExitCode::from(2);
+            }
+            resolved.extend(members);
+            continue;
+        }
         match targets::find(name) {
             Some(t) => resolved.push(t),
             None => {

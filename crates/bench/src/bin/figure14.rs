@@ -4,14 +4,16 @@
 //!
 //! The paper measures pthread condvars, futexes, spinning, spinning
 //! with yield, and ucontext/setjmp fibers (± TLS migration) on a
-//! 2-thread ping-pong. Rust has no stable fiber equivalent (and needs
-//! no TLS migration — see `c11tester-runtime`); the measured spectrum
-//! is the [`HandoverKind`] set the runtime actually offers.
+//! 2-thread ping-pong. The measured spectrum here is the
+//! [`HandoverKind`] set the runtime offers, fibers included (the
+//! runtime's own stack-switching implementation; no TLS migration is
+//! needed because thread identity is slot-derived — see
+//! `c11tester-runtime`).
 //!
-//! Expected shape (paper Fig. 14): spinning is fastest with a core per
-//! thread but collapses by orders of magnitude on one core; condition
-//! variables are the slowest blocking strategy; futex-style wakeups sit
-//! in between.
+//! Expected shape (paper Fig. 14): fibers are fastest everywhere;
+//! spinning is fast with a core per thread but collapses by orders of
+//! magnitude on one core; condition variables are the slowest blocking
+//! strategy; futex-style wakeups sit in between.
 //!
 //! ```text
 //! cargo run --release -p c11tester-bench --bin figure14
@@ -19,13 +21,16 @@
 
 use c11tester::{Config, Model};
 use c11tester_bench::{pin_to_single_core, rule, runs_from_env, unpin_all_cores};
-use c11tester_runtime::{HandoverKind, Notifier};
+use c11tester_runtime::{HandoverKind, Notifier, Runtime};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One ping-pong benchmark: `iters` round trips through a pair of
 /// notifiers; returns nanoseconds per one-way handover.
 fn ping_pong(kind: HandoverKind, iters: u32) -> f64 {
+    if kind == HandoverKind::Fiber {
+        return fiber_ping_pong(iters);
+    }
     let a = Arc::new(Notifier::new(kind));
     let b = Arc::new(Notifier::new(kind));
     let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
@@ -44,6 +49,40 @@ fn ping_pong(kind: HandoverKind, iters: u32) -> f64 {
     }
     let elapsed = t0.elapsed();
     child.join().expect("ping-pong child");
+    elapsed.as_nanos() as f64 / f64::from(iters) / 2.0
+}
+
+/// Fiber handover has no mailbox — a switch IS the wake+park pair — so
+/// its row ping-pongs through the [`Runtime`] between the driver and
+/// one fiber. (On targets without the fiber implementation the runtime
+/// silently degrades to futex park, making this row ≈ the futex row.)
+fn fiber_ping_pong(iters: u32) -> f64 {
+    let runtime = Runtime::new(HandoverKind::Fiber);
+    let driver = runtime.add_slot();
+    runtime.bind_current(driver);
+    let fiber = runtime.add_slot();
+    let rt2 = Arc::clone(&runtime);
+    runtime
+        .spawn(
+            fiber,
+            Box::new(move || {
+                // One fewer round than the driver: the final handover
+                // back is the body's exit switch.
+                for _ in 0..iters - 1 {
+                    rt2.wake(driver);
+                    rt2.park(fiber).expect("fiber poisoned");
+                }
+                rt2.wake(driver);
+            }),
+        )
+        .expect("spawn fiber");
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        runtime.wake(fiber);
+        runtime.park(driver).expect("driver poisoned");
+    }
+    let elapsed = t0.elapsed();
+    runtime.join_all().expect("fiber ping-pong teardown");
     elapsed.as_nanos() as f64 / f64::from(iters) / 2.0
 }
 

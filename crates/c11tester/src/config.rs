@@ -351,12 +351,13 @@ pub struct Config {
 
 impl Config {
     /// C11Tester defaults: full memory-model fragment, random strategy,
-    /// fast handover, pruning off.
+    /// fiber handover (§7.3; futex park where fibers are unsupported),
+    /// pruning off.
     pub fn new() -> Self {
         Config {
             policy: Policy::C11Tester,
             seed: 0xC11,
-            handover: HandoverKind::Park,
+            handover: HandoverKind::default_fast(),
             strategy: Strategy::Random,
             mix: None,
             prune: PruneConfig::disabled(),
@@ -370,7 +371,7 @@ impl Config {
     /// The paper's per-tool configurations:
     ///
     /// * `C11Tester` — full fragment, controlled random scheduling,
-    ///   fast (park) handover;
+    ///   fast (fiber) handover;
     /// * `Tsan11Rec` — restricted fragment, controlled random
     ///   scheduling, slow (condvar) handover as in its kernel-thread
     ///   scheduler;
@@ -452,6 +453,23 @@ impl Config {
         self
     }
 
+    /// Prune interval used by [`Config::with_memory_limit`]. A single
+    /// constant so the `--memory-limit` CLI flag and the fork-server
+    /// worker re-entry reconstruct the exact same configuration.
+    pub const MEMORY_LIMIT_PRUNE_INTERVAL: u64 = 64;
+
+    /// First-class §7.1 memory limiting (`--memory-limit`): windowed
+    /// pruning plus mo-graph arena compaction, so resident graph state
+    /// stays bounded on long executions — even ones whose threads
+    /// never synchronize (the paper accepts that discarding old trace
+    /// state may narrow producible behaviors). The window and the
+    /// compaction trigger are deterministic, so canonical output stays
+    /// byte-identical across worker counts.
+    pub fn with_memory_limit(mut self) -> Self {
+        self.prune = PruneConfig::memory_limited(Self::MEMORY_LIMIT_PRUNE_INTERVAL);
+        self
+    }
+
     /// Sets both volatile access orders (the Silo experiment toggles
     /// this between `Relaxed` and acquire/release, §8.2).
     pub fn with_volatile_orders(mut self, load: MemOrder, store: MemOrder) -> Self {
@@ -488,7 +506,7 @@ mod tests {
     #[test]
     fn per_policy_configs_match_paper_shape() {
         let c = Config::for_policy(Policy::C11Tester);
-        assert_eq!(c.handover, HandoverKind::Park);
+        assert_eq!(c.handover, HandoverKind::default_fast());
         assert_eq!(c.strategy, Strategy::Random);
         let r = Config::for_policy(Policy::Tsan11Rec);
         assert_eq!(r.handover, HandoverKind::Condvar);

@@ -90,7 +90,16 @@ pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<ModelCtx>, ThreadId) -> R) -> R {
         let (ctx, tid) = borrow
             .as_ref()
             .expect("c11tester model operation used outside Model::run");
-        f(ctx, *tid)
+        // Fiber handover multiplexes every model thread onto the
+        // driver's OS thread, so the identity of the current model
+        // thread is the currently-running fiber slot, not the
+        // OS-thread-local binding (the inverse of the paper's §7.4
+        // thread-context borrowing: one context, many model threads).
+        let tid = match ctx.runtime.current_fiber_slot() {
+            Some(slot) => ThreadId::from_index(slot),
+            None => *tid,
+        };
+        f(ctx, tid)
     })
 }
 

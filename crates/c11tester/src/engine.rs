@@ -147,22 +147,33 @@ impl Engine {
         self.live += 1;
     }
 
-    /// Marks a thread blocked.
+    /// Marks a thread blocked. Join waits are mirrored into the core
+    /// execution so pruning's `CV_min` can credit the parked joiner
+    /// with the join target's clock (§7.1).
     pub(crate) fn block(&mut self, t: ThreadId, reason: WaitReason) {
+        if let WaitReason::Join(child) = reason {
+            self.exec.set_join_waiting(t, Some(child));
+        }
         self.status[t.index()] = Status::Blocked(reason);
     }
 
     /// Re-enables a specific blocked thread.
     pub(crate) fn unblock_one(&mut self, t: ThreadId) {
         debug_assert!(matches!(self.status[t.index()], Status::Blocked(_)));
+        if matches!(self.status[t.index()], Status::Blocked(WaitReason::Join(_))) {
+            self.exec.set_join_waiting(t, None);
+        }
         self.status[t.index()] = Status::Runnable;
     }
 
     /// Re-enables every thread blocked for a reason matching `pred`.
     pub(crate) fn unblock_where(&mut self, mut pred: impl FnMut(&WaitReason) -> bool) {
-        for s in &mut self.status {
+        for (ix, s) in self.status.iter_mut().enumerate() {
             if let Status::Blocked(r) = s {
                 if pred(r) {
+                    if matches!(r, WaitReason::Join(_)) {
+                        self.exec.set_join_waiting(ThreadId::from_index(ix), None);
+                    }
                     *s = Status::Runnable;
                 }
             }

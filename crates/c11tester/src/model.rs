@@ -373,8 +373,11 @@ impl Model {
             }
         }
 
-        ctx::clear_current();
+        // Reap model threads before clearing the TLS binding: in fiber
+        // mode `join_all` unwinds still-suspended fibers, which read
+        // the binding (shared borrows) on their way out.
         let joined = runtime.join_all();
+        ctx::clear_current();
         self.fresh_spawns += runtime.fresh_spawn_count();
 
         // Disassemble the engine; tool state persists across executions.

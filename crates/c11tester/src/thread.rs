@@ -79,16 +79,24 @@ where
         let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
         let result2 = Arc::clone(&result);
         let ctx2 = Arc::clone(ctx);
+        let fiber_mode = ctx.runtime.is_fiber();
         let dispatched = ctx.runtime.spawn(
             child.index(),
             Box::new(move || {
-                ctx::set_current(Arc::clone(&ctx2), child);
-                // Pooled workers outlive the execution, so the TLS
-                // binding must be dropped when the body ends — on the
-                // normal paths *and* on the `Aborted` unwind out of
+                // Fibers share the driver's OS thread (and its TLS), so
+                // the driver's binding is already in place and thread
+                // identity comes from the running fiber slot instead —
+                // touching the binding here would clear the driver's
+                // context mid-execution. OS-thread workers bind their
+                // own TLS, and pooled workers outlive the execution, so
+                // the binding must be dropped when the body ends — on
+                // the normal paths *and* on the `Aborted` unwind out of
                 // `thread_finished` (fresh threads got this for free at
                 // OS-thread exit).
-                let _unbind = ctx::ClearCurrentOnDrop;
+                let _unbind = (!fiber_mode).then(|| {
+                    ctx::set_current(Arc::clone(&ctx2), child);
+                    ctx::ClearCurrentOnDrop
+                });
                 let outcome = catch_unwind(AssertUnwindSafe(f));
                 match outcome {
                     Ok(v) => {

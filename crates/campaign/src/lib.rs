@@ -435,6 +435,7 @@ impl Campaign {
         let wall_time = start.elapsed();
         let metrics = CampaignMetrics {
             phase: aggregate.total_stats.phase,
+            graph: aggregate.total_stats.mograph_perf.to_metrics(),
             workers: worker_metrics,
             executions: aggregate.executions,
             wall_nanos: wall_time.as_nanos() as u64,

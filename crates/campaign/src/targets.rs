@@ -146,6 +146,37 @@ pub fn all() -> Vec<Target> {
                       (run under --isolate --exec-timeout)",
         body: Body::Free(ds::crashy::run_spin_forever),
     });
+    // Scaled-up variants whose per-location histories (and mo-graph)
+    // grow well past the litmus scale: the coherence-graph benchmark
+    // group (`c11bench --targets group:graph`).
+    targets.push(Target {
+        name: "mpmc-queue-large",
+        group: "graph",
+        description: "mpmc-queue with 4x the items per thread (coherence-graph scaling)",
+        body: Body::Free(ds::mpmc_queue::run_large),
+    });
+    targets.push(Target {
+        name: "ms-queue-large",
+        group: "graph",
+        description: "ms-queue with 6x the items over a larger node pool (coherence-graph scaling)",
+        body: Body::Free(ds::ms_queue::run_large),
+    });
+    targets.push(Target {
+        name: "silo-large",
+        group: "graph",
+        description: "silo at the paper's -t 5 scale: 5 workers, 50 txns each, 8 records",
+        body: Body::Free(c11tester_workloads::apps::silo::run_large),
+    });
+    // Long-execution target for the §7.1 `--memory-limit` smoke: 10×
+    // the default mpmc-queue length, long enough that the unlimited
+    // mo-graph arena visibly outgrows the windowed-pruning plateau.
+    // Its own group keeps the `graph` bench gate's target set stable.
+    targets.push(Target {
+        name: "mpmc-queue-10x",
+        group: "longrun",
+        description: "mpmc-queue at 10x the default items per thread (§7.1 memory limiting)",
+        body: Body::Free(|| ds::mpmc_queue::run_n(20)),
+    });
     for (a, name) in [
         (AppBench::Silo, "silo"),
         (AppBench::Gdax, "gdax"),
@@ -235,6 +266,7 @@ mod tests {
         assert_eq!(group_count("section8.1"), 4);
         assert_eq!(group_count("crash"), 2);
         assert_eq!(group_count("table1"), 5);
+        assert_eq!(group_count("graph"), 3);
         assert_eq!(group_count("gen"), 8);
     }
 

@@ -1,0 +1,91 @@
+//! First-class §7.1 memory limiting: long executions keep resident
+//! mo-graph state bounded, without giving up campaign determinism.
+//!
+//! The workload is the mpmc-queue body at **10× its default length**
+//! (`run_n(20)` vs the benchmark's `run_n(2)`) and beyond — long
+//! enough that the unlimited graph's arena grows linearly with the
+//! execution, which is exactly the §7.1 scenario. Per the paper,
+//! `--memory-limit` discards trace state older than a window even when
+//! some thread never observed it (mpmc-queue's seeded bug is a missing
+//! release edge, so conservative pruning alone could never retire the
+//! producers' histories); that may narrow producible behaviors but is
+//! what makes the bound unconditional.
+
+use c11tester::{Config, Model};
+use c11tester_campaign::{Campaign, CampaignBudget};
+use c11tester_workloads::ds::mpmc_queue;
+
+fn long_mpmc() {
+    mpmc_queue::run_n(20);
+}
+
+/// Peak arena-resident node count per execution, with and without the
+/// memory limit. The limited run must stay *bounded*: its high-water
+/// mark plateaus at the trace-window scale while the unlimited graph
+/// keeps tracking execution length — 10× default and 30× default land
+/// on the same plateau.
+#[test]
+fn memory_limit_bounds_live_mograph_nodes_at_10x_length() {
+    let seed = 0xE0_11;
+    let mut unlimited = Model::new(Config::new().with_seed(seed));
+    let mut limited = Model::new(Config::new().with_seed(seed).with_memory_limit());
+    for _ in 0..3 {
+        let base = unlimited.run(long_mpmc);
+        let capped = limited.run(long_mpmc);
+        // Windowed pruning may change prune/graph statistics, never
+        // detection: the seeded payload race must still surface.
+        assert!(
+            !capped.races.is_empty(),
+            "--memory-limit run no longer detects the seeded mpmc race"
+        );
+        let base_peak = base.stats.mograph_perf.peak_live_nodes;
+        let capped_peak = capped.stats.mograph_perf.peak_live_nodes;
+        assert!(
+            base_peak > 150,
+            "10x workload no longer grows the unlimited graph ({base_peak} peak nodes) — \
+             the bound below is not being exercised"
+        );
+        assert!(
+            capped_peak < 128,
+            "--memory-limit peak {capped_peak} is not bounded vs unlimited peak {base_peak}"
+        );
+        assert!(
+            capped.stats.mograph_perf.compactions > 0,
+            "the memory-limited run never compacted"
+        );
+    }
+    // The bound is independent of execution length: at 30× default the
+    // unlimited arena roughly triples again, the limited one does not
+    // leave its plateau.
+    let base = unlimited.run(|| mpmc_queue::run_n(60));
+    let capped = limited.run(|| mpmc_queue::run_n(60));
+    let base_peak = base.stats.mograph_perf.peak_live_nodes;
+    let capped_peak = capped.stats.mograph_perf.peak_live_nodes;
+    assert!(base_peak > 400, "30x unlimited peak {base_peak}");
+    assert!(
+        capped_peak < 128,
+        "--memory-limit peak {capped_peak} grew with execution length (unlimited {base_peak})"
+    );
+}
+
+/// The §7.1 mode keeps the campaign determinism contract at 10×
+/// length: canonical output is byte-identical across worker counts.
+#[test]
+fn memory_limited_long_runs_are_byte_identical_across_worker_counts() {
+    let budget = CampaignBudget::executions(8);
+    let config = Config::new().with_seed(0xE0_12).with_memory_limit();
+    let reference = Campaign::new(config.clone())
+        .with_workers(1)
+        .run(&budget, long_mpmc)
+        .canonical_json();
+    for workers in [4, 8] {
+        let got = Campaign::new(config.clone())
+            .with_workers(workers)
+            .run(&budget, long_mpmc)
+            .canonical_json();
+        assert_eq!(
+            got, reference,
+            "memory-limited canonical JSON diverged at {workers} workers"
+        );
+    }
+}

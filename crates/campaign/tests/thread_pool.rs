@@ -49,7 +49,13 @@ fn racy_program() {
 /// identical per-execution reports and aggregate.
 #[test]
 fn pooled_model_stream_equals_fresh_spawn_replays() {
-    let pooled_config = || Config::new().with_seed(0x9001);
+    // Pool semantics only exist with OS-thread handover — the fiber
+    // default multiplexes model threads on the driver and uses no pool.
+    let pooled_config = || {
+        Config::new()
+            .with_seed(0x9001)
+            .with_handover(HandoverKind::Park)
+    };
     let fresh_config = || pooled_config().with_thread_pool(false);
     let mut pooled = Model::new(pooled_config());
     let mut aggregate = TestReport::default();
@@ -88,7 +94,9 @@ fn canonical_json_identical_pooled_vs_fresh_across_worker_counts() {
         ("wide", wide_program as fn()),
     ] {
         let budget = CampaignBudget::executions(24);
-        let pooled_config = Config::new().with_seed(0x9002);
+        let pooled_config = Config::new()
+            .with_seed(0x9002)
+            .with_handover(HandoverKind::Park);
         let fresh_config = pooled_config.clone().with_thread_pool(false);
         let reference = Campaign::new(fresh_config.clone())
             .with_workers(1)
@@ -119,7 +127,12 @@ fn canonical_json_identical_pooled_vs_fresh_across_worker_counts() {
 /// so the pin is the width bound, not first-execution flatness.)
 #[test]
 fn no_fresh_spawns_after_warmup() {
-    let mut model = Model::new(Config::new().with_seed(0x9003));
+    let os_config = || {
+        Config::new()
+            .with_seed(0x9003)
+            .with_handover(HandoverKind::Park)
+    };
+    let mut model = Model::new(os_config());
     model.run(wide_program);
     let warm = model.thread_stats();
     assert!(
@@ -145,7 +158,7 @@ fn no_fresh_spawns_after_warmup() {
     );
     // The opt-out really opts out: no pool, every model thread is a
     // fresh OS spawn.
-    let mut fresh = Model::new(Config::new().with_seed(0x9003).with_thread_pool(false));
+    let mut fresh = Model::new(os_config().with_thread_pool(false));
     fresh.run(wide_program);
     fresh.run(wide_program);
     let stats = fresh.thread_stats();

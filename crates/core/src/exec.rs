@@ -44,6 +44,15 @@ pub struct ThreadState {
     /// relaxed/release atomic store — the state the scheduler's
     /// *write-run* rule (paper §3, Fig. 4) keys on.
     pub in_store_run: bool,
+    /// The thread this one is blocked joining, if any. Pruning's
+    /// `CV_min` (§7.1) may credit a blocked joiner with the join
+    /// target's *current* clock: clocks grow monotonically and the
+    /// joiner resumes with the target's final clock folded in, so the
+    /// union is a sound lower bound on the joiner's clock at its next
+    /// visible operation. Without this, a main thread parked in `join`
+    /// for the whole execution pins `CV_min` at zero and long-running
+    /// workloads never prune anything.
+    pub waiting_on: Option<ThreadId>,
 }
 
 impl ThreadState {
@@ -55,6 +64,7 @@ impl ThreadState {
             sc_fences: Vec::new(),
             alive: true,
             in_store_run: false,
+            waiting_on: None,
         }
     }
 
@@ -68,6 +78,7 @@ impl ThreadState {
         self.sc_fences.clear();
         self.alive = true;
         self.in_store_run = false;
+        self.waiting_on = None;
     }
 }
 
@@ -108,6 +119,11 @@ pub struct Execution {
     /// Reusable scratch for prior-set computation (taken/returned
     /// around each use; never observed non-empty outside a commit).
     pub(crate) pset_buf: Vec<StoreIdx>,
+    /// Reusable scratch for the hoisted per-thread prior-set bests of
+    /// [`Execution::feasible_read_candidates_into`].
+    pub(crate) bests_buf: Vec<StoreIdx>,
+    /// Reusable scratch for the hoisted RMW write prior set.
+    pub(crate) wbests_buf: Vec<StoreIdx>,
     /// Committed-event buffer for structured schedule traces. Empty
     /// (and allocation-free) unless tracing is enabled; drained by the
     /// model layer into a `TraceSink` after each execution.
@@ -159,6 +175,8 @@ impl Execution {
             stats,
             prune_cfg,
             pset_buf: Vec::new(),
+            bests_buf: Vec::new(),
+            wbests_buf: Vec::new(),
             trace_buf: Vec::new(),
             coverage: if c11tester_telemetry::coverage_enabled() {
                 ExecCoverage::collecting()
@@ -245,6 +263,9 @@ impl Execution {
         }
         spills += self.graph.spilled_nodes();
         self.stats.alloc.clock_spills = spills;
+        // Snapshot the incremental-order / memory-limiting diagnostics
+        // (like `alloc`, excluded from behavioral equality).
+        self.stats.mograph_perf = self.graph.perf_stats();
     }
 
     /// The memory-model policy in force.
@@ -470,6 +491,26 @@ impl Execution {
         }
     }
 
+    /// §7.1 memory limiting: compacts the mo-graph arena, physically
+    /// evicting pruned tombstones, and rewrites every store's retained
+    /// [`NodeId`] through the remap so Theorem-1 queries keep working
+    /// on the surviving nodes. Called by the pruning pass under
+    /// [`PruneConfig::limits_memory`]; behaviorally invisible (node
+    /// identity is internal to the graph).
+    pub(crate) fn compact_graph(&mut self) {
+        let Execution { graph, stores, .. } = self;
+        let remap = graph.compact();
+        for s in stores.iter_mut() {
+            if let Some(n) = s.node {
+                s.node = remap[n.index()];
+                debug_assert!(
+                    s.pruned || s.node.is_some(),
+                    "compaction evicted the node of a live store"
+                );
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Threads (fork / join: the asw edges of the model)
     // ------------------------------------------------------------------
@@ -499,6 +540,15 @@ impl Execution {
     pub fn finish_thread(&mut self, t: ThreadId) {
         self.threads[t.index()].alive = false;
         self.threads[t.index()].in_store_run = false;
+        self.threads[t.index()].waiting_on = None;
+    }
+
+    /// Records (or clears) that `t` is blocked joining `child`. The
+    /// runtime calls this when it blocks a joiner and again when the
+    /// join target finishes; pruning's `CV_min` (§7.1) uses it to
+    /// credit the parked joiner with the target's current clock.
+    pub fn set_join_waiting(&mut self, t: ThreadId, child: Option<ThreadId>) {
+        self.threads[t.index()].waiting_on = child;
     }
 
     /// Joins `child` into `parent`: the child's entire execution
@@ -762,6 +812,15 @@ impl Execution {
 
     /// [`Execution::feasible_read_candidates`] into a caller-provided
     /// buffer (cleared first) — the allocation-free hot path.
+    ///
+    /// The candidate-independent halves of the §4.3 check — the
+    /// per-thread `last({S1..S4})` bests of `ReadPriorSet` and, for
+    /// RMWs, the write prior set — depend only on `(t, obj, order)`,
+    /// so they are hoisted out of the per-candidate loop: the former
+    /// O(candidates × threads) history scan becomes O(threads)
+    /// followed by O(|priorset|) clock work per candidate. Verdicts,
+    /// rejection counts, and mo-graph node creation order are
+    /// identical to running the unhoisted checks per candidate.
     pub fn feasible_read_candidates_into(
         &mut self,
         t: ThreadId,
@@ -772,13 +831,30 @@ impl Execution {
     ) {
         let timer = phase_start(Phase::ReadFrom);
         self.read_candidates_into(t, obj, order, for_rmw, cands);
-        cands.retain(|&c| {
+        if !cands.is_empty() {
+            let mut bests = std::mem::take(&mut self.bests_buf);
+            self.read_prior_bests_into(t, obj, order, &mut bests);
+            let mut wbests = std::mem::take(&mut self.wbests_buf);
             if for_rmw {
-                self.check_rmw_feasible(t, obj, order, c)
-            } else {
-                self.check_read_feasible(t, obj, order, c)
+                self.rmw_write_prior_set_into(t, obj, order, &mut wbests);
             }
-        });
+            let mut pset = std::mem::take(&mut self.pset_buf);
+            cands.retain(|&c| {
+                let ok = self.sc_read_allowed(obj, order, c)
+                    && self.read_prior_set_from_bests(&bests, c, &mut pset)
+                    && (!for_rmw || self.rmw_store_feasible_from_wpset(&wbests, c));
+                if !ok {
+                    self.stats.candidates_rejected += 1;
+                }
+                ok
+            });
+            pset.clear();
+            self.pset_buf = pset;
+            bests.clear();
+            self.bests_buf = bests;
+            wbests.clear();
+            self.wbests_buf = wbests;
+        }
         if let Some(timer) = timer {
             timer.stop(&mut self.stats.phase);
         }

@@ -73,7 +73,7 @@ pub use event::{
     StoreRecord, ThreadId,
 };
 pub use exec::{Execution, ThreadState};
-pub use mograph::{MoGraph, MoGraphStats, NodeId};
+pub use mograph::{MoGraph, MoGraphPerfStats, MoGraphStats, NodeId};
 pub use policy::Policy;
 pub use prune::{PruneConfig, PruneMode};
 pub use stats::{AllocStats, ExecStats};

@@ -13,9 +13,38 @@
 //! check of §4.3 needs — with per-node clock vectors instead of graph
 //! traversals. Theorem 1: for two same-location nodes in an acyclic
 //! graph, `CV_A ≤ CV_B ⇔ B is reachable from A`.
+//!
+//! # Incremental topological order
+//!
+//! On top of the clock vectors the graph maintains an **incremental
+//! topological order** (Pearce–Kelly / Marchetti-Spaccamela-style): each
+//! live node carries an order index, and every edge points from a lower
+//! index to a higher one. Order-respecting insertions — the vast
+//! majority, since stores mostly arrive in modification order — cost
+//! O(1) extra. A violating insertion triggers a *bounded local reorder*
+//! of only the affected index range (`shift_region`).
+//!
+//! The order index powers two fast paths:
+//!
+//! * [`MoGraph::reaches`] answers negative queries with one integer
+//!   compare (`B` reachable from `A` requires `ord(A) < ord(B)`),
+//!   skipping the clock-vector comparison entirely;
+//! * `AddEdge`'s redundancy test short-circuits the same way.
+//!
+//! Both gates are exact for the queries the engine issues (same-location
+//! live nodes under the CoWW invariant), so the canonical maintenance
+//! counters — and therefore the canonical campaign reports — are
+//! bit-identical to the traversal-free baseline.
+//!
+//! The order additionally enables **tombstone compaction** (§7.1 memory
+//! limiting): [`MoGraph::compact`] physically evicts pruned nodes from
+//! the arena, compacts survivors to the prefix while preserving their
+//! relative topological positions, and returns a remap table so the
+//! execution layer can rewrite its retained [`NodeId`]s.
 
 use crate::clock::ClockVector;
 use crate::event::{ObjId, SeqNum, ThreadId};
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Index of a node in the [`MoGraph`] arena.
@@ -23,7 +52,7 @@ use std::collections::VecDeque;
 pub struct NodeId(pub u32);
 
 impl NodeId {
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -62,6 +91,61 @@ pub struct MoGraphStats {
     pub rmw_edges: u64,
 }
 
+/// Diagnostic counters for the incremental-topological-order machinery
+/// and §7.1 memory limiting. **Never canonical**: like allocation and
+/// phase diagnostics these vary with build/host details and are
+/// excluded from execution-equality checks and canonical reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoGraphPerfStats {
+    /// Edge insertions that violated the maintained order and triggered
+    /// a bounded local reorder.
+    pub order_reorders: u64,
+    /// Total nodes touched (re-indexed region sizes) across reorders.
+    pub reorder_nodes: u64,
+    /// Reachability queries answered negatively by the order-index
+    /// compare alone, skipping the clock-vector comparison.
+    pub reach_fast_negative: u64,
+    /// Reachability queries that fell through to the clock-vector test.
+    pub reach_cv_checks: u64,
+    /// Tombstone compaction passes run ([`MoGraph::compact`]).
+    pub compactions: u64,
+    /// Pruned nodes physically evicted from the arena by compaction.
+    pub compacted_nodes: u64,
+    /// High-water mark of arena-resident nodes (`len()`); under
+    /// `--memory-limit` compaction this stays bounded instead of
+    /// growing with execution length.
+    pub peak_live_nodes: u64,
+}
+
+impl MoGraphPerfStats {
+    /// The telemetry-crate mirror of these counters, for the
+    /// `c11metrics/v1` diagnostic report (telemetry sits below this
+    /// crate, so the conversion lives here).
+    pub fn to_metrics(&self) -> c11tester_telemetry::GraphMetrics {
+        c11tester_telemetry::GraphMetrics {
+            order_reorders: self.order_reorders,
+            reorder_nodes: self.reorder_nodes,
+            reach_fast_negative: self.reach_fast_negative,
+            reach_cv_checks: self.reach_cv_checks,
+            compactions: self.compactions,
+            compacted_nodes: self.compacted_nodes,
+            peak_live_nodes: self.peak_live_nodes,
+        }
+    }
+
+    /// Folds another sample into this one: counters sum, the high-water
+    /// mark takes the max.
+    pub fn absorb(&mut self, other: &MoGraphPerfStats) {
+        self.order_reorders += other.order_reorders;
+        self.reorder_nodes += other.reorder_nodes;
+        self.reach_fast_negative += other.reach_fast_negative;
+        self.reach_cv_checks += other.reach_cv_checks;
+        self.compactions += other.compactions;
+        self.compacted_nodes += other.compacted_nodes;
+        self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
+    }
+}
+
 /// The modification-order constraint graph.
 ///
 /// The node arena is **recyclable**: [`MoGraph::reset`] rewinds the
@@ -70,6 +154,10 @@ pub struct MoGraphStats {
 /// edge-list and (spilled) clock-vector capacity — instead of
 /// reallocating per execution. Propagation uses a reusable scratch
 /// worklist rather than cloning edge lists per visited node.
+///
+/// Invariant: `order` is a topological order of the live nodes —
+/// `order[p]` is the node at position `p`, `ord[n]` its inverse — and
+/// every mo/rmw edge `u → v` satisfies `ord[u] < ord[v]`.
 #[derive(Clone, Debug, Default)]
 pub struct MoGraph {
     nodes: Vec<Node>,
@@ -77,10 +165,32 @@ pub struct MoGraph {
     /// recycling and must never be read.
     live: usize,
     stats: MoGraphStats,
+    /// Topological position of each node (indexed by node index;
+    /// entries at or above `live` are stale).
+    ord: Vec<u32>,
+    /// Node at each topological position; always `live` entries.
+    order: Vec<NodeId>,
+    /// Live nodes currently tombstoned by pruning (compaction resets
+    /// this when it evicts them).
+    pruned_count: usize,
+    perf: MoGraphPerfStats,
+    /// Reachability-query counters; `Cell` because [`MoGraph::reaches`]
+    /// takes `&self` on the hot path.
+    reach_fast: Cell<u64>,
+    reach_cv: Cell<u64>,
     /// Reusable BFS worklist for clock-vector propagation.
     scratch: VecDeque<NodeId>,
     /// Reusable buffer for the edges migrated by `add_rmw_edge`.
     scratch_edges: Vec<NodeId>,
+    /// Reusable DFS stack for order repair.
+    dfs: Vec<NodeId>,
+    /// Reusable node markers (all false between operations), sized with
+    /// the arena.
+    in_f: Vec<bool>,
+    /// Reusable staging buffer for the reorder partition.
+    reorder_tmp: Vec<NodeId>,
+    /// Remap table built by the latest [`MoGraph::compact`].
+    remap: Vec<Option<NodeId>>,
 }
 
 impl MoGraph {
@@ -94,13 +204,22 @@ impl MoGraph {
     pub fn reset(&mut self) {
         self.live = 0;
         self.stats = MoGraphStats::default();
+        self.order.clear();
+        self.pruned_count = 0;
+        self.perf = MoGraphPerfStats::default();
+        self.reach_fast.set(0);
+        self.reach_cv.set(0);
     }
 
     /// Adds a node for a store by `tid` with sequence number `seq` at
     /// location `obj`; its clock vector starts at `⊥CV` (own slot only).
-    /// Reuses a retired arena slot when one is available.
+    /// Reuses a retired arena slot when one is available. A fresh node
+    /// has no edges, so appending it at the end of the topological
+    /// order keeps the order valid.
     pub fn add_node(&mut self, tid: ThreadId, seq: SeqNum, obj: ObjId) -> NodeId {
         let id = NodeId(self.live as u32);
+        debug_assert_eq!(self.order.len(), self.live);
+        let pos = self.live as u32;
         if self.live < self.nodes.len() {
             // Recycled slot: re-initialize in place, keeping capacity.
             let n = &mut self.nodes[self.live];
@@ -112,6 +231,7 @@ impl MoGraph {
             n.seq = seq;
             n.obj = obj;
             n.pruned = false;
+            self.ord[self.live] = pos;
         } else {
             self.nodes.push(Node {
                 cv: ClockVector::bottom_for(tid, seq),
@@ -122,8 +242,12 @@ impl MoGraph {
                 obj,
                 pruned: false,
             });
+            self.ord.push(pos);
+            self.in_f.push(false);
         }
+        self.order.push(id);
         self.live += 1;
+        self.perf.peak_live_nodes = self.perf.peak_live_nodes.max(self.live as u64);
         id
     }
 
@@ -163,6 +287,21 @@ impl MoGraph {
         self.stats
     }
 
+    /// Diagnostic incremental-order / memory-limiting counters.
+    pub fn perf_stats(&self) -> MoGraphPerfStats {
+        let mut p = self.perf;
+        p.reach_fast_negative = self.reach_fast.get();
+        p.reach_cv_checks = self.reach_cv.get();
+        p
+    }
+
+    /// Topological position of a live node (test/diagnostic accessor;
+    /// the invariant is `ord(u) < ord(v)` for every edge `u → v`).
+    pub fn order_index(&self, id: NodeId) -> u32 {
+        debug_assert!(id.index() < self.live, "order of a retired node slot");
+        self.ord[id.index()]
+    }
+
     /// `Merge` (Fig. 6): folds `src`'s clock vector into `dst`'s,
     /// reporting whether `dst` changed.
     fn merge(&mut self, dst: NodeId, src: NodeId) -> bool {
@@ -187,8 +326,10 @@ impl MoGraph {
     }
 
     /// `AddEdge` (Fig. 6): records the constraint `from mo→ to`, skipping
-    /// redundant edges via the clock-vector test, redirecting through rmw
-    /// chains, and propagating clock-vector changes breadth-first.
+    /// redundant edges via the order-index/clock-vector test, redirecting
+    /// through rmw chains, repairing the topological order when the new
+    /// edge violates it, and propagating clock-vector changes
+    /// breadth-first.
     ///
     /// # Panics
     ///
@@ -204,7 +345,13 @@ impl MoGraph {
             let fnode = &self.nodes[from.index()];
             let tnode = &self.nodes[to.index()];
             let must_add = fnode.rmw == Some(to) || fnode.tid == tnode.tid;
-            if fnode.cv.leq(&tnode.cv) && !must_add {
+            // Order gate first: redundancy (`from` already reaches `to`)
+            // requires ord(from) < ord(to), so most non-redundant edges
+            // skip the clock comparison. Exact: for the same-location
+            // live nodes the engine passes here, CV-≤ implies
+            // reachability implies the order relation.
+            if !must_add && self.ord[from.index()] < self.ord[to.index()] && fnode.cv.leq(&tnode.cv)
+            {
                 self.stats.edges_redundant += 1;
                 return;
             }
@@ -238,10 +385,89 @@ impl MoGraph {
         if !self.nodes[from.index()].edges.contains(&to) {
             self.nodes[from.index()].edges.push(to);
             self.stats.edges_added += 1;
+            // An edge already present respects the order by the
+            // invariant; only a newly inserted one can violate it.
+            if self.ord[from.index()] > self.ord[to.index()] {
+                self.restore_order(from, to);
+            }
         }
         if self.merge(to, from) {
             self.propagate(to);
         }
+    }
+
+    /// Repairs the topological order after inserting the violating edge
+    /// `from → to` (`ord(from) > ord(to)`): seeds the affected region
+    /// at `to` and shifts everything `to` reaches past `from`.
+    fn restore_order(&mut self, from: NodeId, to: NodeId) {
+        let lo = self.ord[to.index()] as usize;
+        let hi = self.ord[from.index()] as usize;
+        debug_assert!(self.dfs.is_empty());
+        self.in_f[to.index()] = true;
+        self.dfs.push(to);
+        self.shift_region(lo, hi);
+        debug_assert!(
+            self.ord[from.index()] < self.ord[to.index()],
+            "reorder failed to restore the edge {from:?} -> {to:?}"
+        );
+    }
+
+    /// Bounded local reorder (the MNR/Pearce–Kelly "shift" step): given
+    /// seed nodes already pushed on `self.dfs` (and marked in
+    /// `self.in_f`) whose positions lie in `[lo, hi]`, computes the set
+    /// `F` of nodes forward-reachable from the seeds within positions
+    /// `≤ hi`, then stable-partitions the position range `[lo, hi]`
+    /// into non-`F` nodes followed by `F` nodes. Positions outside the
+    /// range are untouched.
+    ///
+    /// This restores the order invariant provided no seed reaches a
+    /// node that must precede it (i.e. the graph is acyclic and every
+    /// violating edge's *source* is outside `F`): `F` is closed under
+    /// in-range successors, and both blocks preserve relative order.
+    fn shift_region(&mut self, lo: usize, hi: usize) {
+        let mut stack = std::mem::take(&mut self.dfs);
+        while let Some(n) = stack.pop() {
+            let edge_count = self.nodes[n.index()].edges.len();
+            for i in 0..edge_count {
+                let s = self.nodes[n.index()].edges[i];
+                if (self.ord[s.index()] as usize) <= hi && !self.in_f[s.index()] {
+                    self.in_f[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+            if let Some(r) = self.nodes[n.index()].rmw {
+                if (self.ord[r.index()] as usize) <= hi && !self.in_f[r.index()] {
+                    self.in_f[r.index()] = true;
+                    stack.push(r);
+                }
+            }
+        }
+        self.dfs = stack;
+        let mut tmp = std::mem::take(&mut self.reorder_tmp);
+        debug_assert!(tmp.is_empty());
+        for p in lo..=hi {
+            let n = self.order[p];
+            if !self.in_f[n.index()] {
+                tmp.push(n);
+            }
+        }
+        for p in lo..=hi {
+            let n = self.order[p];
+            if self.in_f[n.index()] {
+                tmp.push(n);
+                self.in_f[n.index()] = false;
+            }
+        }
+        debug_assert_eq!(tmp.len(), hi - lo + 1);
+        for (off, &n) in tmp.iter().enumerate() {
+            let p = lo + off;
+            self.order[p] = n;
+            self.ord[n.index()] = p as u32;
+        }
+        tmp.clear();
+        self.reorder_tmp = tmp;
+        self.perf.order_reorders += 1;
+        self.perf.reorder_nodes += (hi - lo + 1) as u64;
     }
 
     /// Breadth-first clock-vector propagation from `start` over mo and
@@ -274,6 +500,13 @@ impl MoGraph {
     /// previously ordered after `from` is now ordered after `rmw`), and
     /// finally adds the ordinary mo edge with propagation.
     ///
+    /// Migration deduplicates against `rmw`'s existing targets with a
+    /// marker sweep — O(d) over the degree instead of the quadratic
+    /// per-edge `contains` scan — and repairs the topological order for
+    /// all migrated targets in **one** batched shift (seeded at every
+    /// migrated target ordered before `rmw`) rather than one reorder
+    /// per edge.
+    ///
     /// Propagation runs unconditionally from the RMW node: the migrated
     /// edges are new paths out of `rmw`, so their targets must absorb
     /// its clock vector even when `from`'s clock was already merged in
@@ -285,6 +518,12 @@ impl MoGraph {
         );
         self.nodes[from.index()].rmw = Some(rmw);
         self.stats.rmw_edges += 1;
+        // The rmw pointer is itself an edge; repair its order first
+        // (rare — callers create the RMW node right before this call,
+        // so it normally sits at the end of the order already).
+        if self.ord[from.index()] > self.ord[rmw.index()] {
+            self.restore_order(from, rmw);
+        }
         let mut migrated = std::mem::take(&mut self.scratch_edges);
         debug_assert!(migrated.is_empty());
         migrated.extend(
@@ -294,14 +533,41 @@ impl MoGraph {
                 .copied()
                 .filter(|&dst| dst != rmw),
         );
-        for dst in &migrated {
-            if !self.nodes[rmw.index()].edges.contains(dst) {
-                self.nodes[rmw.index()].edges.push(*dst);
+        self.nodes[from.index()].edges.clear();
+        // O(d) dedup: mark rmw's existing targets, append unmarked
+        // migrated ones, then unmark everything.
+        for i in 0..self.nodes[rmw.index()].edges.len() {
+            let e = self.nodes[rmw.index()].edges[i];
+            self.in_f[e.index()] = true;
+        }
+        for &dst in &migrated {
+            if !self.in_f[dst.index()] {
+                self.in_f[dst.index()] = true;
+                self.nodes[rmw.index()].edges.push(dst);
+            }
+        }
+        for i in 0..self.nodes[rmw.index()].edges.len() {
+            let e = self.nodes[rmw.index()].edges[i];
+            self.in_f[e.index()] = false;
+        }
+        // Batched order repair: every migrated target ordered before
+        // `rmw` seeds one shift over the smallest covering region.
+        let hi = self.ord[rmw.index()] as usize;
+        let mut lo = hi;
+        debug_assert!(self.dfs.is_empty());
+        for &dst in &migrated {
+            let p = self.ord[dst.index()] as usize;
+            if p < hi && !self.in_f[dst.index()] {
+                self.in_f[dst.index()] = true;
+                self.dfs.push(dst);
+                lo = lo.min(p);
             }
         }
         migrated.clear();
         self.scratch_edges = migrated;
-        self.nodes[from.index()].edges.clear();
+        if !self.dfs.is_empty() {
+            self.shift_region(lo, hi);
+        }
         self.add_edge(from, rmw);
         // Forced propagation over the migrated edges.
         self.propagate(rmw);
@@ -327,6 +593,10 @@ impl MoGraph {
     /// Only meaningful when both nodes write the same location (the
     /// paper's precondition for comparing mo-graph clock vectors).
     /// `a == b` answers `false` (we care about non-trivial paths).
+    ///
+    /// Gated on the topological order: reachability requires
+    /// `ord(a) < ord(b)`, so most negative queries resolve with one
+    /// integer compare and never touch the clock vectors.
     pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
         if a == b {
             return false;
@@ -337,6 +607,19 @@ impl MoGraph {
             an.obj, bn.obj,
             "CV reachability compares same-location nodes"
         );
+        if self.ord[a.index()] >= self.ord[b.index()] {
+            self.reach_fast.set(self.reach_fast.get() + 1);
+            // Exactness of the gate for live nodes: CV-≤ implies
+            // reachability implies the order relation. (Pruned nodes
+            // have released — vacuously comparable — clocks; the
+            // engine never queries them.)
+            debug_assert!(
+                an.pruned || bn.pruned || !an.cv.leq(&bn.cv),
+                "order gate disagrees with Theorem 1 for {a:?} -> {b:?}"
+            );
+            return false;
+        }
+        self.reach_cv.set(self.reach_cv.get() + 1);
         an.cv.leq(&bn.cv)
     }
 
@@ -406,6 +689,29 @@ impl MoGraph {
         false
     }
 
+    /// Validates the order invariant by traversal (test/debug use
+    /// only): every mo/rmw edge goes forward in the maintained order,
+    /// and `order`/`ord` are mutually inverse over the live nodes.
+    pub fn order_is_valid_slow(&self) -> bool {
+        if self.order.len() != self.live {
+            return false;
+        }
+        for (p, &n) in self.order.iter().enumerate() {
+            if n.index() >= self.live || self.ord[n.index()] as usize != p {
+                return false;
+            }
+        }
+        for (ix, node) in self.live_nodes().iter().enumerate() {
+            let succs = node.edges.iter().chain(node.rmw.iter());
+            for &s in succs {
+                if self.ord[ix] >= self.ord[s.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Tombstones a node during pruning: **releases** its clock-vector
     /// heap storage and edge list. Pruned mo-graph nodes are not
     /// recycled within an execution, so retaining capacity here would
@@ -415,10 +721,18 @@ impl MoGraph {
     /// node still needs reachability answers involving this node.
     pub fn prune_node(&mut self, id: NodeId) {
         let n = &mut self.nodes[id.index()];
+        if !n.pruned {
+            self.pruned_count += 1;
+        }
         n.pruned = true;
         n.cv.release();
         n.edges = Vec::new();
         n.rmw = None;
+    }
+
+    /// Number of live nodes currently tombstoned by pruning.
+    pub fn pruned_len(&self) -> usize {
+        self.pruned_count
     }
 
     /// Drops edges that point at pruned nodes (housekeeping after a
@@ -433,6 +747,67 @@ impl MoGraph {
                 }
             }
         }
+    }
+
+    /// §7.1 memory limiting: physically evicts pruned tombstones from
+    /// the arena. Survivors are compacted to the arena prefix in arena
+    /// order (edge removal never reorders, so their relative
+    /// topological positions survive the move), vacated slots become
+    /// retired slots available for recycling, and the maintained
+    /// topological order is rebuilt over the survivors.
+    ///
+    /// Returns the remap table — `remap[old_index]` is the survivor's
+    /// new id, or `None` for an evicted tombstone. **The caller must
+    /// rewrite every retained [`NodeId`] through it**; stale ids point
+    /// at the wrong (or a retired) slot afterwards.
+    pub fn compact(&mut self) -> &[Option<NodeId>] {
+        let old_live = self.live;
+        self.remap.clear();
+        self.remap.resize(old_live, None);
+        let mut w = 0usize;
+        for i in 0..old_live {
+            if self.nodes[i].pruned {
+                continue;
+            }
+            self.remap[i] = Some(NodeId(w as u32));
+            if w != i {
+                self.nodes.swap(w, i);
+            }
+            w += 1;
+        }
+        // Rewrite survivor edges through the remap. Edges to pruned
+        // nodes should already be gone (`drop_edges_to_pruned`), but
+        // dropping any straggler here keeps the pass self-contained.
+        for n in &mut self.nodes[..w] {
+            n.edges.retain_mut(|e| match self.remap[e.index()] {
+                Some(new) => {
+                    *e = new;
+                    true
+                }
+                None => false,
+            });
+            if let Some(r) = n.rmw {
+                n.rmw = self.remap[r.index()];
+            }
+        }
+        // Rebuild the topological order over the survivors, preserving
+        // their relative positions.
+        let mut tmp = std::mem::take(&mut self.reorder_tmp);
+        debug_assert!(tmp.is_empty());
+        tmp.extend(self.order.iter().filter_map(|&n| self.remap[n.index()]));
+        debug_assert_eq!(tmp.len(), w);
+        self.order.clear();
+        self.order.extend_from_slice(&tmp);
+        for (p, &n) in tmp.iter().enumerate() {
+            self.ord[n.index()] = p as u32;
+        }
+        tmp.clear();
+        self.reorder_tmp = tmp;
+        self.perf.compactions += 1;
+        self.perf.compacted_nodes += (old_live - w) as u64;
+        self.live = w;
+        self.pruned_count = 0;
+        &self.remap
     }
 
     /// Approximate heap footprint of the graph in bytes (for the
@@ -470,6 +845,7 @@ mod tests {
         assert!(!g.reaches(b, a));
         assert!(g.reaches_slow(a, b));
         assert!(!g.reaches_slow(b, a));
+        assert!(g.order_is_valid_slow());
     }
 
     #[test]
@@ -500,6 +876,7 @@ mod tests {
         assert_eq!(g.node(d).cv.get(t(0)), 1);
         assert_eq!(g.node(d).cv.get(t(1)), 2);
         assert_eq!(g.node(d).cv.get(t(2)), 3);
+        assert!(g.order_is_valid_slow());
     }
 
     #[test]
@@ -549,6 +926,7 @@ mod tests {
         assert_eq!(g.node(a).edges, vec![r]);
         assert_eq!(g.node(a).rmw, Some(r));
         assert!(g.node(r).edges.contains(&c));
+        assert!(g.order_is_valid_slow(), "batched migration repairs order");
     }
 
     #[test]
@@ -566,6 +944,44 @@ mod tests {
         assert!(g.reaches_slow(r, y));
         // a's direct outgoing edges still only name the RMW.
         assert_eq!(g.node(a).edges, vec![r]);
+    }
+
+    #[test]
+    fn violating_insertion_triggers_bounded_reorder() {
+        // b, c, a created in that order (so a sits last in the order),
+        // then a -> b forces b (and its reachable set) past a.
+        let mut g = graph();
+        let b = g.add_node(t(0), SeqNum(1), OBJ);
+        let c = g.add_node(t(1), SeqNum(2), OBJ);
+        let a = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_edge(b, c);
+        assert_eq!(g.perf_stats().order_reorders, 0);
+        g.add_edge(a, b); // ord(a)=2 > ord(b)=0: violating
+        let p = g.perf_stats();
+        assert_eq!(p.order_reorders, 1);
+        assert_eq!(p.reorder_nodes, 3, "region [ord(b), ord(a)] spans 3 nodes");
+        assert!(g.order_is_valid_slow());
+        assert!(g.order_index(a) < g.order_index(b));
+        assert!(g.order_index(b) < g.order_index(c));
+        assert!(g.reaches(a, c));
+        // Order-respecting insertions stay reorder-free.
+        let d = g.add_node(t(3), SeqNum(4), OBJ);
+        g.add_edge(c, d);
+        assert_eq!(g.perf_stats().order_reorders, 1);
+    }
+
+    #[test]
+    fn reaches_counts_fast_negative_queries() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_edge(a, b);
+        let before = g.perf_stats();
+        assert!(!g.reaches(b, a), "order gate: ord(b) > ord(a)");
+        assert!(g.reaches(a, b));
+        let after = g.perf_stats();
+        assert_eq!(after.reach_fast_negative, before.reach_fast_negative + 1);
+        assert_eq!(after.reach_cv_checks, before.reach_cv_checks + 1);
     }
 
     #[test]
@@ -607,6 +1023,7 @@ mod tests {
                 g.add_edge(ids[i], ids[j]);
             }
             assert!(!g.has_cycle_slow());
+            assert!(g.order_is_valid_slow(), "seed {seed}: order invariant");
             for i in 0..n {
                 for j in 0..n {
                     if i == j {
@@ -635,6 +1052,87 @@ mod tests {
         assert!(g.node(a).edges.is_empty());
         assert!(g.node(a).cv.is_empty());
         assert!(!g.node(b).pruned);
+        assert_eq!(g.pruned_len(), 1);
+    }
+
+    #[test]
+    fn compact_evicts_tombstones_and_remaps_survivors() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let b = g.add_node(t(1), SeqNum(2), OBJ);
+        let c = g.add_node(t(2), SeqNum(3), OBJ);
+        let d = g.add_node(t(3), SeqNum(4), OBJ);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, d);
+        g.prune_node(a);
+        g.prune_node(c);
+        g.drop_edges_to_pruned();
+        let remap: Vec<Option<NodeId>> = g.compact().to_vec();
+        assert_eq!(remap.len(), 4);
+        assert_eq!(remap[a.index()], None);
+        assert_eq!(remap[c.index()], None);
+        let (b2, d2) = (remap[b.index()].unwrap(), remap[d.index()].unwrap());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.pruned_len(), 0);
+        assert!(g.order_is_valid_slow());
+        // Survivor identity and *direct* edges survive the move (the
+        // b -> c and c -> d edges died with c before compaction).
+        assert_eq!(g.node(b2).seq, SeqNum(2));
+        assert_eq!(g.node(d2).seq, SeqNum(4));
+        assert!(g.node(b2).edges.is_empty());
+        assert!(g.reaches(b2, d2), "clock vectors still witness b mo→ d");
+        let p = g.perf_stats();
+        assert_eq!(p.compactions, 1);
+        assert_eq!(p.compacted_nodes, 2);
+        // The vacated slots recycle like any retired slot.
+        let e = g.add_node(t(0), SeqNum(9), OBJ);
+        assert_eq!(e, NodeId(2));
+        assert!(!g.node(e).pruned);
+        assert!(g.node(e).edges.is_empty());
+        g.add_edge(d2, e);
+        assert!(g.reaches(d2, e));
+        assert!(g.order_is_valid_slow());
+    }
+
+    #[test]
+    fn compact_preserves_rmw_chains() {
+        let mut g = graph();
+        let a = g.add_node(t(0), SeqNum(1), OBJ);
+        let r = g.add_node(t(1), SeqNum(2), OBJ);
+        g.add_rmw_edge(a, r);
+        let x = g.add_node(t(2), SeqNum(3), OBJ);
+        g.add_edge(x, a); // lands after the chain: x -> a stays incoming
+        g.prune_node(x);
+        g.drop_edges_to_pruned();
+        let remap: Vec<Option<NodeId>> = g.compact().to_vec();
+        let (a2, r2) = (remap[a.index()].unwrap(), remap[r.index()].unwrap());
+        assert_eq!(g.node(a2).rmw, Some(r2), "rmw pointer remapped");
+        assert_eq!(g.chain_end(a2, NodeId(u32::MAX)), r2);
+        assert!(g.reaches(a2, r2));
+        assert!(g.order_is_valid_slow());
+    }
+
+    #[test]
+    fn peak_live_nodes_tracks_arena_high_water() {
+        let mut g = graph();
+        for i in 0..5 {
+            g.add_node(t(0), SeqNum(i + 1), OBJ);
+        }
+        assert_eq!(g.perf_stats().peak_live_nodes, 5);
+        for i in 0..4 {
+            g.prune_node(NodeId(i));
+        }
+        g.drop_edges_to_pruned();
+        g.compact();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.perf_stats().peak_live_nodes, 5, "high-water sticks");
+        g.add_node(t(1), SeqNum(9), OBJ);
+        assert_eq!(
+            g.perf_stats().peak_live_nodes,
+            5,
+            "bounded under compaction"
+        );
     }
 
     #[test]
@@ -649,6 +1147,7 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.len(), 0);
         assert_eq!(g.stats(), MoGraphStats::default());
+        assert_eq!(g.perf_stats(), MoGraphPerfStats::default());
         // Recycled slots must behave exactly like fresh nodes: no stale
         // edges, rmw pointers, clocks, or tombstones.
         let a2 = g.add_node(t(3), SeqNum(10), OBJ);
@@ -664,6 +1163,37 @@ mod tests {
         assert!(g.reaches(a2, b2));
         assert!(g.reaches_slow(a2, b2));
         assert_eq!(g.stats().edges_added, 1);
+        assert!(g.order_is_valid_slow());
+    }
+
+    #[test]
+    fn perf_stats_absorb_sums_counts_and_maxes_peak() {
+        let mut a = MoGraphPerfStats {
+            order_reorders: 1,
+            reorder_nodes: 10,
+            reach_fast_negative: 100,
+            reach_cv_checks: 7,
+            compactions: 1,
+            compacted_nodes: 4,
+            peak_live_nodes: 50,
+        };
+        let b = MoGraphPerfStats {
+            order_reorders: 2,
+            reorder_nodes: 5,
+            reach_fast_negative: 1,
+            reach_cv_checks: 3,
+            compactions: 0,
+            compacted_nodes: 0,
+            peak_live_nodes: 80,
+        };
+        a.absorb(&b);
+        assert_eq!(a.order_reorders, 3);
+        assert_eq!(a.reorder_nodes, 15);
+        assert_eq!(a.reach_fast_negative, 101);
+        assert_eq!(a.reach_cv_checks, 10);
+        assert_eq!(a.compactions, 1);
+        assert_eq!(a.compacted_nodes, 4);
+        assert_eq!(a.peak_live_nodes, 80);
     }
 
     #[test]

@@ -179,21 +179,22 @@ impl Execution {
         }
     }
 
-    /// `ReadPriorSet(L, S)` (Fig. 13): the stores that would gain mo
-    /// edges into candidate `cand` if a load by `t` read from it, plus
-    /// the §4.3 feasibility verdict. Fills `priorset` (cleared first)
-    /// and returns `false` — with `priorset` emptied — when any member
-    /// is already reachable from `cand` in the mo-graph (a cycle would
-    /// form, so the candidate must be discarded).
-    pub(crate) fn read_prior_set_into(
-        &mut self,
+    /// The candidate-independent half of `ReadPriorSet`: computes the
+    /// per-thread `last({S1, S2, S3, S4})` bests (mapped through
+    /// `get_write`) for a load by `t` at `obj`. The result depends only
+    /// on `(t, obj, order)` — never on the read-from candidate — so
+    /// [`Execution::feasible_read_candidates_into`] hoists it out of
+    /// the per-candidate loop. Bests are pushed in history order,
+    /// duplicates included; [`Execution::read_prior_set_from_bests`]
+    /// applies the per-candidate filtering.
+    pub(crate) fn read_prior_bests_into(
+        &self,
         t: ThreadId,
         obj: ObjId,
         order: MemOrder,
-        cand: StoreIdx,
-        priorset: &mut Vec<StoreIdx>,
-    ) -> bool {
-        priorset.clear();
+        bests: &mut Vec<StoreIdx>,
+    ) {
+        bests.clear();
         let is_sc_load = order.is_seq_cst();
         let f_l = self.last_sc_fence(t.index());
         let f_l_seq = f_l.map(|f| self.fence_seq(f));
@@ -203,10 +204,27 @@ impl Execution {
                 let f_b = f_l_seq.and_then(|b| self.last_sc_fence_before(uix, b));
                 let hb_bound = self.threads[t.index()].cv.get(ThreadId::from_index(uix));
                 if let Some(a) = self.prior_for_thread(h, is_sc_load, f_t, f_l, f_b, hb_bound) {
-                    if a != cand && !priorset.contains(&a) {
-                        priorset.push(a);
-                    }
+                    bests.push(a);
                 }
+            }
+        }
+    }
+
+    /// The candidate-dependent half of `ReadPriorSet` plus the §4.3
+    /// feasibility verdict: assembles `cand`'s prior set from hoisted
+    /// `bests` and returns `false` — with `priorset` emptied — when any
+    /// member is already reachable from `cand` in the mo-graph (a cycle
+    /// would form, so the candidate must be discarded).
+    pub(crate) fn read_prior_set_from_bests(
+        &mut self,
+        bests: &[StoreIdx],
+        cand: StoreIdx,
+        priorset: &mut Vec<StoreIdx>,
+    ) -> bool {
+        priorset.clear();
+        for &a in bests {
+            if a != cand && !priorset.contains(&a) {
+                priorset.push(a);
             }
         }
         // Feasibility: would any new edge `e → cand` close a cycle?
@@ -233,6 +251,28 @@ impl Execution {
         true
     }
 
+    /// `ReadPriorSet(L, S)` (Fig. 13): the stores that would gain mo
+    /// edges into candidate `cand` if a load by `t` read from it, plus
+    /// the §4.3 feasibility verdict. Fills `priorset` (cleared first)
+    /// and returns `false` — with `priorset` emptied — when any member
+    /// is already reachable from `cand` in the mo-graph. Single-shot
+    /// composition of the two halves above.
+    pub(crate) fn read_prior_set_into(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        cand: StoreIdx,
+        priorset: &mut Vec<StoreIdx>,
+    ) -> bool {
+        let mut bests = std::mem::take(&mut self.bests_buf);
+        self.read_prior_bests_into(t, obj, order, &mut bests);
+        let ok = self.read_prior_set_from_bests(&bests, cand, priorset);
+        bests.clear();
+        self.bests_buf = bests;
+        ok
+    }
+
     /// Additional feasibility for RMWs (§4.3 "Atomic RMWs"): the RMW's
     /// *store half* adds edges `e → rmw` (seq_cst/MO consistency,
     /// seq_cst fence constraints, coherence), while RMW atomicity
@@ -248,12 +288,29 @@ impl Execution {
         order: MemOrder,
         cand: StoreIdx,
     ) -> bool {
-        // The write prior set computed with pre-acquire clocks: the
-        // post-acquire additions flow through the candidate's release
-        // sequence and are provably mo-≤ the candidate, so they cannot
-        // close a cycle.
         let mut wpset = std::mem::take(&mut self.pset_buf);
-        self.write_prior_set_into(t, obj, order, &mut wpset);
+        self.rmw_write_prior_set_into(t, obj, order, &mut wpset);
+        let feasible = self.rmw_store_feasible_from_wpset(&wpset, cand);
+        wpset.clear();
+        self.pset_buf = wpset;
+        feasible
+    }
+
+    /// The candidate-independent half of the RMW store-half check: the
+    /// write prior set the RMW's own store will add edges from. The
+    /// set is computed with pre-acquire clocks — the post-acquire
+    /// additions flow through the candidate's release sequence and are
+    /// provably mo-≤ the candidate, so they cannot close a cycle.
+    /// Depends only on `(t, obj, order)`, so
+    /// [`Execution::feasible_read_candidates_into`] hoists it.
+    pub(crate) fn rmw_write_prior_set_into(
+        &self,
+        t: ThreadId,
+        obj: ObjId,
+        order: MemOrder,
+        wpset: &mut Vec<StoreIdx>,
+    ) {
+        self.write_prior_set_into(t, obj, order, wpset);
         // Restricted policies additionally chain the new store after the
         // execution-order-latest store; an RMW reading anything older is
         // inconsistent with a total execution-order mo (real tsan
@@ -265,22 +322,28 @@ impl Execution {
                 }
             }
         }
+    }
+
+    /// The candidate-dependent half: is reading `cand` consistent with
+    /// the hoisted write prior set, i.e. is no member already
+    /// reachable *from* `cand`?
+    pub(crate) fn rmw_store_feasible_from_wpset(
+        &mut self,
+        wpset: &[StoreIdx],
+        cand: StoreIdx,
+    ) -> bool {
         let n_cand = self.node_of(cand);
-        let mut feasible = true;
-        for &e in &wpset {
+        for &e in wpset {
             if e == cand {
                 continue;
             }
             let n_e = self.node_of(e);
             let n_end = self.graph.chain_end(n_e, n_cand);
             if n_end != n_cand && self.graph.reaches(n_cand, n_end) {
-                feasible = false;
-                break;
+                return false;
             }
         }
-        wpset.clear();
-        self.pset_buf = wpset;
-        feasible
+        true
     }
 }
 

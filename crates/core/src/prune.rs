@@ -51,6 +51,14 @@ pub struct PruneConfig {
     pub interval: u64,
     /// Trace-window length in events for aggressive mode.
     pub window: u64,
+    /// First-class §7.1 memory limiting: when tombstones dominate the
+    /// mo-graph arena after a pass, compact the arena — physically
+    /// evicting pruned nodes and remapping survivors — so *resident*
+    /// graph state stays bounded instead of merely recycled. The
+    /// trigger is a pure function of deterministic graph state, so
+    /// compaction fires at identical points regardless of worker count
+    /// or execution recycling.
+    pub memory_limit: bool,
 }
 
 impl PruneConfig {
@@ -60,6 +68,7 @@ impl PruneConfig {
             mode: PruneMode::Disabled,
             interval: 0,
             window: 0,
+            memory_limit: false,
         }
     }
 
@@ -69,6 +78,7 @@ impl PruneConfig {
             mode: PruneMode::Conservative,
             interval,
             window: 0,
+            memory_limit: false,
         }
     }
 
@@ -79,7 +89,35 @@ impl PruneConfig {
             mode: PruneMode::Aggressive,
             interval,
             window,
+            memory_limit: false,
         }
+    }
+
+    /// The first-class `--memory-limit` mode: windowed (aggressive)
+    /// pruning every `interval` events plus mo-graph arena compaction.
+    ///
+    /// Faithful to the paper's §7.1: resident trace state is *bounded*
+    /// by discarding stores older than the trace window even when some
+    /// thread never observed them — which can narrow the set of
+    /// producible executions, but is the only way to cap memory on
+    /// programs whose threads never synchronize (e.g. workloads whose
+    /// seeded bug is precisely a missing release edge). Conservative
+    /// pruning alone leaves such histories to grow without bound. The
+    /// window is in events, a pure function of the deterministic event
+    /// sequence, so behavior stays byte-identical across worker counts.
+    pub fn memory_limited(interval: u64) -> Self {
+        PruneConfig::aggressive(interval, interval.saturating_mul(8)).with_memory_limit()
+    }
+
+    /// Enables mo-graph arena compaction on top of any pruning mode.
+    pub fn with_memory_limit(mut self) -> Self {
+        self.memory_limit = true;
+        self
+    }
+
+    /// Whether mo-graph arena compaction is enabled.
+    pub fn limits_memory(&self) -> bool {
+        self.memory_limit
     }
 }
 
@@ -114,14 +152,35 @@ impl Execution {
         }
     }
 
-    /// `CV_min`: intersection of the clock vectors of all live threads.
+    /// `CV_min`: intersection over all live threads of each thread's
+    /// *effective* clock vector.
+    ///
+    /// A thread parked in `join` contributes its own clock unioned with
+    /// the join target's current clock (chains followed transitively).
+    /// That union is a sound lower bound on the joiner's clock at its
+    /// next visible operation: clocks grow monotonically and the joiner
+    /// resumes only after folding in the target's final clock. Without
+    /// the credit, a main thread blocked in `join` for the whole
+    /// execution pins `CV_min` near zero and nothing ever prunes.
     fn cv_min(&self) -> Option<ClockVector> {
-        let mut alive = self.threads.iter().filter(|t| t.alive);
-        let mut cv = alive.next()?.cv.clone();
-        for t in alive {
-            cv = cv.intersect(&t.cv);
+        let mut min: Option<ClockVector> = None;
+        for t in self.threads.iter().filter(|t| t.alive) {
+            let mut cv = t.cv.clone();
+            let mut next = t.waiting_on;
+            // Join chains are acyclic (a cycle would deadlock), but
+            // bound the walk by thread count for robustness.
+            for _ in 0..self.threads.len() {
+                let Some(target) = next else { break };
+                let ts = &self.threads[target.index()];
+                cv.union_with(&ts.cv);
+                next = ts.waiting_on;
+            }
+            min = Some(match min {
+                None => cv,
+                Some(m) => m.intersect(&cv),
+            });
         }
-        Some(cv)
+        min
     }
 
     /// Is `x` strictly modification-ordered before `k`?
@@ -272,6 +331,19 @@ impl Execution {
         }
 
         self.graph.drop_edges_to_pruned();
+
+        // §7.1 memory limiting: once tombstones make up half the
+        // mo-graph arena (and there are enough of them to be worth a
+        // pass), physically evict them. The threshold is a pure
+        // function of graph state — never wall-clock or allocator
+        // state — so compaction points are deterministic and the
+        // canonical output stays byte-identical across worker counts.
+        if self.prune_cfg.memory_limit {
+            let tombs = self.graph.pruned_len();
+            if tombs >= 32 && tombs * 2 >= self.graph.len() {
+                self.compact_graph();
+            }
+        }
     }
 }
 
@@ -399,6 +471,83 @@ mod tests {
             "store arena must stay bounded, got {}",
             e.stores.len()
         );
+    }
+
+    /// Memory limiting compacts the mo-graph arena: resident node
+    /// state stays bounded where the same windowed pruner without the
+    /// limit only tombstones (slots stay occupied until the execution
+    /// ends).
+    #[test]
+    fn memory_limit_bounds_resident_graph_nodes() {
+        let run = |cfg: PruneConfig| {
+            let mut e = Execution::with_pruning(Policy::C11Tester, cfg);
+            let main = ThreadId::MAIN;
+            let x = e.new_object();
+            for v in 0..10_000 {
+                e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+            }
+            e.finalize_alloc_stats();
+            (e.mograph().len(), e.stats().mograph_perf)
+        };
+        // Same pruner as `memory_limited(16)`, minus the compaction —
+        // the comparison isolates what the memory limit itself adds.
+        let (plain_len, plain_perf) = run(PruneConfig::aggressive(16, 128));
+        let (lim_len, lim_perf) = run(PruneConfig::memory_limited(16));
+        assert_eq!(plain_perf.compactions, 0);
+        assert!(lim_perf.compactions > 0, "compaction must trigger");
+        assert!(
+            lim_len < 256,
+            "resident nodes bounded under --memory-limit, got {lim_len}"
+        );
+        assert!(
+            lim_perf.peak_live_nodes < 1024,
+            "high-water bounded, got {}",
+            lim_perf.peak_live_nodes
+        );
+        assert!(
+            plain_len > lim_len * 4,
+            "tombstones accumulate without compaction ({plain_len} vs {lim_len})"
+        );
+    }
+
+    /// Compaction is behaviorally invisible: a memory-limited run is
+    /// indistinguishable — same values, same feasible sets, same
+    /// behavioral statistics including prune counts — from the same
+    /// program under the identical windowed pruner without the limit.
+    #[test]
+    fn compaction_is_behaviorally_invisible() {
+        let run = |cfg: PruneConfig| {
+            let mut e = Execution::with_pruning(Policy::C11Tester, cfg);
+            let main = ThreadId::MAIN;
+            let x = e.new_object();
+            let mut vals = Vec::new();
+            for v in 0..400u64 {
+                let s = e.atomic_store(main, x, MemOrder::Relaxed, v, StoreKind::Atomic);
+                if v % 7 == 0 {
+                    vals.push(e.commit_load(main, x, MemOrder::Relaxed, s));
+                }
+                if v % 13 == 0 {
+                    let (old, _) = e.commit_rmw(main, x, MemOrder::AcqRel, s, v + 1000);
+                    vals.push(old);
+                }
+            }
+            let cands: Vec<u64> = e
+                .feasible_read_candidates(main, x, MemOrder::Relaxed, false)
+                .into_iter()
+                .map(|s| e.store_value(s))
+                .collect();
+            e.finalize_alloc_stats();
+            (vals, cands, *e.stats())
+        };
+        let plain = run(PruneConfig::aggressive(16, 128));
+        let limited = run(PruneConfig::memory_limited(16));
+        assert!(
+            limited.2.mograph_perf.compactions > 0,
+            "the comparison must actually exercise compaction"
+        );
+        // ExecStats equality covers every behavioral counter; the
+        // diagnostic mograph_perf/alloc/phase blocks are excluded.
+        assert_eq!(plain, limited);
     }
 
     /// Old seq_cst fences are retired once happens-before subsumes them.

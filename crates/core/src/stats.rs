@@ -2,7 +2,7 @@
 //! number of atomic operations — including synchronization operations —
 //! and normal shared-memory accesses per benchmark).
 
-use crate::mograph::MoGraphStats;
+use crate::mograph::{MoGraphPerfStats, MoGraphStats};
 use c11tester_telemetry::PhaseProfile;
 
 /// Allocation-behavior diagnostics (hot-path observability).
@@ -74,6 +74,12 @@ pub struct ExecStats {
     pub prune_passes: u64,
     /// Mo-graph maintenance statistics.
     pub mograph: MoGraphStats,
+    /// Incremental-topological-order / memory-limiting diagnostics
+    /// (excluded from equality: fast-path hit rates and compaction
+    /// bookkeeping describe *how* the graph answered queries, not what
+    /// the execution computed — like [`AllocStats`] they must never
+    /// distinguish behaviorally identical executions).
+    pub mograph_perf: MoGraphPerfStats,
     /// Allocation-behavior diagnostics (excluded from equality; see
     /// [`AllocStats`]).
     pub alloc: AllocStats,
@@ -88,9 +94,10 @@ impl PartialEq for ExecStats {
     fn eq(&self, other: &Self) -> bool {
         // Exhaustive destructuring: adding a field without deciding
         // whether it participates in equality is a compile error.
-        // `alloc` and `phase` are the intentional exclusions —
-        // provisioning details and wall-clock timings must not
-        // distinguish behaviorally identical executions.
+        // `mograph_perf`, `alloc`, and `phase` are the intentional
+        // exclusions — graph fast-path diagnostics, provisioning
+        // details, and wall-clock timings must not distinguish
+        // behaviorally identical executions.
         let ExecStats {
             atomic_loads,
             atomic_stores,
@@ -105,6 +112,7 @@ impl PartialEq for ExecStats {
             pruned_fences,
             prune_passes,
             mograph,
+            mograph_perf: _,
             alloc: _,
             phase: _,
         } = self;
@@ -157,6 +165,7 @@ impl ExecStats {
         self.mograph.edges_redundant += other.mograph.edges_redundant;
         self.mograph.merges += other.mograph.merges;
         self.mograph.rmw_edges += other.mograph.rmw_edges;
+        self.mograph_perf.absorb(&other.mograph_perf);
         self.alloc.absorb(&other.alloc);
         self.phase.absorb(&other.phase);
     }
@@ -226,6 +235,43 @@ mod tests {
             ..ExecStats::default()
         };
         assert_ne!(fresh, different);
+    }
+
+    #[test]
+    fn equality_ignores_mograph_perf_diagnostics() {
+        let plain = ExecStats {
+            atomic_loads: 4,
+            ..ExecStats::default()
+        };
+        let gated = ExecStats {
+            atomic_loads: 4,
+            mograph_perf: MoGraphPerfStats {
+                reach_fast_negative: 99,
+                order_reorders: 2,
+                peak_live_nodes: 40,
+                ..MoGraphPerfStats::default()
+            },
+            ..ExecStats::default()
+        };
+        // Same behavior, different fast-path hit profile: equal.
+        assert_eq!(plain, gated);
+    }
+
+    #[test]
+    fn absorb_accumulates_mograph_perf() {
+        let mut a = ExecStats::default();
+        let b = ExecStats {
+            mograph_perf: MoGraphPerfStats {
+                reach_cv_checks: 3,
+                peak_live_nodes: 25,
+                ..MoGraphPerfStats::default()
+            },
+            ..ExecStats::default()
+        };
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.mograph_perf.reach_cv_checks, 6);
+        assert_eq!(a.mograph_perf.peak_live_nodes, 25, "peak maxes, not sums");
     }
 
     #[test]

@@ -256,6 +256,7 @@ impl ForkServer {
                             // contract.
                             report.total_stats.alloc.absorb(&m.alloc);
                             report.total_stats.phase.absorb(&m.phase);
+                            report.total_stats.mograph_perf.absorb(&m.graph);
                             threads.pooled_dispatches += m.threads.pooled_dispatches;
                             threads.fresh_spawns += m.threads.fresh_spawns;
                         }
@@ -340,6 +341,7 @@ impl ForkServer {
                 profile_phases: c11tester_telemetry::profiling_enabled(),
                 collect_coverage: c11tester_telemetry::coverage_enabled(),
                 thread_pool: config.thread_pool,
+                memory_limit: config.prune.limits_memory(),
             };
             if cursor != start {
                 // Every spawn past the first covers a post-crash
@@ -544,6 +546,7 @@ impl Executor for ForkServer {
         };
         let metrics = CampaignMetrics {
             phase: aggregate.total_stats.phase,
+            graph: aggregate.total_stats.mograph_perf.to_metrics(),
             workers: worker_metrics,
             fork: fork_health,
             executions: aggregate.executions,

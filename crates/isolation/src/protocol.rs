@@ -33,7 +33,7 @@ use c11tester_campaign::wire::{
     access_kind_name, esc, parse_access_kind, parse_race_kind, race_kind_name,
 };
 use c11tester_campaign::StopReason;
-use c11tester_core::{AllocStats, ExecStats, MoGraphStats, ObjId, ThreadId};
+use c11tester_core::{AllocStats, ExecStats, MoGraphPerfStats, MoGraphStats, ObjId, ThreadId};
 use c11tester_telemetry::{PhaseProfile, PHASE_COUNT};
 use std::io::{BufRead, Write};
 
@@ -128,6 +128,10 @@ pub struct BatchMetrics {
     /// of `alloc`'s recycled-vs-fresh split; a warm child shows
     /// `fresh_spawns` flat while `pooled_dispatches` grows.
     pub threads: ThreadSpawnStats,
+    /// Mo-graph maintenance diagnostics accumulated over the batch
+    /// (order-reorder/fast-path/compaction counters; like `alloc` and
+    /// `phase`, excluded from stats equality and canonical JSON).
+    pub graph: MoGraphPerfStats,
 }
 
 /// Encodes an `exec` frame payload.
@@ -218,7 +222,10 @@ pub fn metrics_payload(m: &BatchMetrics) -> String {
             "\"alloc\":{{\"fresh_executions\":{},\"recycled_executions\":{},",
             "\"clock_spills\":{}}},",
             "\"phase\":{{\"nanos\":{},\"calls\":{}}},",
-            "\"threads\":{{\"pooled_dispatches\":{},\"fresh_spawns\":{}}}}}"
+            "\"threads\":{{\"pooled_dispatches\":{},\"fresh_spawns\":{}}},",
+            "\"graph\":{{\"order_reorders\":{},\"reorder_nodes\":{},",
+            "\"reach_fast_negative\":{},\"reach_cv_checks\":{},\"compactions\":{},",
+            "\"compacted_nodes\":{},\"peak_live_nodes\":{}}}}}"
         ),
         m.alloc.fresh_executions,
         m.alloc.recycled_executions,
@@ -227,6 +234,13 @@ pub fn metrics_payload(m: &BatchMetrics) -> String {
         u64_array(&calls),
         m.threads.pooled_dispatches,
         m.threads.fresh_spawns,
+        m.graph.order_reorders,
+        m.graph.reorder_nodes,
+        m.graph.reach_fast_negative,
+        m.graph.reach_cv_checks,
+        m.graph.compactions,
+        m.graph.compacted_nodes,
+        m.graph.peak_live_nodes,
     )
 }
 
@@ -451,9 +465,10 @@ fn parse_stats(doc: &JsonValue) -> Result<ExecStats, String> {
             merges: u64_field(mg, "merges")?,
             rmw_edges: u64_field(mg, "rmw_edges")?,
         },
-        // Alloc and phase diagnostics are not carried per execution:
-        // they travel batched in the `metrics` frame (both are
-        // excluded from stats equality and default canonical JSON).
+        // Alloc, phase, and graph diagnostics are not carried per
+        // execution: they travel batched in the `metrics` frame (all
+        // are excluded from stats equality and default canonical JSON).
+        mograph_perf: Default::default(),
         alloc: Default::default(),
         phase: Default::default(),
     })
@@ -487,6 +502,7 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
             let alloc = doc.get("alloc").ok_or("missing `alloc`")?;
             let phase = doc.get("phase").ok_or("missing `phase`")?;
             let threads = doc.get("threads").ok_or("missing `threads`")?;
+            let graph = doc.get("graph").ok_or("missing `graph`")?;
             Ok(Frame::Metrics(BatchMetrics {
                 alloc: AllocStats {
                     fresh_executions: u64_field(alloc, "fresh_executions")?,
@@ -500,6 +516,15 @@ pub fn parse_frame(payload: &str) -> Result<Frame, String> {
                 threads: ThreadSpawnStats {
                     pooled_dispatches: u64_field(threads, "pooled_dispatches")?,
                     fresh_spawns: u64_field(threads, "fresh_spawns")?,
+                },
+                graph: MoGraphPerfStats {
+                    order_reorders: u64_field(graph, "order_reorders")?,
+                    reorder_nodes: u64_field(graph, "reorder_nodes")?,
+                    reach_fast_negative: u64_field(graph, "reach_fast_negative")?,
+                    reach_cv_checks: u64_field(graph, "reach_cv_checks")?,
+                    compactions: u64_field(graph, "compactions")?,
+                    compacted_nodes: u64_field(graph, "compacted_nodes")?,
+                    peak_live_nodes: u64_field(graph, "peak_live_nodes")?,
                 },
             }))
         }
@@ -673,6 +698,15 @@ mod tests {
             threads: ThreadSpawnStats {
                 pooled_dispatches: 188,
                 fresh_spawns: 4,
+            },
+            graph: MoGraphPerfStats {
+                order_reorders: 3,
+                reorder_nodes: 11,
+                reach_fast_negative: 5_000,
+                reach_cv_checks: 700,
+                compactions: 2,
+                compacted_nodes: 96,
+                peak_live_nodes: 128,
             },
         };
         m.phase.record(Phase::Scheduling, 123_456);

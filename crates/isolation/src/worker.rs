@@ -55,6 +55,10 @@ pub struct WorkerSpec {
     /// default). `false` mirrors the parent's `--no-thread-pool` A/B
     /// switch into the child — behaviorally invisible either way.
     pub thread_pool: bool,
+    /// Mirror the parent's `--memory-limit` mode into the child:
+    /// windowed pruning plus mo-graph arena compaction
+    /// ([`Config::with_memory_limit`]).
+    pub memory_limit: bool,
 }
 
 impl WorkerSpec {
@@ -93,6 +97,9 @@ impl WorkerSpec {
         if !self.thread_pool {
             args.push("--no-thread-pool".to_string());
         }
+        if self.memory_limit {
+            args.push("--memory-limit".to_string());
+        }
         args
     }
 
@@ -104,6 +111,9 @@ impl WorkerSpec {
             .with_thread_pool(self.thread_pool);
         if let Some(mix) = &self.mix {
             config = config.with_mix(StrategyMix::parse(mix)?);
+        }
+        if self.memory_limit {
+            config = config.with_memory_limit();
         }
         Ok(config)
     }
@@ -130,6 +140,7 @@ impl WorkerSpec {
             if self.emit_metrics {
                 batch.alloc.absorb(&report.stats.alloc);
                 batch.phase.absorb(&report.stats.phase);
+                batch.graph.absorb(&report.stats.mograph_perf);
             }
             if self.collect_coverage {
                 coverage.record(report.execution_index, &report.coverage, &report.races);
@@ -186,6 +197,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
     let mut profile_phases = false;
     let mut collect_coverage = false;
     let mut thread_pool = true;
+    let mut memory_limit = false;
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -205,6 +217,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
             "--profile-phases" => profile_phases = true,
             "--coverage" => collect_coverage = true,
             "--no-thread-pool" => thread_pool = false,
+            "--memory-limit" => memory_limit = true,
             other => return Err(format!("unknown worker flag `{other}`")),
         }
     }
@@ -220,6 +233,7 @@ pub fn parse_worker_args(argv: impl Iterator<Item = String>) -> Result<WorkerSpe
         profile_phases,
         collect_coverage,
         thread_pool,
+        memory_limit,
     })
 }
 
@@ -267,6 +281,7 @@ mod tests {
             profile_phases: false,
             collect_coverage: false,
             thread_pool: true,
+            memory_limit: false,
         }
     }
 
@@ -285,6 +300,7 @@ mod tests {
         diagnostic.profile_phases = true;
         diagnostic.collect_coverage = true;
         diagnostic.thread_pool = false;
+        diagnostic.memory_limit = true;
         let parsed = parse_worker_args(diagnostic.to_args().into_iter().skip(1)).expect("parses");
         assert_eq!(parsed, diagnostic);
     }

@@ -17,6 +17,7 @@
 //! scheduling policy live a layer above (in the `c11tester` facade);
 //! this module is deliberately mechanism-only.
 
+use crate::fiber::{self, Fibers};
 use crate::handover::{HandoverKind, Notifier};
 use crate::pool::{panic_message, ThreadPool};
 use parking_lot::Mutex;
@@ -31,7 +32,9 @@ use std::thread::JoinHandle;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Aborted;
 
-/// The run-token runtime: one slot (mailbox) per model thread.
+/// The run-token runtime: one slot (mailbox) per model thread — or,
+/// in [`HandoverKind::Fiber`] mode, one fiber per model thread, all
+/// multiplexed onto the driver's OS thread (paper §7.3).
 #[derive(Debug)]
 pub struct Runtime {
     kind: HandoverKind,
@@ -41,10 +44,14 @@ pub struct Runtime {
     /// Backing pool for model threads: `Some` dispatches workloads to
     /// reusable pooled workers, `None` spawns a fresh OS thread per
     /// model thread (the pre-pool behavior, kept for A/B comparison).
+    /// Unused (and not retained) in fiber mode.
     pool: Option<Arc<ThreadPool>>,
     /// Fresh OS threads spawned by this runtime (fresh mode only; the
     /// pool counts its own growth).
     fresh_spawns: AtomicU64,
+    /// The fiber group backing this execution when the handover
+    /// strategy is [`HandoverKind::Fiber`]; `None` otherwise.
+    fibers: Option<Fibers>,
 }
 
 impl Runtime {
@@ -62,6 +69,18 @@ impl Runtime {
     }
 
     fn build(kind: HandoverKind, pool: Option<Arc<ThreadPool>>) -> Arc<Self> {
+        // Fiber handover needs the x86_64 context switch; elsewhere it
+        // degrades to the futex strategy (same observable behavior,
+        // kernel-mediated switches).
+        let kind = if kind == HandoverKind::Fiber && !fiber::supported() {
+            HandoverKind::Park
+        } else {
+            kind
+        };
+        let fibers = (kind == HandoverKind::Fiber).then(Fibers::new);
+        // Fibers never leave the driver thread: a backing pool would be
+        // dead weight, so it is not retained.
+        let pool = if fibers.is_some() { None } else { pool };
         Arc::new(Runtime {
             kind,
             slots: Mutex::new(Vec::new()),
@@ -69,6 +88,7 @@ impl Runtime {
             handles: Mutex::new(Vec::new()),
             pool,
             fresh_spawns: AtomicU64::new(0),
+            fibers,
         })
     }
 
@@ -77,9 +97,25 @@ impl Runtime {
         self.kind
     }
 
+    /// Whether model threads run as fibers on the driver's OS thread.
+    /// When true, the current model thread's identity is slot-derived
+    /// ([`Runtime::current_fiber_slot`]) rather than OS-thread-local.
+    pub fn is_fiber(&self) -> bool {
+        self.fibers.is_some()
+    }
+
+    /// The slot index currently executing on the driver thread, when
+    /// in fiber mode.
+    pub fn current_fiber_slot(&self) -> Option<usize> {
+        self.fibers.as_ref().map(Fibers::current)
+    }
+
     /// Allocates a mailbox slot for a new model thread and returns its
     /// index. Slot indices match the engine's `ThreadId::index()`.
     pub fn add_slot(&self) -> usize {
+        if let Some(fibers) = &self.fibers {
+            return fibers.add_slot();
+        }
         let mut slots = self.slots.lock();
         slots.push(Arc::new(Notifier::new(self.kind)));
         slots.len() - 1
@@ -90,13 +126,24 @@ impl Runtime {
     }
 
     /// Binds the calling OS thread as the owner of slot `ix` (required
-    /// before the first `park` on strategies that need a thread handle).
+    /// before the first `park` on strategies that need a thread handle;
+    /// binds the driver's native context in fiber mode).
     pub fn bind_current(&self, ix: usize) {
+        if let Some(fibers) = &self.fibers {
+            fibers.bind_driver(ix);
+            return;
+        }
         self.slot(ix).bind_current();
     }
 
-    /// Hands the run token to model thread `ix`.
+    /// Hands the run token to model thread `ix`. In fiber mode the
+    /// switch itself happens at the caller's next suspension point
+    /// (park or body end), making `wake + park` one atomic handover.
     pub fn wake(&self, ix: usize) {
+        if let Some(fibers) = &self.fibers {
+            fibers.wake(ix);
+            return;
+        }
         self.slot(ix).notify();
     }
 
@@ -111,7 +158,10 @@ impl Runtime {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(Aborted);
         }
-        self.slot(ix).wait();
+        match &self.fibers {
+            Some(fibers) => fibers.park(ix),
+            None => self.slot(ix).wait(),
+        }
         if self.poisoned.load(Ordering::Acquire) {
             return Err(Aborted);
         }
@@ -138,6 +188,14 @@ impl Runtime {
         ix: usize,
         body: Box<dyn FnOnce() + Send>,
     ) -> Result<(), String> {
+        if let Some(fibers) = &self.fibers {
+            // Fibers start lazily at their first wake; a fiber first
+            // scheduled after poisoning never runs its body, which is
+            // exactly what the park-before-body below achieves for OS
+            // threads. Infallible: no OS resources are acquired here.
+            fibers.spawn(ix, body, &self.poisoned);
+            return Ok(());
+        }
         let rt = Arc::clone(self);
         let wrapper = move || {
             rt.bind_current(ix);
@@ -171,6 +229,11 @@ impl Runtime {
     /// observe the poison and unwind.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        if self.fibers.is_some() {
+            // Suspended fibers cannot observe anything until switched
+            // to; `join_all` resumes each so it unwinds. No notify.
+            return;
+        }
         let slots: Vec<Arc<Notifier>> = self.slots.lock().iter().cloned().collect();
         for s in slots {
             s.notify();
@@ -194,6 +257,9 @@ impl Runtime {
     /// the cooperative [`Aborted`] unwind) — previously these were
     /// silently discarded.
     pub fn join_all(&self) -> Result<(), String> {
+        if let Some(fibers) = &self.fibers {
+            return fibers.finish(self.poisoned.load(Ordering::Acquire));
+        }
         if let Some(pool) = &self.pool {
             return pool.quiesce();
         }
@@ -377,6 +443,74 @@ mod tests {
         rt.wake(ix);
         let err = rt.join_all().expect_err("escaped panic must surface");
         assert!(err.contains("model thread exploded"), "got: {err}");
+    }
+
+    /// The fiber runtime honors the same token-ring discipline with
+    /// zero OS threads: every model thread is a fiber on this thread.
+    #[test]
+    fn token_ring_runs_in_order_on_fibers() {
+        let rt = Runtime::new(HandoverKind::Fiber);
+        assert!(rt.is_fiber());
+        run_token_ring(&rt);
+        assert_eq!(rt.fresh_spawn_count(), 0);
+        // The runtime is per-execution; a fresh one on the same driver
+        // thread reuses the recycled fiber stacks.
+        let rt2 = Runtime::new(HandoverKind::Fiber);
+        run_token_ring(&rt2);
+    }
+
+    /// Fiber poisoning: suspended fibers unwind at teardown (running
+    /// their `Drop`/abort paths), never-started fibers never run, and
+    /// `park` after poison reports the abort.
+    #[test]
+    fn fiber_poison_unwinds_suspended_and_skips_unstarted() {
+        let rt = Runtime::new(HandoverKind::Fiber);
+        let main = rt.add_slot();
+        rt.bind_current(main);
+        let parked = rt.add_slot();
+        let never = rt.add_slot();
+        let witnessed = Arc::new(AtomicBool::new(false));
+        let ran = Arc::new(AtomicBool::new(false));
+        let w2 = Arc::clone(&witnessed);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn(
+            parked,
+            Box::new(move || {
+                // Hand the token back to the driver and park; only the
+                // poisoned teardown resumes us.
+                rt2.wake(main);
+                if rt2.park(parked).is_err() {
+                    w2.store(true, Ordering::Release);
+                    std::panic::panic_any(Aborted);
+                }
+            }),
+        )
+        .expect("spawn fiber");
+        let r2 = Arc::clone(&ran);
+        rt.spawn(never, Box::new(move || r2.store(true, Ordering::Release)))
+            .expect("spawn fiber");
+        rt.wake(parked);
+        rt.park(main).expect("not yet poisoned");
+        rt.poison();
+        rt.join_all().expect("Aborted unwind is swallowed");
+        assert!(witnessed.load(Ordering::Acquire));
+        assert!(!ran.load(Ordering::Acquire), "unstarted body must not run");
+        assert_eq!(rt.park(main), Err(Aborted));
+    }
+
+    /// A non-`Aborted` panic in a fiber body surfaces from `join_all`,
+    /// exactly like the OS-thread runtime.
+    #[test]
+    fn fiber_join_all_surfaces_escaped_panics() {
+        let rt = Runtime::new(HandoverKind::Fiber);
+        let main = rt.add_slot();
+        rt.bind_current(main);
+        let ix = rt.add_slot();
+        rt.spawn(ix, Box::new(|| panic!("fiber model thread exploded")))
+            .expect("spawn fiber");
+        rt.wake(ix);
+        let err = rt.join_all().expect_err("escaped panic must surface");
+        assert!(err.contains("fiber model thread exploded"), "got: {err}");
     }
 
     /// The pooled path has the same obligation: quiesce reports

@@ -1,0 +1,658 @@
+//! Fiber-backed run-token handover (paper §7.3–§7.4).
+//!
+//! The paper's fastest handover strategy implements application threads
+//! as *fibers*: user-space contexts that switch with a register swap
+//! instead of a futex round trip through the kernel (Figure 14 reports
+//! 0.34µs per swapcontext switch vs 1.32µs for futexes on one core).
+//! This module is the Rust equivalent: every model thread of an
+//! execution runs on the **driver's OS thread**, each on its own
+//! heap-allocated stack, and the run token moves by swapping stack
+//! pointers and callee-saved registers — no syscall, no kernel
+//! scheduler, no cross-core traffic.
+//!
+//! Where the paper borrows a kernel thread's context for TLS (§7.4),
+//! we need the reverse adjustment: because every fiber shares the
+//! driver's OS thread, thread-locals are shared too, so the facade
+//! derives the current model-thread id from [`Fibers::current`]
+//! instead of a per-OS-thread binding.
+//!
+//! # Cooperative protocol
+//!
+//! The executor's `wake(next); park(self)` pairs become one atomic
+//! handover: `wake` records the chosen successor, and the *next
+//! suspension point* of the caller — a park or the end of its body —
+//! performs the actual context switch. Strict run-token passing (at
+//! most one wake is ever outstanding) is what makes this exact; the
+//! module panics loudly on protocol violations instead of deadlocking.
+//!
+//! # Safety model
+//!
+//! All switching happens on the driver OS thread that owns the
+//! execution; the interior mutex only serializes bookkeeping. A panic
+//! never unwinds across a switch frame: fiber bodies are caught at the
+//! fiber's root, and the cooperative `Aborted` unwind is contained to
+//! the fiber's own stack. Stacks are fixed-size (1 MiB) without guard
+//! pages — the same trade the paper's tool makes — and are recycled
+//! through a per-driver-thread cache so steady-state executions
+//! allocate nothing.
+
+#![allow(unsafe_code)]
+
+use crate::pool::panic_message;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Whether fiber handover is available on this target. The context
+/// switch is x86_64 SysV assembly; other targets fall back to the
+/// futex strategy at `Runtime` construction.
+pub(crate) const fn supported() -> bool {
+    cfg!(all(target_arch = "x86_64", unix))
+}
+
+/// Fixed fiber stack size. Model-thread bodies are ordinary Rust
+/// closures (no guard page — overflow is undefined, as in the paper's
+/// fiber runtime); 1 MiB is an order of magnitude above what the
+/// deepest workload uses, debug builds included.
+const STACK_SIZE: usize = 1 << 20;
+
+/// Per-driver-thread cache of retired fiber stacks. Executions are
+/// driven to completion on one OS thread, so a thread-local free list
+/// makes steady-state stack allocation free without any locking.
+const STACK_CACHE_MAX: usize = 32;
+
+thread_local! {
+    static STACK_CACHE: RefCell<Vec<RawStack>> = const { RefCell::new(Vec::new()) };
+}
+
+struct RawStack {
+    ptr: std::ptr::NonNull<u8>,
+}
+
+impl RawStack {
+    fn layout() -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(STACK_SIZE, 16).expect("fiber stack layout")
+    }
+
+    fn obtain() -> RawStack {
+        STACK_CACHE
+            .with(|c| c.borrow_mut().pop())
+            .unwrap_or_else(|| {
+                let ptr = unsafe { std::alloc::alloc(RawStack::layout()) };
+                RawStack {
+                    ptr: std::ptr::NonNull::new(ptr).expect("fiber stack allocation failed"),
+                }
+            })
+    }
+
+    fn recycle(self) {
+        STACK_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() < STACK_CACHE_MAX {
+                cache.push(self);
+            }
+            // Else: drop, deallocating.
+        });
+    }
+}
+
+impl Drop for RawStack {
+    fn drop(&mut self) {
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), RawStack::layout()) };
+    }
+}
+
+/// Lifecycle of one fiber slot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Slot allocated; no body yet, or body stored but never started.
+    New,
+    /// Currently executing (exactly one slot per driver at any time).
+    Running,
+    /// Started and parked; `sp` holds its suspended context.
+    Suspended,
+    /// Body returned (or unwound); stack is reclaimable.
+    Finished,
+}
+
+/// One model thread's fiber state. Boxed so its address — which the
+/// context-switch assembly writes through — survives slot-vector
+/// growth.
+struct FiberSlot {
+    /// Saved stack pointer while `Suspended` (written by the switch).
+    sp: *mut u8,
+    /// The fiber's stack, `None` for the driver's native context and
+    /// for fibers not yet started.
+    stack: Option<RawStack>,
+    status: Status,
+    /// Body stored at spawn, taken by the fiber entry on first switch-in.
+    body: Option<Box<dyn FnOnce() + Send>>,
+    /// Back-pointers for the fiber entry (stable: they live inside the
+    /// `Runtime`'s `Arc` allocation, which outlives every fiber).
+    fibers: *const Fibers,
+    poisoned: *const AtomicBool,
+    ix: usize,
+}
+
+impl FiberSlot {
+    fn new() -> Box<FiberSlot> {
+        Box::new(FiberSlot {
+            sp: std::ptr::null_mut(),
+            stack: None,
+            status: Status::New,
+            body: None,
+            fibers: std::ptr::null(),
+            poisoned: std::ptr::null(),
+            ix: 0,
+        })
+    }
+}
+
+struct FiberState {
+    /// Boxed on purpose (not `clippy::vec_box` noise): suspended stacks
+    /// hold raw pointers into their `FiberSlot`, so slot addresses must
+    /// survive `slots` reallocating as the execution forks threads.
+    #[allow(clippy::vec_box)]
+    slots: Vec<Box<FiberSlot>>,
+    /// The successor chosen by the last `wake`, consumed by the next
+    /// suspension point. Strict token passing keeps this at most one.
+    pending: Option<usize>,
+    /// Panic messages that escaped a fiber body's root `catch_unwind`
+    /// (anything but the cooperative `Aborted` unwind).
+    escaped: Vec<String>,
+}
+
+/// The fiber group backing one execution's `Runtime` in
+/// [`HandoverKind::Fiber`](crate::HandoverKind::Fiber) mode.
+pub(crate) struct Fibers {
+    state: Mutex<FiberState>,
+    /// Slot currently executing — read on every model operation to
+    /// derive the current thread id, so it lives outside the mutex.
+    current: AtomicUsize,
+    /// The slot bound to the driver's native context.
+    driver: AtomicUsize,
+}
+
+// SAFETY: the raw pointers inside `FiberState` reference the owning
+// `Runtime`'s `Arc` allocation and heap boxes that live until the
+// `Fibers` is dropped. All context switching is confined to the one OS
+// thread driving the execution; the mutex serializes bookkeeping for
+// any cross-thread observers.
+unsafe impl Send for Fibers {}
+unsafe impl Sync for Fibers {}
+
+impl std::fmt::Debug for Fibers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fibers")
+            .field("current", &self.current.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fibers {
+    pub(crate) fn new() -> Fibers {
+        assert!(supported(), "fiber handover unsupported on this target");
+        Fibers {
+            state: Mutex::new(FiberState {
+                slots: Vec::new(),
+                pending: None,
+                escaped: Vec::new(),
+            }),
+            current: AtomicUsize::new(0),
+            driver: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocates a fiber slot; indices match the engine's thread ids.
+    pub(crate) fn add_slot(&self) -> usize {
+        let mut st = self.state.lock();
+        st.slots.push(FiberSlot::new());
+        st.slots.len() - 1
+    }
+
+    /// Binds slot `ix` to the calling (driver) thread's native context.
+    pub(crate) fn bind_driver(&self, ix: usize) {
+        let mut st = self.state.lock();
+        st.slots[ix].status = Status::Running;
+        self.driver.store(ix, Ordering::Relaxed);
+        self.current.store(ix, Ordering::Relaxed);
+    }
+
+    /// The slot currently executing on the driver thread.
+    pub(crate) fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Stores `body` for slot `ix`. The fiber starts lazily: its stack
+    /// is built when the run token first reaches it, so threads the
+    /// schedule never reaches cost nothing and never run.
+    pub(crate) fn spawn(&self, ix: usize, body: Box<dyn FnOnce() + Send>, poisoned: &AtomicBool) {
+        let mut st = self.state.lock();
+        let slot = &mut st.slots[ix];
+        assert_eq!(slot.status, Status::New, "fiber slot {ix} spawned twice");
+        slot.body = Some(body);
+        slot.fibers = self;
+        slot.poisoned = poisoned;
+        slot.ix = ix;
+    }
+
+    /// Records the successor chosen by the scheduler. The switch
+    /// happens at the caller's next suspension point.
+    pub(crate) fn wake(&self, ix: usize) {
+        let mut st = self.state.lock();
+        assert!(
+            st.pending.replace(ix).is_none(),
+            "fiber handover: second wake({ix}) before the token holder suspended"
+        );
+    }
+
+    /// Suspends the calling fiber (slot `ix`) and switches to the
+    /// pending successor; returns when the run token comes back.
+    pub(crate) fn park(&self, ix: usize) {
+        let (save, restore) = {
+            let mut st = self.state.lock();
+            let target = st
+                .pending
+                .take()
+                .expect("fiber handover: park with no pending wake");
+            if target == ix {
+                return; // Token handed straight back.
+            }
+            debug_assert_eq!(st.slots[ix].status, Status::Running);
+            st.slots[ix].status = Status::Suspended;
+            let save: *mut *mut u8 = &mut st.slots[ix].sp;
+            let restore = self.prepare(&mut st, target);
+            (save, restore)
+        };
+        unsafe { fiber_switch(save, restore) };
+        // Resumed: whoever switched to us already marked us Running and
+        // set `current`.
+    }
+
+    /// Terminates the calling fiber after its body returned; switches
+    /// to the pending successor, or to the driver if none (the abort
+    /// path). Never returns.
+    fn exit(&self, ix: usize) -> ! {
+        let (save, restore) = {
+            let mut st = self.state.lock();
+            st.slots[ix].status = Status::Finished;
+            let target = st
+                .pending
+                .take()
+                .unwrap_or_else(|| self.driver.load(Ordering::Relaxed));
+            debug_assert_ne!(target, ix, "finished fiber woke itself");
+            // The save location is dead — nothing resumes a finished
+            // fiber — but the switch needs somewhere to write.
+            let save: *mut *mut u8 = &mut st.slots[ix].sp;
+            let restore = self.prepare(&mut st, target);
+            (save, restore)
+        };
+        unsafe { fiber_switch(save, restore) };
+        unreachable!("finished fiber {ix} was resumed");
+    }
+
+    /// Marks `target` Running (building its initial context if it was
+    /// never started) and returns the location of its saved stack
+    /// pointer. Caller still holds the state lock.
+    fn prepare(&self, st: &mut FiberState, target: usize) -> *const *mut u8 {
+        let slot = &mut st.slots[target];
+        match slot.status {
+            Status::Suspended => {}
+            Status::New => {
+                assert!(
+                    slot.body.is_some(),
+                    "fiber handover: woke slot {target} before it was spawned"
+                );
+                let stack = RawStack::obtain();
+                slot.sp = unsafe { build_initial_sp(&stack, &mut **slot) };
+                slot.stack = Some(stack);
+            }
+            Status::Running | Status::Finished => {
+                panic!(
+                    "fiber handover: switching to slot {target} in state {:?}",
+                    slot.status
+                );
+            }
+        }
+        slot.status = Status::Running;
+        self.current.store(target, Ordering::Relaxed);
+        &st.slots[target].sp
+    }
+
+    /// Driver-side switch into `target`, returning when control comes
+    /// back to the driver's native context (used by teardown).
+    fn switch_from_driver(&self, target: usize) {
+        let driver = self.driver.load(Ordering::Relaxed);
+        let (save, restore) = {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.slots[driver].status, Status::Running);
+            st.slots[driver].status = Status::Suspended;
+            let save: *mut *mut u8 = &mut st.slots[driver].sp;
+            let restore = self.prepare(&mut st, target);
+            (save, restore)
+        };
+        unsafe { fiber_switch(save, restore) };
+    }
+
+    /// Teardown (the fiber analog of joining every model thread):
+    /// consumes any granted-but-unconsumed token, unwinds suspended
+    /// fibers when the execution was poisoned, drops never-started
+    /// bodies, and recycles stacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the collected panic messages of fiber bodies whose
+    /// panic escaped their root `catch_unwind`.
+    pub(crate) fn finish(&self, poisoned: bool) -> Result<(), String> {
+        // A wake whose grantor returned to the driver without parking
+        // (e.g. the driver was the last to run) must still be honored.
+        loop {
+            let target = { self.state.lock().pending.take() };
+            match target {
+                Some(t) => self.switch_from_driver(t),
+                None => break,
+            }
+        }
+        if poisoned {
+            // Resume each suspended fiber so it observes the poison,
+            // unwinds (running Drop code), and exits back here.
+            loop {
+                let target = {
+                    let st = self.state.lock();
+                    st.slots.iter().position(|s| s.status == Status::Suspended)
+                };
+                match target {
+                    Some(t) => self.switch_from_driver(t),
+                    None => break,
+                }
+            }
+        }
+        let mut st = self.state.lock();
+        let stuck = st.slots.iter().position(|s| s.status == Status::Suspended);
+        assert!(
+            stuck.is_none(),
+            "fiber handover: slot {} still suspended at teardown of a completed execution",
+            stuck.unwrap_or(0)
+        );
+        for slot in &mut st.slots {
+            slot.body = None; // Never-started threads must not run.
+            if let Some(stack) = slot.stack.take() {
+                stack.recycle();
+            }
+        }
+        if st.escaped.is_empty() {
+            Ok(())
+        } else {
+            let msgs: Vec<String> = st.escaped.drain(..).collect();
+            Err(msgs.join("; "))
+        }
+    }
+}
+
+/// Root of every fiber: runs the body under `catch_unwind` so no panic
+/// can unwind across the context-switch frame, then terminates the
+/// fiber. A fiber first scheduled after the execution was poisoned
+/// never runs its body (matching the OS-thread wrapper, whose first
+/// park reports the abort before the body).
+extern "C" fn fiber_entry(slot: *mut FiberSlot) -> ! {
+    // SAFETY: `slot` is the boxed slot this fiber was built from; its
+    // body/ix/back-pointers are only touched by the running fiber.
+    let (fibers, poisoned, ix, body) = unsafe {
+        let s = &mut *slot;
+        (
+            &*s.fibers,
+            &*s.poisoned,
+            s.ix,
+            s.body.take().expect("fiber started without a body"),
+        )
+    };
+    if !poisoned.load(Ordering::Acquire) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            if payload.downcast_ref::<crate::Aborted>().is_none() {
+                // Not the cooperative abort: surface it from join_all
+                // (same contract as the OS-thread runtime).
+                fibers
+                    .state
+                    .lock()
+                    .escaped
+                    .push(panic_message(payload.as_ref()));
+            }
+        }
+    }
+    fibers.exit(ix)
+}
+
+/// Builds the initial stack image for a fiber so that the first switch
+/// into it lands in [`fiber_trampoline`] with the slot pointer and
+/// entry address in callee-saved registers. Returns the initial stack
+/// pointer, matching the save/restore layout of [`fiber_switch`].
+///
+/// Image (ascending addresses from the returned `sp`):
+/// `[mxcsr|fcw] r15 r14 r13=entry r12=slot rbx rbp ret=trampoline`.
+#[cfg(all(target_arch = "x86_64", unix))]
+unsafe fn build_initial_sp(stack: &RawStack, slot: *mut FiberSlot) -> *mut u8 {
+    let top = (stack.ptr.as_ptr() as usize + STACK_SIZE) & !15;
+    let sp = (top - 64) as *mut u64;
+    // x87/SSE control words: the Rust/SysV defaults (round-to-nearest,
+    // all exceptions masked).
+    unsafe {
+        sp.write(0x1F80 | (0x037F_u64 << 32));
+        sp.add(1).write(0); // r15
+        sp.add(2).write(0); // r14
+        sp.add(3).write(fiber_entry as *const () as usize as u64); // r13
+        sp.add(4).write(slot as usize as u64); // r12
+        sp.add(5).write(0); // rbx
+        sp.add(6).write(0); // rbp
+        sp.add(7)
+            .write(fiber_trampoline as *const () as usize as u64); // return address
+    }
+    sp as *mut u8
+}
+
+/// Saves the caller's callee-saved context on its stack, writes the
+/// resulting stack pointer to `*save`, switches to the stack pointer
+/// read from `*restore`, and resumes that context. SysV x86_64:
+/// callee-saved registers plus the SSE/x87 control words.
+#[cfg(all(target_arch = "x86_64", unix))]
+#[unsafe(naked)]
+unsafe extern "C" fn fiber_switch(save: *mut *mut u8, restore: *const *mut u8) {
+    core::arch::naked_asm!(
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "sub rsp, 8",
+        "stmxcsr [rsp]",
+        "fnstcw [rsp + 4]",
+        "mov [rdi], rsp",
+        "mov rsp, [rsi]",
+        "ldmxcsr [rsp]",
+        "fldcw [rsp + 4]",
+        "add rsp, 8",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+/// First frame of every fiber: entered by `fiber_switch`'s `ret` with
+/// a 16-aligned stack, forwards the slot pointer (r12) to the entry
+/// function (r13). The entry never returns.
+#[cfg(all(target_arch = "x86_64", unix))]
+#[unsafe(naked)]
+unsafe extern "C" fn fiber_trampoline() {
+    core::arch::naked_asm!("mov rdi, r12", "call r13", "ud2")
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+unsafe fn build_initial_sp(_stack: &RawStack, _slot: *mut FiberSlot) -> *mut u8 {
+    unreachable!("fiber handover unsupported on this target")
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+unsafe fn fiber_switch(_save: *mut *mut u8, _restore: *const *mut u8) {
+    unreachable!("fiber handover unsupported on this target")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Mirrors the executor's usage closely enough for mechanism tests:
+    /// driver on slot 0, cooperative wake/park between fibers.
+    struct Harness {
+        fibers: Arc<Fibers>,
+        poisoned: Arc<AtomicBool>,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            let h = Harness {
+                fibers: Arc::new(Fibers::new()),
+                poisoned: Arc::new(AtomicBool::new(false)),
+            };
+            let driver = h.fibers.add_slot();
+            h.fibers.bind_driver(driver);
+            h
+        }
+
+        fn spawn(&self, body: impl FnOnce() + Send + 'static) -> usize {
+            let ix = self.fibers.add_slot();
+            self.fibers.spawn(ix, Box::new(body), &self.poisoned);
+            ix
+        }
+    }
+
+    #[test]
+    fn round_trip_through_one_fiber() {
+        let h = Harness::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let fibers = Arc::clone(&h.fibers);
+        let ix = h.spawn(move || {
+            log2.lock().push("fiber");
+            fibers.wake(0);
+            // Body ends: exit consumes the pending wake... no — the
+            // wake targets the driver; exit finds it pending and
+            // switches there.
+        });
+        h.fibers.wake(ix);
+        h.fibers.park(0);
+        log.lock().push("driver");
+        h.fibers.finish(false).expect("no escaped panics");
+        assert_eq!(*log.lock(), vec!["fiber", "driver"]);
+    }
+
+    #[test]
+    fn token_ring_visits_fibers_in_order() {
+        let h = Harness::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ixs = Vec::new();
+        for k in 0..3usize {
+            let log2 = Arc::clone(&log);
+            let fibers = Arc::clone(&h.fibers);
+            // Ring: 1 -> 2 -> 3 -> driver(0), five rounds.
+            let ix = h.spawn(move || {
+                for round in 0..5 {
+                    log2.lock().push((k + 1, round));
+                    let next = if k == 2 { 0 } else { k + 2 };
+                    fibers.wake(next);
+                    if round < 4 {
+                        fibers.park(k + 1);
+                    }
+                }
+            });
+            ixs.push(ix);
+        }
+        for _ in 0..5 {
+            h.fibers.wake(ixs[0]);
+            h.fibers.park(0);
+        }
+        h.fibers.finish(false).expect("no escaped panics");
+        let log = log.lock();
+        for round in 0..5 {
+            let entries: Vec<usize> = log
+                .iter()
+                .filter(|(_, r)| *r == round)
+                .map(|(ix, _)| *ix)
+                .collect();
+            assert_eq!(entries, vec![1, 2, 3], "round {round}");
+        }
+    }
+
+    #[test]
+    fn poisoned_execution_unwinds_suspended_fibers() {
+        let h = Harness::new();
+        let unwound = Arc::new(AtomicBool::new(false));
+        let u2 = Arc::clone(&unwound);
+        let fibers = Arc::clone(&h.fibers);
+        let poisoned = Arc::clone(&h.poisoned);
+        struct SetOnDrop(Arc<AtomicBool>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+        let ix = h.spawn(move || {
+            let _witness = SetOnDrop(u2);
+            fibers.wake(0);
+            fibers.park(1);
+            // Resumed by teardown: the poison is visible; unwind like
+            // the model runtime does.
+            if poisoned.load(Ordering::Acquire) {
+                std::panic::panic_any(crate::Aborted);
+            }
+        });
+        h.fibers.wake(ix);
+        h.fibers.park(0);
+        h.poisoned.store(true, Ordering::Release);
+        h.fibers.finish(true).expect("Aborted unwind is swallowed");
+        assert!(unwound.load(Ordering::Acquire), "Drop code must run");
+    }
+
+    #[test]
+    fn never_started_fiber_does_not_run_on_poison() {
+        let h = Harness::new();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        h.spawn(move || r2.store(true, Ordering::Release));
+        h.poisoned.store(true, Ordering::Release);
+        h.fibers.finish(true).expect("clean teardown");
+        assert!(!ran.load(Ordering::Acquire), "body must not run");
+    }
+
+    #[test]
+    fn escaped_panics_surface_from_finish() {
+        let h = Harness::new();
+        let ix = h.spawn(|| panic!("fiber body exploded"));
+        // Token granted but the driver never parks: teardown honors it.
+        h.fibers.wake(ix);
+        let err = h.fibers.finish(false).expect_err("panic must surface");
+        assert!(err.contains("fiber body exploded"), "got: {err}");
+    }
+
+    #[test]
+    fn stacks_are_recycled_across_groups() {
+        // Two sequential harnesses on this thread: the second must be
+        // able to reuse the first's stack (observable only as "does
+        // not crash and completes" — the cache is internal).
+        for _ in 0..2 {
+            let h = Harness::new();
+            let fibers = Arc::clone(&h.fibers);
+            let ix = h.spawn(move || {
+                fibers.wake(0);
+            });
+            h.fibers.wake(ix);
+            h.fibers.park(0);
+            h.fibers.finish(false).expect("clean");
+        }
+    }
+}

@@ -5,15 +5,14 @@
 //! next is the tool's core overhead. The paper measures eight
 //! strategies (condition variables, futexes, spinning, spinning with
 //! yield, swapcontext/setjmp fibers ± TLS migration) and picks fibers.
+//! We reproduce that spectrum, fibers included:
 //!
-//! Rust has no stable fiber/ucontext equivalent, and — because each
-//! model thread here *is* an OS thread — thread-local storage needs no
-//! "thread context borrowing" (§7.4): TLS just works. What we reproduce
-//! is the measurable spectrum of handover strategies:
-//!
+//! * [`HandoverKind::Fiber`] — user-space stack switching on the
+//!   driver's OS thread (the paper's winning strategy, §7.3; see
+//!   `fiber.rs`). The default on supported targets;
 //! * [`HandoverKind::Park`] — futex-backed `thread::park`/`unpark`
-//!   (our stand-in for the paper's futex row and the default, like the
-//!   paper's fiber choice it is the fastest blocking strategy);
+//!   (the paper's futex row; the fastest strategy backed by real OS
+//!   threads, and the fallback default);
 //! * [`HandoverKind::Condvar`] — mutex + condition variable (the
 //!   paper's slowest practical strategy; used by the tsan11rec
 //!   emulation);
@@ -30,7 +29,7 @@ use std::thread::Thread;
 /// Selects the run-token handover implementation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum HandoverKind {
-    /// Futex-backed park/unpark (default).
+    /// Futex-backed park/unpark (the OS-thread default).
     #[default]
     Park,
     /// Mutex + condition variable.
@@ -41,18 +40,36 @@ pub enum HandoverKind {
     SpinYield,
     /// `mpsc` channel rendezvous.
     Channel,
+    /// User-space fiber stack switching on the driver thread (§7.3,
+    /// the paper's choice). Behaviorally identical to the OS-thread
+    /// strategies — canonical output is byte-identical — but a switch
+    /// is a register swap instead of a futex round trip. Falls back to
+    /// [`HandoverKind::Park`] on unsupported targets.
+    Fiber,
 }
 
 impl HandoverKind {
     /// All kinds, in Figure-14 presentation order.
-    pub fn all() -> [HandoverKind; 5] {
+    pub fn all() -> [HandoverKind; 6] {
         [
             HandoverKind::Condvar,
             HandoverKind::Park,
             HandoverKind::Spin,
             HandoverKind::SpinYield,
             HandoverKind::Channel,
+            HandoverKind::Fiber,
         ]
+    }
+
+    /// The fastest handover available on this target: fibers where the
+    /// user-space context switch is implemented, futex park/unpark
+    /// elsewhere. What `Config::new` selects.
+    pub fn default_fast() -> HandoverKind {
+        if crate::fiber::supported() {
+            HandoverKind::Fiber
+        } else {
+            HandoverKind::Park
+        }
     }
 
     /// Name used in the Figure-14 table output.
@@ -63,6 +80,7 @@ impl HandoverKind {
             HandoverKind::Spin => "spinning",
             HandoverKind::SpinYield => "spinning w/ yield",
             HandoverKind::Channel => "channel rendezvous",
+            HandoverKind::Fiber => "fibers (stack switch)",
         }
     }
 }
@@ -112,10 +130,12 @@ impl std::fmt::Debug for Notifier {
 }
 
 impl Notifier {
-    /// Creates a notifier of the given kind.
+    /// Creates a notifier of the given kind. The fiber strategy has no
+    /// mailbox (handover is a direct stack switch, see `fiber.rs`), so
+    /// kind-generic code gets a futex notifier for it.
     pub fn new(kind: HandoverKind) -> Self {
         let imp = match kind {
-            HandoverKind::Park => Impl::Park {
+            HandoverKind::Park | HandoverKind::Fiber => Impl::Park {
                 token: AtomicBool::new(false),
                 handle: StdMutex::new(None),
             },

@@ -7,10 +7,12 @@
 //! [`BurstScheduler`], [`ScriptedScheduler`]).
 //!
 //! The paper controls threads with fibers plus *thread context
-//! borrowing* for TLS (§7.3–7.4); here every model thread is an OS
-//! thread and the run token moves through per-thread mailboxes, whose
-//! implementations ([`HandoverKind`]) span the strategy spectrum the
-//! paper benchmarks in Figure 14.
+//! borrowing* for TLS (§7.3–7.4). The default here is the same design:
+//! model threads run as fibers multiplexed on the driver's OS thread
+//! (`fiber.rs`), and the run token moves by user-space stack switch.
+//! The alternative [`HandoverKind`]s back each model thread with an OS
+//! thread and move the token through per-thread mailboxes, spanning
+//! the strategy spectrum the paper benchmarks in Figure 14.
 //!
 //! This crate knows nothing about the memory model: the `c11tester`
 //! facade combines it with `c11tester-core` and `c11tester-race`.
@@ -19,6 +21,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod executor;
+mod fiber;
 pub mod handover;
 pub mod pool;
 pub mod scheduler;

@@ -24,7 +24,9 @@ pub mod trace;
 
 pub use chrome::chrome_trace;
 pub use coverage::{coverage_enabled, set_coverage, ExecCoverage};
-pub use metrics::{CampaignMetrics, EpochMetric, ForkHealth, MetricsMeta, WorkerMetrics};
+pub use metrics::{
+    CampaignMetrics, EpochMetric, ForkHealth, GraphMetrics, MetricsMeta, WorkerMetrics,
+};
 pub use phase::{
     phase_start, profiling_enabled, set_profiling, Phase, PhaseProfile, PhaseTimer, PHASE_COUNT,
 };

@@ -100,6 +100,47 @@ impl ForkHealth {
     }
 }
 
+/// Campaign-wide mo-graph maintenance diagnostics: the telemetry-side
+/// mirror of the core crate's `MoGraphPerfStats` (telemetry sits below
+/// core in the crate graph, so the counters are carried as plain
+/// numbers here). Incremental-topological-order fast-path hit rates
+/// and `--memory-limit` compaction bookkeeping — diagnostic only,
+/// never part of canonical campaign JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphMetrics {
+    /// Edge insertions that violated the maintained topological order
+    /// and triggered a bounded local reorder.
+    pub order_reorders: u64,
+    /// Total nodes re-indexed across those reorders.
+    pub reorder_nodes: u64,
+    /// Reachability queries answered negatively by the order-index
+    /// compare alone (clock-vector comparison skipped).
+    pub reach_fast_negative: u64,
+    /// Reachability queries that fell through to the clock-vector test.
+    pub reach_cv_checks: u64,
+    /// Tombstone compaction passes run (`--memory-limit`).
+    pub compactions: u64,
+    /// Pruned nodes physically evicted from the arena by compaction.
+    pub compacted_nodes: u64,
+    /// High-water mark of arena-resident mo-graph nodes in any single
+    /// execution; bounded under `--memory-limit`.
+    pub peak_live_nodes: u64,
+}
+
+impl GraphMetrics {
+    /// Order-independent merge: counters sum, the high-water mark
+    /// takes the max.
+    pub fn absorb(&mut self, other: &GraphMetrics) {
+        self.order_reorders += other.order_reorders;
+        self.reorder_nodes += other.reorder_nodes;
+        self.reach_fast_negative += other.reach_fast_negative;
+        self.reach_cv_checks += other.reach_cv_checks;
+        self.compactions += other.compactions;
+        self.compacted_nodes += other.compacted_nodes;
+        self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
+    }
+}
+
 /// One adaptive epoch on the campaign timeline.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EpochMetric {
@@ -136,6 +177,9 @@ pub struct MetricsMeta {
 pub struct CampaignMetrics {
     /// Campaign-wide per-phase time (sum over every execution).
     pub phase: PhaseProfile,
+    /// Mo-graph maintenance diagnostics (sum over every execution;
+    /// `peak_live_nodes` is the per-execution max).
+    pub graph: GraphMetrics,
     /// Per-worker load; sorted by worker id at emission.
     pub workers: Vec<WorkerMetrics>,
     /// Fork-server health (all-zero for in-process campaigns).
@@ -154,6 +198,7 @@ impl CampaignMetrics {
     /// wall time taken as the max (merged shards ran concurrently).
     pub fn absorb(&mut self, other: &CampaignMetrics) {
         self.phase.absorb(&other.phase);
+        self.graph.absorb(&other.graph);
         for w in &other.workers {
             match self.workers.iter_mut().find(|m| m.worker == w.worker) {
                 Some(mine) => {
@@ -233,6 +278,18 @@ impl CampaignMetrics {
             ));
         }
         out.push_str(&format!(",\"total_nanos\":{}}}", self.phase.total_nanos()));
+        out.push_str(&format!(
+            ",\"mograph\":{{\"order_reorders\":{},\"reorder_nodes\":{},\
+             \"reach_fast_negative\":{},\"reach_cv_checks\":{},\"compactions\":{},\
+             \"compacted_nodes\":{},\"peak_live_nodes\":{}}}",
+            self.graph.order_reorders,
+            self.graph.reorder_nodes,
+            self.graph.reach_fast_negative,
+            self.graph.reach_cv_checks,
+            self.graph.compactions,
+            self.graph.compacted_nodes,
+            self.graph.peak_live_nodes,
+        ));
         out.push_str(",\"worker_utilization\":[");
         for (i, w) in workers.iter().enumerate() {
             if i > 0 {
@@ -411,6 +468,39 @@ mod tests {
         assert!(w0 < w1);
         assert!(json.contains("\"fork_server\":{\"spawns\":0"));
         assert!(json.ends_with("\"epochs\":[]}"));
+    }
+
+    #[test]
+    fn mograph_block_is_emitted_and_merges_order_independently() {
+        let mut a = CampaignMetrics {
+            graph: GraphMetrics {
+                order_reorders: 2,
+                reorder_nodes: 9,
+                reach_fast_negative: 100,
+                reach_cv_checks: 40,
+                compactions: 1,
+                compacted_nodes: 30,
+                peak_live_nodes: 64,
+            },
+            ..CampaignMetrics::default()
+        };
+        let b = CampaignMetrics {
+            graph: GraphMetrics {
+                reach_fast_negative: 50,
+                peak_live_nodes: 48,
+                ..GraphMetrics::default()
+            },
+            ..CampaignMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.graph.reach_fast_negative, 150);
+        assert_eq!(a.graph.peak_live_nodes, 64, "peak maxes, not sums");
+        let json = a.to_json(&MetricsMeta::default());
+        assert!(json.contains(
+            "\"mograph\":{\"order_reorders\":2,\"reorder_nodes\":9,\
+             \"reach_fast_negative\":150,\"reach_cv_checks\":40,\"compactions\":1,\
+             \"compacted_nodes\":30,\"peak_live_nodes\":64}"
+        ));
     }
 
     #[test]

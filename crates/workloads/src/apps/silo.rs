@@ -79,6 +79,19 @@ impl Default for SiloConfig {
     }
 }
 
+/// Paper-scale body for the `graph` bench group: the evaluation runs
+/// Silo with `-t 5`; five workers over a larger table with a bigger
+/// per-worker transaction budget grow the lock/record histories (and
+/// the mo-graph) far past the default simulation size.
+pub fn run_large() {
+    run(SiloConfig {
+        workers: 5,
+        txns_per_worker: 50,
+        records: 8,
+        check_invariants: false,
+    });
+}
+
 /// Runs the Silo simulation inside a model execution. Returns the
 /// number of committed transactions.
 pub fn run(cfg: SiloConfig) -> u64 {

@@ -85,12 +85,25 @@ impl Default for MpmcQueue {
 
 /// Benchmark body: two producers, two consumers, two items each.
 pub fn run() {
+    run_n(2);
+}
+
+/// Scaled-up body for the `graph` bench group: same four threads, more
+/// items flowing through the ring, so the per-location store histories
+/// and the mo-graph grow well past the litmus scale.
+pub fn run_large() {
+    run_n(8);
+}
+
+/// Parameterized body: two producers and two consumers moving
+/// `items` values each through the queue.
+pub fn run_n(items: u64) {
     let q = Arc::new(MpmcQueue::new());
     let producers: Vec<_> = (0..2u64)
         .map(|p| {
             let q = Arc::clone(&q);
             c11tester::thread::spawn(move || {
-                for i in 0..2 {
+                for i in 0..items {
                     q.push(p * 10 + i);
                 }
             })
@@ -101,7 +114,7 @@ pub fn run() {
             let q = Arc::clone(&q);
             c11tester::thread::spawn(move || {
                 let mut sum = 0;
-                for _ in 0..2 {
+                for _ in 0..items {
                     sum += q.pop();
                 }
                 sum

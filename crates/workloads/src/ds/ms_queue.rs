@@ -28,11 +28,17 @@ pub struct MsQueue {
 impl MsQueue {
     /// Creates the queue with a dummy node at index 0.
     pub fn new() -> Self {
+        MsQueue::with_pool(POOL)
+    }
+
+    /// Creates the queue over a pool of `pool` nodes (index 0 is the
+    /// dummy, so at most `pool - 1` values can ever be enqueued).
+    pub fn with_pool(pool: usize) -> Self {
         MsQueue {
-            next: (0..POOL)
+            next: (0..pool)
                 .map(|i| AtomicU32::named(format!("msq.next{i}"), NONE))
                 .collect(),
-            value: SharedArray::named("msq.value", POOL, 0),
+            value: SharedArray::named("msq.value", pool, 0),
             head: AtomicU32::named("msq.head", 0),
             tail: AtomicU32::named("msq.tail", 0),
             alloc: AtomicU32::named("msq.alloc", 1),
@@ -42,7 +48,7 @@ impl MsQueue {
     /// Enqueues `v` (with the seeded publish-before-init bug).
     pub fn push(&self, v: u64) {
         let n = self.alloc.fetch_add(1, Ordering::AcqRel);
-        assert!((n as usize) < POOL, "node pool exhausted");
+        assert!((n as usize) < self.next.len(), "node pool exhausted");
         self.next[n as usize].store(NONE, Ordering::Relaxed);
         loop {
             let t = self.tail.load(Ordering::Acquire);
@@ -98,11 +104,26 @@ impl Default for MsQueue {
 
 /// Benchmark body: one enqueuer, one dequeuer.
 pub fn run() {
-    let q = Arc::new(MsQueue::new());
+    run_n(2);
+}
+
+/// Scaled-up body for the `graph` bench group: many more nodes flow
+/// through the queue, so the `next`-pointer and head/tail histories
+/// (and with them the mo-graph) grow far past the litmus scale.
+pub fn run_large() {
+    run_n(12);
+}
+
+/// Parameterized body: one enqueuer pushing `items` values, one
+/// dequeuer popping them all. The pool never shrinks below the
+/// default so `run_n(2)` is the exact default benchmark (same object
+/// allocation, hence byte-identical canonical output).
+pub fn run_n(items: u32) {
+    let q = Arc::new(MsQueue::with_pool((items as usize + 2).max(POOL)));
     let q2 = Arc::clone(&q);
     let consumer = c11tester::thread::spawn(move || {
         let mut got = 0;
-        while got < 2 {
+        while got < items {
             if q2.pop().is_some() {
                 got += 1;
             } else {
@@ -110,7 +131,8 @@ pub fn run() {
             }
         }
     });
-    q.push(7);
-    q.push(9);
+    for i in 0..items {
+        q.push(7 + 2 * u64::from(i));
+    }
     consumer.join();
 }
